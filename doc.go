@@ -1,0 +1,22 @@
+// Package repro is a from-scratch Go reproduction of "GraphNER: Using
+// Corpus Level Similarities and Graph Propagation for Named Entity
+// Recognition" (Sheikhshab, Starks, Karsan, Chiu, Sarkar, Birol — IPPS
+// 2018).
+//
+// The library lives under internal/: the paper's contribution in
+// internal/graphner (Algorithm 1: CRF + 3-gram similarity graph + label
+// propagation), with every substrate it depends on built from the standard
+// library alone — a linear-chain CRF (internal/crf), BANNER-style feature
+// extraction (internal/features), Brown clustering (internal/brown),
+// word2vec embeddings (internal/word2vec), the k-NN PPMI similarity graph
+// (internal/graph), label propagation (internal/propagate), BiLSTM-CRF
+// neural baselines (internal/neural), BioCreative II evaluation
+// (internal/eval), approximate-randomization significance testing
+// (internal/sigf), and synthetic substitute corpora (internal/corpus/synth).
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// experiment mapping, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation section; cmd/benchtables does the same from the
+// command line at configurable scales.
+package repro

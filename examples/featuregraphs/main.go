@@ -1,0 +1,84 @@
+// Feature-set ablation for graph construction (the paper's Table III):
+// compare All-features, Lexical-features, and MI-thresholded vertex
+// representations, plus K=10 vs K=5, all over one trained base CRF.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/corpus"
+	"repro/internal/corpus/synth"
+	"repro/internal/crf"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/graphner"
+)
+
+func main() {
+	sentences := flag.Int("sentences", 2500, "corpus size")
+	seed := flag.Int64("seed", 7, "corpus seed")
+	flag.Parse()
+
+	cfg := synth.DefaultConfig(synth.BC2GM, *seed)
+	cfg.Sentences = *sentences
+	train, test := synth.GenerateSplit(cfg)
+
+	gcfg := graphner.Default()
+	gcfg.Order = crf.Order1
+	gcfg.CRFIterations = 50
+	fmt.Println("training base CRF once (shared across all graph variants)...")
+	sys, err := graphner.Train(train, gcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseRes := score(test, sys.BaselineTags(test))
+	fmt.Printf("\n%-28s %3s %10s %10s %10s\n", "Vertex representation", "K", "Precision", "Recall", "F-Score")
+	pm := baseRes.Metrics()
+	fmt.Printf("%-28s %3s %9.2f%% %9.2f%% %9.2f%%\n", "(baseline, no graph)", "-", 100*pm.Precision, 100*pm.Recall, 100*pm.F1)
+
+	variants := []struct {
+		name string
+		mode graph.FeatureMode
+		mi   float64
+		k    int
+	}{
+		{"All-features", graph.AllFeatures, 0, 10},
+		{"Lexical-features", graph.LexicalFeatures, 0, 10},
+		{"MI > 0.002", graph.MIFeatures, 0.002, 10},
+		{"MI > 0.005", graph.MIFeatures, 0.005, 10},
+		{"MI > 0.01", graph.MIFeatures, 0.01, 10},
+		{"All-features", graph.AllFeatures, 0, 5},
+	}
+	for _, v := range variants {
+		c2 := sys.Config()
+		c2.Mode = v.mode
+		c2.MIThreshold = v.mi
+		c2.K = v.k
+		vs := sys.WithConfig(c2)
+		g, err := vs.BuildGraph(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := vs.TestWithGraph(test, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := score(test, out.Tags).Metrics()
+		fmt.Printf("%-28s %3d %9.2f%% %9.2f%% %9.2f%%\n", v.name, v.k, 100*m.Precision, 100*m.Recall, 100*m.F1)
+	}
+}
+
+func score(test *corpus.Corpus, tags [][]corpus.Tag) *eval.Result {
+	preds, err := eval.PredictionsFromTags(test, tags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eval.Evaluate(test, preds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

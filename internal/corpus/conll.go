@@ -1,0 +1,119 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/tokenize"
+)
+
+// The CoNLL column format is the lingua franca of NER corpora outside the
+// BioCreative ecosystem: one token per line as "TOKEN TAG", sentences
+// separated by blank lines. These converters let GraphNER exchange data
+// with the rest of the sequence-labelling world (including the BC2GM
+// corpus's popular CoNLL conversion used by neural-NER papers).
+
+// WriteCoNLL emits the corpus in two-column CoNLL format. Gene tags are
+// written as B-GENE/I-GENE/O. Unlabelled sentences are written with O
+// throughout.
+func (c *Corpus) WriteCoNLL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for si, s := range c.Sentences {
+		if si > 0 {
+			if _, err := fmt.Fprintln(bw); err != nil {
+				return err
+			}
+		}
+		for i, tok := range s.Tokens {
+			tag := O
+			if s.Tags != nil {
+				tag = s.Tags[i]
+			}
+			label := "O"
+			switch tag {
+			case B:
+				label = "B-GENE"
+			case I:
+				label = "I-GENE"
+			}
+			if _, err := fmt.Fprintf(bw, "%s %s\n", tok.Text, label); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCoNLL parses a two-column CoNLL stream into a corpus. Sentence text
+// is reconstructed by joining tokens with single spaces (offsets are
+// relative to that reconstruction). Sentence IDs are generated as
+// "conll<N>". Tags accept the bare B/I/O and any B-*/I-* type suffix.
+func ReadCoNLL(r io.Reader) (*Corpus, error) {
+	c := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var words []string
+	var tags []Tag
+	line := 0
+	flush := func() error {
+		if len(words) == 0 {
+			return nil
+		}
+		text := strings.Join(words, " ")
+		// CoNLL's tokenization is authoritative: take the tokens as given
+		// rather than re-tokenizing (which would split alphanumeric gene
+		// symbols such as "STAT5" and misalign the per-token tags).
+		toks := make([]tokenize.Token, len(words))
+		byteOff, sfOff := 0, 0
+		for i, w := range words {
+			n := len([]rune(w))
+			toks[i] = tokenize.Token{
+				Text:    w,
+				Start:   byteOff,
+				End:     byteOff + len(w),
+				SFStart: sfOff,
+				SFEnd:   sfOff + n - 1,
+			}
+			byteOff += len(w) + 1 // the joining space
+			sfOff += n
+		}
+		s := &Sentence{
+			ID:     fmt.Sprintf("conll%d", len(c.Sentences)),
+			Text:   text,
+			Tokens: toks,
+			Tags:   append([]Tag(nil), tags...),
+		}
+		c.Sentences = append(c.Sentences, s)
+		words, tags = words[:0], tags[:0]
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("corpus: conll line %d: want 'TOKEN TAG', got %q", line, text)
+		}
+		tag, err := ParseTag(fields[len(fields)-1])
+		if err != nil {
+			return nil, fmt.Errorf("corpus: conll line %d: %w", line, err)
+		}
+		words = append(words, fields[0])
+		tags = append(tags, tag)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,122 @@
+package corpus
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCoNLLRoundTrip(t *testing.T) {
+	c := New()
+	c.Sentences = append(c.Sentences,
+		makeSentence("the LNK gene", []Tag{O, B, O}),
+		makeSentence("wilms tumor - 1 positive", []Tag{B, I, I, I, O}),
+	)
+	var buf bytes.Buffer
+	if err := c.WriteCoNLL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCoNLL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sentences) != 2 {
+		t.Fatalf("got %d sentences", len(got.Sentences))
+	}
+	for i := range got.Sentences {
+		if !reflect.DeepEqual(got.Sentences[i].Tags, c.Sentences[i].Tags) {
+			t.Errorf("sentence %d tags: %v, want %v", i, got.Sentences[i].Tags, c.Sentences[i].Tags)
+		}
+		if got.Sentences[i].Text != c.Sentences[i].Text {
+			t.Errorf("sentence %d text: %q, want %q", i, got.Sentences[i].Text, c.Sentences[i].Text)
+		}
+	}
+	// Decoded mentions must survive the format conversion.
+	m := got.Sentences[1].Mentions()
+	if len(m) != 1 || m[0].Text != "wilms tumor - 1" {
+		t.Errorf("mentions = %+v", m)
+	}
+}
+
+func TestWriteCoNLLFormat(t *testing.T) {
+	c := New()
+	c.Sentences = append(c.Sentences, makeSentence("the LNK gene", []Tag{O, B, O}))
+	var buf bytes.Buffer
+	if err := c.WriteCoNLL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "the O\nLNK B-GENE\ngene O\n"
+	if buf.String() != want {
+		t.Errorf("output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestWriteCoNLLUnlabelled(t *testing.T) {
+	c := New()
+	c.Sentences = append(c.Sentences, makeSentence("a b", nil))
+	var buf bytes.Buffer
+	if err := c.WriteCoNLL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a O") {
+		t.Errorf("unlabelled output: %q", buf.String())
+	}
+}
+
+func TestReadCoNLLVariants(t *testing.T) {
+	// Extra columns (POS etc.) are tolerated: first is token, last is tag.
+	in := "LNK NN B-GENE\nbinds VB O\n\nSTAT5 NN B\n"
+	c, err := ReadCoNLL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sentences) != 2 {
+		t.Fatalf("got %d sentences", len(c.Sentences))
+	}
+	if c.Sentences[0].Tags[0] != B || c.Sentences[0].Tags[1] != O {
+		t.Errorf("tags = %v", c.Sentences[0].Tags)
+	}
+}
+
+func TestReadCoNLLMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"token\n",          // missing tag
+		"token Q\n",        // unknown tag
+		"with space X B\n", // fine actually (3 columns) — ensure last col rules
+	} {
+		_, err := ReadCoNLL(strings.NewReader(bad))
+		if strings.HasPrefix(bad, "with") {
+			if err != nil {
+				t.Errorf("unexpected error for %q: %v", bad, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("want error for %q", bad)
+		}
+	}
+	// CoNLL tokenization is authoritative: an alphanumeric symbol stays
+	// one token even though our own tokenizer would split it.
+	c, err := ReadCoNLL(strings.NewReader("SH2B3 B\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sentences[0].Tokens) != 1 || c.Sentences[0].Tokens[0].Text != "SH2B3" {
+		t.Errorf("tokens = %+v", c.Sentences[0].Tokens)
+	}
+	m := c.Sentences[0].Mentions()
+	if len(m) != 1 || m[0].Start != 0 || m[0].End != 4 {
+		t.Errorf("mentions = %+v", m)
+	}
+}
+
+func TestReadCoNLLEmpty(t *testing.T) {
+	c, err := ReadCoNLL(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sentences) != 0 {
+		t.Error("phantom sentences")
+	}
+}

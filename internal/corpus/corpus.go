@@ -1,0 +1,385 @@
+// Package corpus models BIO-tagged named-entity corpora and reads and
+// writes the on-disk format of the BioCreative II gene mention (BC2GM)
+// shared task: a sentence file of "ID<space>text" lines, a GENE.eval file
+// of "ID|start end|mention" annotations with character offsets counted over
+// non-space characters, and an optional ALTGENE.eval file of alternative
+// annotations accepted by the evaluation script.
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/tokenize"
+)
+
+// Tag is a BIO tag. The task in the paper is single-type (gene mentions),
+// so the tag set is exactly {B, I, O}.
+type Tag uint8
+
+// The three BIO tags. Their numeric values index probability distributions
+// throughout the system, so they are fixed and exported.
+const (
+	B       Tag = iota // beginning of a gene mention
+	I                  // inside a gene mention
+	O                  // outside any mention
+	NumTags = 3
+)
+
+// String returns "B", "I" or "O".
+func (t Tag) String() string {
+	switch t {
+	case B:
+		return "B"
+	case I:
+		return "I"
+	case O:
+		return "O"
+	}
+	return fmt.Sprintf("Tag(%d)", uint8(t))
+}
+
+// ParseTag converts "B"/"I"/"O" (optionally with a "-GENE" suffix) to a Tag.
+func ParseTag(s string) (Tag, error) {
+	switch strings.SplitN(s, "-", 2)[0] {
+	case "B":
+		return B, nil
+	case "I":
+		return I, nil
+	case "O":
+		return O, nil
+	}
+	return O, fmt.Errorf("corpus: unknown tag %q", s)
+}
+
+// Mention is a gene mention located by inclusive space-free character
+// offsets, the coordinate system of the BC2GM evaluation.
+type Mention struct {
+	Start, End int    // inclusive offsets over non-space characters
+	Text       string // surface text of the mention (spaces preserved)
+}
+
+// Sentence is one tokenized, optionally annotated sentence.
+type Sentence struct {
+	ID     string
+	Text   string
+	Tokens []tokenize.Token
+	Tags   []Tag // parallel to Tokens; nil for unlabelled sentences
+}
+
+// Words returns the token surface forms.
+func (s *Sentence) Words() []string {
+	out := make([]string, len(s.Tokens))
+	for i, t := range s.Tokens {
+		out[i] = t.Text
+	}
+	return out
+}
+
+// Mentions decodes the BIO tag sequence into mentions with space-free
+// offsets. An I tag following an O (an inconsistent sequence a decoder
+// should not emit, but tolerated) opens a new mention.
+func (s *Sentence) Mentions() []Mention {
+	return MentionsFromTags(s.Tokens, s.Tags, s.Text)
+}
+
+// MentionsFromTags decodes an arbitrary tag sequence over the sentence's
+// tokens into mentions. tags must be the same length as tokens.
+func MentionsFromTags(tokens []tokenize.Token, tags []Tag, text string) []Mention {
+	var out []Mention
+	var cur *Mention
+	var curEndByte int
+	for i, tag := range tags {
+		tok := tokens[i]
+		switch {
+		case tag == B, tag == I && cur == nil:
+			out = append(out, Mention{Start: tok.SFStart, End: tok.SFEnd})
+			cur = &out[len(out)-1]
+			curEndByte = tok.End
+		case tag == I:
+			cur.End = tok.SFEnd
+			curEndByte = tok.End
+		default:
+			cur = nil
+		}
+		if cur != nil {
+			// Track the byte span so Text can be recovered from the
+			// original sentence, preserving interior spaces.
+			startByte := tokens[i].Start
+			for j := i; j >= 0; j-- {
+				if tokens[j].SFStart == cur.Start {
+					startByte = tokens[j].Start
+					break
+				}
+			}
+			cur.Text = text[startByte:curEndByte]
+		}
+	}
+	return out
+}
+
+// TagsFromMentions converts mention offsets into a BIO tag sequence over
+// tokens. A token is part of a mention when its space-free span lies within
+// the mention's span. Mentions that do not align with token boundaries are
+// clipped to the tokens they cover.
+func TagsFromMentions(tokens []tokenize.Token, mentions []Mention) []Tag {
+	tags := make([]Tag, len(tokens))
+	for i := range tags {
+		tags[i] = O
+	}
+	for _, m := range mentions {
+		inMention := false
+		for i, tok := range tokens {
+			if tok.SFStart >= m.Start && tok.SFEnd <= m.End {
+				if inMention {
+					tags[i] = I
+				} else {
+					tags[i] = B
+					inMention = true
+				}
+			} else {
+				inMention = false
+			}
+		}
+	}
+	return tags
+}
+
+// Corpus is a set of sentences with primary annotations plus, optionally,
+// alternative annotations per sentence (the ALTGENE file of BC2GM). Each
+// alternative is itself a mention; the evaluation accepts a detection that
+// exactly matches either a primary mention or any alternative.
+type Corpus struct {
+	Sentences []*Sentence
+	// Alternatives maps sentence ID to acceptable alternative mentions.
+	Alternatives map[string][]Mention
+}
+
+// New creates an empty corpus.
+func New() *Corpus {
+	return &Corpus{Alternatives: make(map[string][]Mention)}
+}
+
+// NumTokens returns the total token count.
+func (c *Corpus) NumTokens() int {
+	n := 0
+	for _, s := range c.Sentences {
+		n += len(s.Tokens)
+	}
+	return n
+}
+
+// NumMentions returns the total primary mention count.
+func (c *Corpus) NumMentions() int {
+	n := 0
+	for _, s := range c.Sentences {
+		n += len(s.Mentions())
+	}
+	return n
+}
+
+// Split partitions the corpus into a head of n sentences and the remainder.
+// It does not copy sentences. It panics if n is out of range.
+func (c *Corpus) Split(n int) (head, tail *Corpus) {
+	if n < 0 || n > len(c.Sentences) {
+		panic(fmt.Sprintf("corpus: split %d out of range [0,%d]", n, len(c.Sentences)))
+	}
+	head, tail = New(), New()
+	head.Sentences = c.Sentences[:n]
+	tail.Sentences = c.Sentences[n:]
+	for _, s := range head.Sentences {
+		if alts, ok := c.Alternatives[s.ID]; ok {
+			head.Alternatives[s.ID] = alts
+		}
+	}
+	for _, s := range tail.Sentences {
+		if alts, ok := c.Alternatives[s.ID]; ok {
+			tail.Alternatives[s.ID] = alts
+		}
+	}
+	return head, tail
+}
+
+// StripLabels returns a copy of the corpus with all tags removed, for use
+// as unlabelled data. Sentences are shallow-copied; token slices are shared.
+func (c *Corpus) StripLabels() *Corpus {
+	out := New()
+	for _, s := range c.Sentences {
+		cp := &Sentence{ID: s.ID, Text: s.Text, Tokens: s.Tokens}
+		out.Sentences = append(out.Sentences, cp)
+	}
+	return out
+}
+
+// ReadSentences parses the BC2GM sentence format: one sentence per line,
+// "ID text...". Sentences are tokenized; tags are left nil.
+func ReadSentences(r io.Reader) (*Corpus, error) {
+	c := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		id, rest, ok := strings.Cut(text, " ")
+		if !ok {
+			return nil, fmt.Errorf("corpus: line %d: missing sentence text", line)
+		}
+		c.Sentences = append(c.Sentences, &Sentence{
+			ID:     id,
+			Text:   rest,
+			Tokens: tokenize.Sentence(rest),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: reading sentences: %w", err)
+	}
+	return c, nil
+}
+
+// ReadAnnotations parses a GENE.eval-format stream ("ID|start end|text")
+// and returns the mentions grouped by sentence ID.
+func ReadAnnotations(r io.Reader) (map[string][]Mention, error) {
+	out := make(map[string][]Mention)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		parts := strings.SplitN(text, "|", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("corpus: annotation line %d: want 3 |-separated fields, got %d", line, len(parts))
+		}
+		var start, end int
+		offs := strings.Fields(parts[1])
+		if len(offs) != 2 {
+			return nil, fmt.Errorf("corpus: annotation line %d: bad offsets %q", line, parts[1])
+		}
+		var err error
+		if start, err = strconv.Atoi(offs[0]); err != nil {
+			return nil, fmt.Errorf("corpus: annotation line %d: %w", line, err)
+		}
+		if end, err = strconv.Atoi(offs[1]); err != nil {
+			return nil, fmt.Errorf("corpus: annotation line %d: %w", line, err)
+		}
+		if start < 0 || end < start {
+			return nil, fmt.Errorf("corpus: annotation line %d: invalid span %d..%d", line, start, end)
+		}
+		out[parts[0]] = append(out[parts[0]], Mention{Start: start, End: end, Text: parts[2]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: reading annotations: %w", err)
+	}
+	return out, nil
+}
+
+// ApplyAnnotations sets the BIO tags of every sentence from primary
+// mentions, and records alternatives if given (alternatives do not affect
+// tags; they matter only to evaluation).
+func (c *Corpus) ApplyAnnotations(primary, alternatives map[string][]Mention) {
+	for _, s := range c.Sentences {
+		s.Tags = TagsFromMentions(s.Tokens, primary[s.ID])
+	}
+	if alternatives != nil {
+		c.Alternatives = alternatives
+	}
+}
+
+// WriteSentences emits the corpus in BC2GM sentence format.
+func (c *Corpus) WriteSentences(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range c.Sentences {
+		if _, err := fmt.Fprintf(bw, "%s %s\n", s.ID, s.Text); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteAnnotations emits primary annotations in GENE.eval format, sorted by
+// sentence ID then offset for determinism.
+func (c *Corpus) WriteAnnotations(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range c.Sentences {
+		for _, m := range s.Mentions() {
+			if _, err := fmt.Fprintf(bw, "%s|%d %d|%s\n", s.ID, m.Start, m.End, m.Text); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// NGram is the key type for 3-gram vertices: three token surface forms
+// joined canonically. Sentence boundaries are padded so every token w has a
+// well-defined context (w-1, w, w+1).
+type NGram string
+
+// BoundaryPad is the pseudo-token used for positions outside the sentence
+// when forming 3-grams at the edges.
+const BoundaryPad = "<S>"
+
+// Trigram builds the NGram key for position i of words, padding with
+// BoundaryPad outside the sentence.
+func Trigram(words []string, i int) NGram {
+	get := func(j int) string {
+		if j < 0 || j >= len(words) {
+			return BoundaryPad
+		}
+		return words[j]
+	}
+	return NGram(get(i-1) + "\x00" + get(i) + "\x00" + get(i+1))
+}
+
+// Parts splits an NGram back into its three tokens.
+func (g NGram) Parts() (prev, mid, next string) {
+	p := strings.SplitN(string(g), "\x00", 3)
+	for len(p) < 3 {
+		p = append(p, "")
+	}
+	return p[0], p[1], p[2]
+}
+
+// String renders the NGram human-readably, e.g. "[wilms tumor -]".
+func (g NGram) String() string {
+	a, b, c := g.Parts()
+	return "[" + a + " " + b + " " + c + "]"
+}
+
+// Trigrams returns the NGram at every position of the sentence.
+func (s *Sentence) Trigrams() []NGram {
+	words := s.Words()
+	out := make([]NGram, len(words))
+	for i := range words {
+		out[i] = Trigram(words, i)
+	}
+	return out
+}
+
+// UniqueTrigrams returns the set of distinct 3-grams in the corpus, sorted
+// for determinism.
+func (c *Corpus) UniqueTrigrams() []NGram {
+	set := make(map[NGram]struct{})
+	for _, s := range c.Sentences {
+		for _, g := range s.Trigrams() {
+			set[g] = struct{}{}
+		}
+	}
+	out := make([]NGram, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,277 @@
+package corpus
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/tokenize"
+)
+
+func TestTagString(t *testing.T) {
+	if B.String() != "B" || I.String() != "I" || O.String() != "O" {
+		t.Error("tag string mismatch")
+	}
+	if got := Tag(9).String(); got != "Tag(9)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestParseTag(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Tag
+		ok   bool
+	}{
+		{"B", B, true}, {"I", I, true}, {"O", O, true},
+		{"B-GENE", B, true}, {"I-Gene", I, true},
+		{"Q", O, false}, {"", O, false},
+	} {
+		got, err := ParseTag(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseTag(%q) err = %v", c.in, err)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseTag(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func makeSentence(text string, tags []Tag) *Sentence {
+	return &Sentence{ID: "S1", Text: text, Tokens: tokenize.Sentence(text), Tags: tags}
+}
+
+func TestMentionsRoundTrip(t *testing.T) {
+	// "the LNK gene" with LNK annotated.
+	s := makeSentence("the LNK gene", []Tag{O, B, O})
+	ms := s.Mentions()
+	if len(ms) != 1 {
+		t.Fatalf("got %d mentions", len(ms))
+	}
+	if ms[0].Start != 3 || ms[0].End != 5 || ms[0].Text != "LNK" {
+		t.Errorf("mention = %+v", ms[0])
+	}
+	// Round trip through TagsFromMentions.
+	tags := TagsFromMentions(s.Tokens, ms)
+	if !reflect.DeepEqual(tags, s.Tags) {
+		t.Errorf("round trip tags = %v, want %v", tags, s.Tags)
+	}
+}
+
+func TestMultiTokenMention(t *testing.T) {
+	// "wilms tumor - 1 positive" -> B I I I O (5 tokens).
+	s := makeSentence("wilms tumor - 1 positive", []Tag{B, I, I, I, O})
+	ms := s.Mentions()
+	if len(ms) != 1 {
+		t.Fatalf("got %d mentions: %+v", len(ms), ms)
+	}
+	if ms[0].Text != "wilms tumor - 1" {
+		t.Errorf("mention text = %q", ms[0].Text)
+	}
+	tags := TagsFromMentions(s.Tokens, ms)
+	if !reflect.DeepEqual(tags, s.Tags) {
+		t.Errorf("round trip = %v, want %v", tags, s.Tags)
+	}
+}
+
+func TestOrphanITag(t *testing.T) {
+	// An I with no preceding B opens a mention (tolerant decoding).
+	s := makeSentence("the LNK gene", []Tag{O, I, O})
+	ms := s.Mentions()
+	if len(ms) != 1 || ms[0].Text != "LNK" {
+		t.Errorf("mentions = %+v", ms)
+	}
+}
+
+func TestAdjacentMentions(t *testing.T) {
+	// "LNK SH2B3" as two separate mentions: B B.
+	s := makeSentence("LNK WT1", []Tag{B, B, I})
+	// tokens: LNK, WT, 1
+	ms := s.Mentions()
+	if len(ms) != 2 {
+		t.Fatalf("got %d mentions: %+v", len(ms), ms)
+	}
+	if ms[0].Text != "LNK" || ms[1].Text != "WT1" {
+		t.Errorf("mentions = %+v", ms)
+	}
+}
+
+func TestReadSentences(t *testing.T) {
+	in := "S1 the LNK gene\nS2 no genes here\n\n"
+	c, err := ReadSentences(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sentences) != 2 {
+		t.Fatalf("got %d sentences", len(c.Sentences))
+	}
+	if c.Sentences[0].ID != "S1" || c.Sentences[0].Text != "the LNK gene" {
+		t.Errorf("sentence = %+v", c.Sentences[0])
+	}
+	if len(c.Sentences[0].Tokens) != 3 {
+		t.Errorf("tokens = %v", c.Sentences[0].Tokens)
+	}
+}
+
+func TestReadSentencesMalformed(t *testing.T) {
+	if _, err := ReadSentences(strings.NewReader("JUSTANID\n")); err == nil {
+		t.Error("want error for line without text")
+	}
+}
+
+func TestReadAnnotations(t *testing.T) {
+	in := "S1|3 5|LNK\nS1|0 2|the\nS2|0 4|wilms\n"
+	anns, err := ReadAnnotations(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns["S1"]) != 2 || len(anns["S2"]) != 1 {
+		t.Fatalf("anns = %+v", anns)
+	}
+	if anns["S1"][0] != (Mention{3, 5, "LNK"}) {
+		t.Errorf("mention = %+v", anns["S1"][0])
+	}
+}
+
+func TestReadAnnotationsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"S1|3 5",       // missing text field
+		"S1|3|LNK",     // one offset
+		"S1|x y|LNK",   // non-numeric
+		"S1|5 3|LNK",   // end < start
+		"S1|-1 3|LNK",  // negative
+		"S1|3 5 7|LNK", // three offsets
+	} {
+		if _, err := ReadAnnotations(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("want error for %q", bad)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := New()
+	c.Sentences = append(c.Sentences,
+		makeSentence("the LNK gene", []Tag{O, B, O}),
+		makeSentence("wilms tumor - 1 positive", []Tag{B, I, I, I, O}),
+	)
+	c.Sentences[1].ID = "S2"
+
+	var sbuf, abuf bytes.Buffer
+	if err := c.WriteSentences(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteAnnotations(&abuf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadSentences(&sbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns, err := ReadAnnotations(&abuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.ApplyAnnotations(anns, nil)
+	for i, s := range c2.Sentences {
+		if !reflect.DeepEqual(s.Tags, c.Sentences[i].Tags) {
+			t.Errorf("sentence %d tags = %v, want %v", i, s.Tags, c.Sentences[i].Tags)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	c := New()
+	for i := 0; i < 10; i++ {
+		s := makeSentence("the LNK gene", []Tag{O, B, O})
+		s.ID = string(rune('A' + i))
+		c.Sentences = append(c.Sentences, s)
+	}
+	c.Alternatives["A"] = []Mention{{0, 2, "the"}}
+	c.Alternatives["J"] = []Mention{{0, 2, "the"}}
+	head, tail := c.Split(7)
+	if len(head.Sentences) != 7 || len(tail.Sentences) != 3 {
+		t.Fatalf("split sizes %d/%d", len(head.Sentences), len(tail.Sentences))
+	}
+	if _, ok := head.Alternatives["A"]; !ok {
+		t.Error("head lost alternative A")
+	}
+	if _, ok := tail.Alternatives["J"]; !ok {
+		t.Error("tail lost alternative J")
+	}
+	if _, ok := head.Alternatives["J"]; ok {
+		t.Error("head has foreign alternative")
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	New().Split(1)
+}
+
+func TestStripLabels(t *testing.T) {
+	c := New()
+	c.Sentences = append(c.Sentences, makeSentence("the LNK gene", []Tag{O, B, O}))
+	u := c.StripLabels()
+	if u.Sentences[0].Tags != nil {
+		t.Error("labels not stripped")
+	}
+	if c.Sentences[0].Tags == nil {
+		t.Error("original mutated")
+	}
+}
+
+func TestTrigram(t *testing.T) {
+	words := []string{"wilms", "tumor", "-", "1"}
+	g := Trigram(words, 0)
+	a, b, c := g.Parts()
+	if a != BoundaryPad || b != "wilms" || c != "tumor" {
+		t.Errorf("parts = %q %q %q", a, b, c)
+	}
+	g = Trigram(words, 3)
+	a, b, c = g.Parts()
+	if a != "-" || b != "1" || c != BoundaryPad {
+		t.Errorf("parts = %q %q %q", a, b, c)
+	}
+	if g.String() != "[- 1 <S>]" {
+		t.Errorf("String = %q", g.String())
+	}
+}
+
+func TestUniqueTrigrams(t *testing.T) {
+	c := New()
+	c.Sentences = append(c.Sentences,
+		makeSentence("a b c", nil),
+		makeSentence("a b c", nil), // duplicate sentence: same trigrams
+		makeSentence("a b d", nil),
+	)
+	grams := c.UniqueTrigrams()
+	// "a b c": [<S> a b], [a b c], [b c <S>] ; "a b d" adds [a b d], [b d <S>].
+	if len(grams) != 5 {
+		t.Fatalf("got %d unique trigrams: %v", len(grams), grams)
+	}
+	for i := 1; i < len(grams); i++ {
+		if grams[i-1] >= grams[i] {
+			t.Error("trigrams not sorted")
+		}
+	}
+}
+
+func TestNumTokensMentions(t *testing.T) {
+	c := New()
+	c.Sentences = append(c.Sentences,
+		makeSentence("the LNK gene", []Tag{O, B, O}),
+		makeSentence("wilms tumor - 1 positive", []Tag{B, I, I, I, O}),
+	)
+	if c.NumTokens() != 8 {
+		t.Errorf("NumTokens = %d", c.NumTokens())
+	}
+	if c.NumMentions() != 2 {
+		t.Errorf("NumMentions = %d", c.NumMentions())
+	}
+}

@@ -1,0 +1,81 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteDir writes the corpus to dir in the BioCreative II layout used by
+// cmd/graphner: <prefix>.in (sentences), <prefix>.GENE.eval (primary
+// annotations) and, when alternatives exist, <prefix>.ALTGENE.eval.
+func (c *Corpus) WriteDir(dir, prefix string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	write := func(name string, fn func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("corpus: %w", err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("corpus: writing %s: %w", name, err)
+		}
+		return f.Close()
+	}
+	if err := write(prefix+".in", func(f *os.File) error { return c.WriteSentences(f) }); err != nil {
+		return err
+	}
+	if err := write(prefix+".GENE.eval", func(f *os.File) error { return c.WriteAnnotations(f) }); err != nil {
+		return err
+	}
+	if len(c.Alternatives) == 0 {
+		return nil
+	}
+	return write(prefix+".ALTGENE.eval", func(f *os.File) error {
+		bw := bufio.NewWriter(f)
+		for _, s := range c.Sentences {
+			for _, m := range c.Alternatives[s.ID] {
+				if _, err := fmt.Fprintf(bw, "%s|%d %d|%s\n", s.ID, m.Start, m.End, m.Text); err != nil {
+					return err
+				}
+			}
+		}
+		return bw.Flush()
+	})
+}
+
+// ReadDir loads a corpus written by WriteDir (or by hand in the BC2GM
+// layout). A missing ALTGENE file is not an error.
+func ReadDir(dir, prefix string) (*Corpus, error) {
+	sf, err := os.Open(filepath.Join(dir, prefix+".in"))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	defer sf.Close()
+	c, err := ReadSentences(sf)
+	if err != nil {
+		return nil, err
+	}
+	af, err := os.Open(filepath.Join(dir, prefix+".GENE.eval"))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	defer af.Close()
+	anns, err := ReadAnnotations(af)
+	if err != nil {
+		return nil, err
+	}
+	var alts map[string][]Mention
+	if xf, err := os.Open(filepath.Join(dir, prefix+".ALTGENE.eval")); err == nil {
+		alts, err = ReadAnnotations(xf)
+		xf.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.ApplyAnnotations(anns, alts)
+	return c, nil
+}

@@ -1,0 +1,63 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWriteReadDirRoundTrip(t *testing.T) {
+	c := New()
+	c.Sentences = append(c.Sentences,
+		makeSentence("the LNK gene", []Tag{O, B, O}),
+		makeSentence("wilms tumor - 1 positive", []Tag{B, I, I, I, O}),
+	)
+	c.Sentences[0].ID = "S1"
+	c.Sentences[1].ID = "S2"
+	c.Alternatives["S2"] = []Mention{{Start: 5, End: 11, Text: "tumor - 1"}}
+
+	dir := t.TempDir()
+	if err := c.WriteDir(dir, "train"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDir(dir, "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sentences) != 2 {
+		t.Fatalf("got %d sentences", len(got.Sentences))
+	}
+	for i := range got.Sentences {
+		if got.Sentences[i].Text != c.Sentences[i].Text {
+			t.Errorf("sentence %d text mismatch", i)
+		}
+		if !reflect.DeepEqual(got.Sentences[i].Tags, c.Sentences[i].Tags) {
+			t.Errorf("sentence %d tags: %v, want %v", i, got.Sentences[i].Tags, c.Sentences[i].Tags)
+		}
+	}
+	if len(got.Alternatives["S2"]) != 1 {
+		t.Errorf("alternatives lost: %v", got.Alternatives)
+	}
+}
+
+func TestWriteDirNoAlternatives(t *testing.T) {
+	c := New()
+	c.Sentences = append(c.Sentences, makeSentence("the LNK gene", []Tag{O, B, O}))
+	c.Sentences[0].ID = "S1"
+	dir := t.TempDir()
+	if err := c.WriteDir(dir, "test"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDir(dir, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Alternatives) != 0 {
+		t.Error("phantom alternatives")
+	}
+}
+
+func TestReadDirMissing(t *testing.T) {
+	if _, err := ReadDir(t.TempDir(), "none"); err == nil {
+		t.Error("want error for missing files")
+	}
+}

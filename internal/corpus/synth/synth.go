@@ -1,0 +1,691 @@
+// Package synth generates synthetic biomedical gene-mention corpora that
+// stand in for the BC2GM and AML corpora of the GraphNER paper, which are
+// not redistributable. The generator is deterministic under a fixed seed
+// and reproduces the statistical properties the paper's experiments depend
+// on:
+//
+//   - gene mentions drawn from an HGNC-like nomenclature grammar (symbols
+//     such as "FLT3", hyphen-number forms such as "WT - 1", and multi-word
+//     descriptive names such as "lymphocyte adaptor protein");
+//   - recurring sentence templates, so the same 3-gram contexts appear in
+//     both labelled and unlabelled data — the corpus-level redundancy that
+//     graph propagation exploits;
+//   - an annotation-noise model (missed and spurious gold mentions plus
+//     inconsistent casing) for the BC2GM profile, versus near-clean expert
+//     annotation for the AML profile;
+//   - alternative annotations (boundary variants) in the BC2GM profile,
+//     mirroring the ALTGENE file of the shared task;
+//   - ambiguous non-gene tokens (disease acronyms, proper names such as
+//     "Ann Arbor") that bait the supervised CRF into the spurious false
+//     positives that GraphNER's precision gains come from.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/tokenize"
+)
+
+// Profile selects which of the paper's two corpora to imitate.
+type Profile int
+
+const (
+	// BC2GM imitates the BioCreative II gene mention corpus: abstracts
+	// curated broadly from biology, inconsistent gene notation, noisy
+	// student annotation, alternative annotations present.
+	BC2GM Profile = iota
+	// AML imitates the acute myeloid leukemia full-text corpus:
+	// standardized HGNC nomenclature, expert annotation, little noise, no
+	// alternative annotations.
+	AML
+)
+
+func (p Profile) String() string {
+	if p == AML {
+		return "AML"
+	}
+	return "BC2GM"
+}
+
+// Config controls corpus generation. The zero value is not useful; use
+// DefaultConfig.
+type Config struct {
+	Profile   Profile
+	Seed      int64
+	Sentences int // total sentences to generate
+
+	// GenePool is the number of distinct gene entities in the corpus.
+	// Zero derives it from Sentences (open-vocabulary scaling: larger
+	// corpora meet proportionally more distinct genes, as real biomedical
+	// text does).
+	GenePool int
+	// AmbigPool is the number of distinct ambiguous gene-looking non-gene
+	// tokens. Zero derives it from Sentences.
+	AmbigPool int
+	// MentionRate is the expected number of gene mentions per sentence.
+	MentionRate float64
+	// MissRate is the probability a true mention is absent from the gold
+	// annotation (annotator missed it).
+	MissRate float64
+	// SpuriousRate is the probability that a sentence receives a gold
+	// annotation over a non-gene span (annotator error).
+	SpuriousRate float64
+	// CaseNoise is the probability a mention is realized with
+	// non-canonical casing ("wt1" for "WT1").
+	CaseNoise float64
+	// AltRate is the probability that a multi-token mention gets an
+	// alternative boundary annotation.
+	AltRate float64
+	// AmbigRate is the probability a sentence carries an ambiguous
+	// gene-looking non-gene token.
+	AmbigRate float64
+}
+
+// DefaultConfig returns the calibrated configuration for a profile with the
+// paper's corpus sizes: 15000+5000 sentences for BC2GM, 10504+3952 for AML.
+// Callers wanting smaller corpora can reduce Sentences.
+func DefaultConfig(p Profile, seed int64) Config {
+	switch p {
+	case AML:
+		return Config{
+			Profile:      AML,
+			Seed:         seed,
+			Sentences:    10504 + 3952,
+			MentionRate:  0.75,
+			MissRate:     0.004,
+			SpuriousRate: 0.002,
+			CaseNoise:    0.03,
+			AltRate:      0,
+			AmbigRate:    0.16,
+		}
+	default:
+		return Config{
+			Profile:      BC2GM,
+			Seed:         seed,
+			Sentences:    15000 + 5000,
+			MentionRate:  0.85,
+			MissRate:     0.045,
+			SpuriousRate: 0.02,
+			CaseNoise:    0.12,
+			AltRate:      0.25,
+			AmbigRate:    0.22,
+		}
+	}
+}
+
+// Gene is one entity in the generated nomenclature.
+type Gene struct {
+	Symbol   string   // canonical symbol, e.g. "FLT3"
+	FullName []string // multi-word descriptive name, possibly nil
+	Variants []string // surface variants (hyphenated, lowercase, ...)
+}
+
+// Generator produces corpora. Create one with NewGenerator; a Generator is
+// not safe for concurrent use.
+type Generator struct {
+	cfg   Config
+	rng   *rand.Rand
+	genes []Gene
+	ambig []string // extended pool of gene-looking non-gene tokens
+	next  int      // sentence ID counter
+}
+
+// Curated seed symbols lend the generated nomenclature realistic shape;
+// the pool is extended with grammar-generated symbols.
+var seedSymbols = []string{
+	"FLT3", "NPM1", "DNMT3A", "IDH1", "IDH2", "TET2", "RUNX1", "CEBPA",
+	"TP53", "KIT", "NRAS", "KRAS", "WT1", "ASXL1", "SRSF2", "U2AF1",
+	"EZH2", "KMT2A", "JAK2", "SH2B3", "GATA2", "STAG2", "BCOR", "PHF6",
+	"BRCA1", "BRCA2", "EGFR", "MYC", "PTEN", "RB1", "NOTCH1", "CDKN2A",
+	"ABL1", "BCR", "PML", "RARA", "MLLT3", "NUP98", "SETBP1", "CSF3R",
+}
+
+var fullNameAdjectives = []string{
+	"lymphocyte", "myeloid", "erythroid", "hematopoietic", "epithelial",
+	"neuronal", "hepatic", "renal", "cardiac", "vascular", "embryonic",
+	"mitochondrial", "nuclear", "cytoplasmic", "membrane", "ribosomal",
+}
+
+var fullNameHeads = []string{
+	"adaptor protein", "transcription factor", "tyrosine kinase",
+	"growth factor", "receptor", "binding protein", "zinc finger",
+	"methyltransferase", "deacetylase", "ligase", "phosphatase",
+	"tumor suppressor", "homeobox protein", "ubiquitin ligase",
+	"signal transducer", "ion channel",
+}
+
+// Ambiguous gene-looking tokens that are NOT genes: disease acronyms,
+// places, assay names. These drive the spurious-false-positive behaviour
+// analysed in Figures 4 and 5 of the paper.
+var ambiguousTokens = []string{
+	"MPN", "MDS", "CML", "ALL", "FAB", "WHO", "ELN", "NCCN", "PCR",
+	"FISH", "NGS", "Ann Arbor", "Mayo Clinic", "RNA", "DNA", "mRNA",
+	"CT", "MRI", "HR", "OS", "CR", "VAF", "SNP",
+}
+
+var diseases = []string{
+	"acute myeloid leukemia", "myelodysplastic syndrome",
+	"chronic myeloid leukemia", "breast cancer", "lung adenocarcinoma",
+	"colorectal cancer", "glioblastoma", "melanoma", "lymphoma",
+	"multiple myeloma", "ovarian cancer",
+}
+
+var processes = []string{
+	"cell proliferation", "apoptosis", "differentiation", "DNA repair",
+	"signal transduction", "chromatin remodeling", "hematopoiesis",
+	"angiogenesis", "cell cycle arrest", "methylation",
+}
+
+// Sentence templates. {G} is a gene slot, {G2} a second distinct gene,
+// {D} a disease, {P} a process, {X} an ambiguous non-gene token. Templates
+// recur across the corpus so that identical 3-gram contexts appear in both
+// train and test partitions.
+var templates = []string{
+	"Recently , the mutation of {G} ( {G2} ) was detected in {D} .",
+	"We observed the following mutations in {G} .",
+	"Expression of {G} was significantly higher in {D} patients .",
+	"The {G} gene encodes a protein involved in {P} .",
+	"Mutations in {G} and {G2} frequently co-occur in {D} .",
+	"{G} expression correlated with poor prognosis in {D} .",
+	"Loss of {G} function leads to impaired {P} .",
+	"We did not observe this mutation in the patient 's tumor subclone .",
+	"Drug response was significant in {G} positive patients .",
+	"Knockdown of {G} reduced {P} in vitro .",
+	"Sequencing revealed a novel variant of {G} in the proband .",
+	"The interaction between {G} and {G2} regulates {P} .",
+	"Patients were stratified by {X} criteria before analysis .",
+	"Samples were analyzed at {X} using standard protocols .",
+	"{G} is a known driver of {P} in {D} .",
+	"Overexpression of {G} rescued the phenotype .",
+	"No significant association was found between treatment and outcome .",
+	"The cohort included patients diagnosed with {D} .",
+	"Methylation of the {G} promoter silences its expression .",
+	"Phosphorylation of {G} by {G2} activates downstream {P} .",
+	"The study was approved by the institutional review board .",
+	"Variant allele frequency of {G} mutations exceeded ten percent .",
+	"{X} classification was used to grade the tumors .",
+	"Wild type {G} restored normal {P} .",
+	"Somatic mutations of {G} were enriched in relapsed {D} .",
+	"Follow up imaging by {X} showed stable disease .",
+	"The {G} fusion transcript was detected by {X} .",
+	"Homozygous deletion of {G} abolished {P} .",
+	"Patients harboring {G} mutations received intensified therapy .",
+	"Results were consistent across both validation cohorts .",
+	// {XG} puts an ambiguous non-gene token in a gene-like context:
+	// sentence-local evidence suggests a gene, but the token's other
+	// corpus occurrences (neutral contexts, labelled O) do not. These
+	// sentences bait the supervised CRF into spurious false positives.
+	"Expression of {XG} was significantly higher in {D} patients .",
+	"{XG} expression correlated with poor prognosis in {D} .",
+	"Somatic mutations of {XG} were enriched in relapsed {D} .",
+	"Knockdown of {XG} reduced {P} in vitro .",
+	"Mutations in {XG} and {G} frequently co-occur in {D} .",
+	// Neutral recurrences of ambiguous tokens, so the corpus carries the
+	// disambiguating evidence.
+	"Scores from {X} were recorded for every participant .",
+	"Enrollment followed the {X} guidelines .",
+	"Assessment according to {X} was repeated annually .",
+}
+
+// sharedFrames are contexts that genes and ambiguous non-gene tokens fill
+// with comparable probability (the {GX} slot). Within the sentence the two
+// are indistinguishable — both are capitalized acronym-like tokens in the
+// same frame — so a sentence-local tagger must guess, while corpus-level
+// aggregation over the token's other occurrences (clear gene frames for
+// genes, neutral frames for the rest) resolves it. This is the central
+// ambiguity GraphNER exploits; these frames keep the supervised baseline
+// away from its ceiling at every corpus size.
+var sharedFrames = []string{
+	"The role of {GX} in disease progression remains unclear .",
+	"Analysis of {GX} revealed significant heterogeneity .",
+	"{GX} status was assessed at diagnosis .",
+	"Levels of {GX} varied across the cohort .",
+	"{GX} was associated with inferior outcome .",
+	"The prognostic value of {GX} was evaluated .",
+	"Changes in {GX} were monitored during therapy .",
+	"{GX} positivity predicted early relapse .",
+	"We examined the contribution of {GX} to treatment failure .",
+	"Stratification by {GX} did not alter the findings .",
+}
+
+// backgroundTemplates contain no gene slots; they are substituted in when
+// the mention-rate model decides a sentence should be gene-free.
+var backgroundTemplates = []string{
+	"We did not observe this mutation in the patient 's tumor subclone .",
+	"No significant association was found between treatment and outcome .",
+	"The cohort included patients diagnosed with {D} .",
+	"The study was approved by the institutional review board .",
+	"Results were consistent across both validation cohorts .",
+	"Patients were stratified by {X} criteria before analysis .",
+	"Samples were analyzed at {X} using standard protocols .",
+	"Follow up imaging by {X} showed stable disease .",
+	"{X} classification was used to grade the tumors .",
+	"Median follow up was eighteen months in both arms .",
+	"Statistical analysis was performed with standard software .",
+	"Informed consent was obtained from all participants .",
+}
+
+// Pools for compositional background clauses. Their cross product yields
+// on the order of 10^5 distinct clauses, giving the corpus the background
+// 3-gram diversity of real abstracts, which keeps the positively-labelled
+// vertex fraction low (paper §III-D).
+var clauseConnectors = []string{
+	", consistent with", ", suggesting", ", indicating", ", reflecting",
+	", in line with", ", supporting", ", despite", ", independent of",
+	", in contrast to", ", as expected from", ", likely due to",
+	", possibly through", ", in agreement with", ", irrespective of",
+}
+
+var clauseAdjectives = []string{
+	"reduced", "elevated", "aberrant", "persistent", "transient",
+	"differential", "constitutive", "ectopic", "impaired", "enhanced",
+	"diminished", "sustained", "selective", "widespread", "focal",
+	"progressive", "residual", "heterogeneous", "clonal", "subclonal",
+	"early", "late", "primary", "secondary", "recurrent", "refractory",
+	"baseline", "post treatment", "pre treatment", "longitudinal",
+}
+
+var clauseNouns = []string{
+	"transcript abundance", "protein stability", "pathway activation",
+	"clonal evolution", "disease burden", "treatment response",
+	"marrow cellularity", "blast percentage", "remission duration",
+	"survival benefit", "risk stratification", "karyotype complexity",
+	"epigenetic regulation", "splicing efficiency", "copy number change",
+	"allelic imbalance", "promoter activity", "enhancer usage",
+	"chromatin accessibility", "replication stress", "oxidative stress",
+	"immune infiltration", "stromal interaction", "cytokine signaling",
+	"kinase activity", "transcriptional output", "translation efficiency",
+	"protein localization", "complex assembly", "feedback inhibition",
+	"drug sensitivity", "resistance emergence", "relapse kinetics",
+	"engraftment potential", "self renewal", "lineage commitment",
+	"differentiation arrest", "proliferative capacity", "apoptotic priming",
+	"genomic instability",
+}
+
+// NewGenerator builds a Generator with a deterministic gene pool derived
+// from cfg.Seed.
+func NewGenerator(cfg Config) *Generator {
+	if cfg.GenePool <= 0 {
+		// Open-vocabulary scaling: the distinct-gene count grows with the
+		// corpus, so a fraction of test genes is always unseen in
+		// training, as in real biomedical text. AML's standardized
+		// nomenclature is smaller.
+		div := 3
+		if cfg.Profile == AML {
+			div = 4
+		}
+		cfg.GenePool = cfg.Sentences / div
+		if cfg.GenePool < 150 {
+			cfg.GenePool = 150
+		}
+	}
+	if cfg.AmbigPool <= 0 {
+		cfg.AmbigPool = cfg.Sentences / 10
+		if cfg.AmbigPool < 80 {
+			cfg.AmbigPool = 80
+		}
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	g.genes = g.makeGenePool(cfg.GenePool)
+	g.ambig = g.makeAmbigPool(cfg.AmbigPool)
+	return g
+}
+
+// makeAmbigPool extends the curated ambiguous tokens with generated
+// acronyms and proper names. These look orthographically like genes
+// (capitalized, short) but are never genes; they recur across the corpus
+// in both gene-like and neutral contexts, creating precisely the
+// spurious-false-positive opportunity that GraphNER's corpus-level
+// aggregation corrects and a sentence-local CRF cannot (§III-E).
+func (g *Generator) makeAmbigPool(n int) []string {
+	pool := append([]string(nil), ambiguousTokens...)
+	used := make(map[string]bool)
+	geneSyms := make(map[string]bool)
+	for _, t := range pool {
+		used[t] = true
+	}
+	for _, ge := range g.genes {
+		geneSyms[ge.Symbol] = true
+	}
+	letters := "BCDFGHJKLMNPQRSTVWXZ"
+	cities := []string{"Boston", "Toronto", "Leiden", "Kyoto", "Geneva", "Dallas", "Oslo", "Lyon"}
+	inst := []string{"Registry", "Consortium", "Cohort", "Protocol", "Group", "Panel", "Score", "Index"}
+	for len(pool) < n {
+		var tok string
+		if g.rng.Float64() < 0.3 {
+			tok = cities[g.rng.Intn(len(cities))] + " " + inst[g.rng.Intn(len(inst))]
+		} else {
+			ln := 2 + g.rng.Intn(3)
+			var b strings.Builder
+			for i := 0; i < ln; i++ {
+				b.WriteByte(letters[g.rng.Intn(len(letters))])
+			}
+			tok = b.String()
+		}
+		if used[tok] || geneSyms[tok] {
+			continue
+		}
+		used[tok] = true
+		pool = append(pool, tok)
+	}
+	return pool
+}
+
+// pickAmbig draws from the ambiguous pool with a mild skew. The pool is
+// sized so typical tokens recur a handful of times: enough corpus-level
+// evidence for graph propagation to learn they are not genes, while their
+// rarity keeps the CRF's lexical weights too weak to resist a gene-like
+// context — the exact regime where GraphNER's precision corrections
+// operate (§III-E).
+func (g *Generator) pickAmbig() string {
+	u := g.rng.Float64()
+	idx := int(u * u * float64(len(g.ambig)))
+	if idx >= len(g.ambig) {
+		idx = len(g.ambig) - 1
+	}
+	return g.ambig[idx]
+}
+
+// makeGenePool builds the nomenclature: seed symbols first, then
+// grammar-generated ones. Each entity may carry a full descriptive name
+// and surface variants.
+func (g *Generator) makeGenePool(n int) []Gene {
+	pool := make([]Gene, 0, n)
+	used := make(map[string]bool)
+	add := func(sym string) {
+		if used[sym] {
+			return
+		}
+		used[sym] = true
+		ge := Gene{Symbol: sym}
+		// ~40% of genes also have a descriptive multi-word name.
+		if g.rng.Float64() < 0.4 {
+			adj := fullNameAdjectives[g.rng.Intn(len(fullNameAdjectives))]
+			head := fullNameHeads[g.rng.Intn(len(fullNameHeads))]
+			ge.FullName = strings.Fields(adj + " " + head)
+			if g.rng.Float64() < 0.3 {
+				ge.FullName = append(ge.FullName, fmt.Sprint(1+g.rng.Intn(3)))
+			}
+		}
+		// Variants: hyphen-digit split and lowercase.
+		if i := strings.IndexFunc(sym, isDigit); i > 0 {
+			ge.Variants = append(ge.Variants, sym[:i]+" - "+sym[i:])
+		}
+		ge.Variants = append(ge.Variants, strings.ToLower(sym))
+		pool = append(pool, ge)
+	}
+	for _, s := range seedSymbols {
+		if len(pool) >= n {
+			break
+		}
+		add(s)
+	}
+	letters := "ABCDEFGHIKLMNPRSTUVWXYZ"
+	for len(pool) < n {
+		ln := 2 + g.rng.Intn(4)
+		var b strings.Builder
+		for i := 0; i < ln; i++ {
+			b.WriteByte(letters[g.rng.Intn(len(letters))])
+		}
+		if g.rng.Float64() < 0.7 {
+			fmt.Fprintf(&b, "%d", 1+g.rng.Intn(19))
+		}
+		add(b.String())
+	}
+	return pool
+}
+
+// Genes exposes the generated nomenclature (for tests and examples).
+func (g *Generator) Genes() []Gene { return g.genes }
+
+// zipfGene picks a gene with a Zipf-like skew so frequent genes recur —
+// the redundancy that makes 3-gram statistics informative.
+func (g *Generator) zipfGene() *Gene {
+	u := g.rng.Float64()
+	idx := int(u * u * float64(len(g.genes)))
+	if idx >= len(g.genes) {
+		idx = len(g.genes) - 1
+	}
+	return &g.genes[idx]
+}
+
+// realizeGene picks a surface form for the gene and reports it.
+func (g *Generator) realizeGene(ge *Gene) string {
+	r := g.rng.Float64()
+	switch {
+	case ge.FullName != nil && r < 0.25:
+		return strings.Join(ge.FullName, " ")
+	case len(ge.Variants) > 1 && r < 0.25+g.cfg.CaseNoise:
+		return ge.Variants[g.rng.Intn(len(ge.Variants))]
+	case len(ge.Variants) > 0 && r < 0.35 && g.cfg.Profile == BC2GM:
+		return ge.Variants[0]
+	default:
+		return ge.Symbol
+	}
+}
+
+// genSentence renders one template into sentence text plus true gene spans
+// (byte ranges into the text).
+func (g *Generator) genSentence() (text string, genes []span, ambig []span) {
+	tpl := templates[g.rng.Intn(len(templates))]
+	// Mention-rate adjustment: sometimes substitute a gene-free template.
+	if g.rng.Float64() > g.cfg.MentionRate {
+		tpl = backgroundTemplates[g.rng.Intn(len(backgroundTemplates))]
+	}
+	// A small share of sentences use shared gene-or-ambiguous frames.
+	if g.rng.Float64() < 0.06 {
+		tpl = sharedFrames[g.rng.Intn(len(sharedFrames))]
+	}
+	var b strings.Builder
+	var g1 *Gene
+	for len(tpl) > 0 {
+		i := strings.IndexByte(tpl, '{')
+		if i < 0 {
+			b.WriteString(tpl)
+			break
+		}
+		b.WriteString(tpl[:i])
+		j := strings.IndexByte(tpl[i:], '}')
+		if j < 0 {
+			b.WriteString(tpl[i:])
+			break
+		}
+		slot := tpl[i+1 : i+j]
+		tpl = tpl[i+j+1:]
+		switch slot {
+		case "G", "G2":
+			ge := g.zipfGene()
+			if slot == "G2" && g1 != nil {
+				for ge == g1 {
+					ge = g.zipfGene()
+				}
+			}
+			if slot == "G" {
+				g1 = ge
+			}
+			surface := g.realizeGene(ge)
+			start := b.Len()
+			b.WriteString(surface)
+			genes = append(genes, span{start, b.Len()})
+		case "D":
+			b.WriteString(diseases[g.rng.Intn(len(diseases))])
+		case "P":
+			b.WriteString(processes[g.rng.Intn(len(processes))])
+		case "X", "XG":
+			tok := g.pickAmbig()
+			start := b.Len()
+			b.WriteString(tok)
+			ambig = append(ambig, span{start, b.Len()})
+		case "GX":
+			// Shared frame: a gene slightly more often than an ambiguous
+			// token, realized identically (canonical symbol form).
+			if g.rng.Float64() < 0.55 {
+				ge := g.zipfGene()
+				start := b.Len()
+				b.WriteString(ge.Symbol)
+				genes = append(genes, span{start, b.Len()})
+			} else {
+				tok := g.pickAmbig()
+				start := b.Len()
+				b.WriteString(tok)
+				ambig = append(ambig, span{start, b.Len()})
+			}
+		}
+	}
+	// Optionally append an ambiguous clause to background sentences.
+	if len(ambig) == 0 && g.rng.Float64() < g.cfg.AmbigRate {
+		tok := g.pickAmbig()
+		s := b.String()
+		if strings.HasSuffix(s, ".") {
+			b.Reset()
+			b.WriteString(strings.TrimSuffix(s, "."))
+			b.WriteString("as reported by ")
+			start := b.Len()
+			b.WriteString(tok)
+			ambig = append(ambig, span{start, b.Len()})
+			b.WriteString(" .")
+		}
+	}
+	// Append background clauses: compositional prose clauses and
+	// statistics clauses with fresh numerals. Their diversity keeps the
+	// fraction of positively labelled graph vertices low, as in the paper
+	// (§III-D: 8.5% for BC2GM, 1.75% for AML).
+	for n := 1 + g.rng.Intn(3); n > 0; n-- {
+		s := strings.TrimSuffix(strings.TrimSuffix(b.String(), "."), " ")
+		b.Reset()
+		b.WriteString(s)
+		if g.rng.Float64() < 0.5 {
+			b.WriteString(g.proseClause())
+		} else {
+			b.WriteString(" ")
+			b.WriteString(g.statsClause())
+		}
+		b.WriteString(" .")
+	}
+	return b.String(), genes, ambig
+}
+
+// proseClause renders a compositional background clause such as
+// ", consistent with reduced transcript abundance".
+func (g *Generator) proseClause() string {
+	return clauseConnectors[g.rng.Intn(len(clauseConnectors))] + " " +
+		clauseAdjectives[g.rng.Intn(len(clauseAdjectives))] + " " +
+		clauseNouns[g.rng.Intn(len(clauseNouns))]
+}
+
+// statsClause renders a randomized parenthetical or trailing statistical
+// phrase, e.g. "( n = 127 , p = 0.0031 )".
+func (g *Generator) statsClause() string {
+	switch g.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("( n = %d )", 20+g.rng.Intn(9800))
+	case 1:
+		return fmt.Sprintf("( p = 0.%04d )", g.rng.Intn(10000))
+	case 2:
+		return fmt.Sprintf("in %d of %d patients", 1+g.rng.Intn(800), 801+g.rng.Intn(4000))
+	case 3:
+		return fmt.Sprintf("( hazard ratio %d.%03d )", g.rng.Intn(4), g.rng.Intn(1000))
+	case 4:
+		return fmt.Sprintf("with %d.%02d percent frequency", g.rng.Intn(60), g.rng.Intn(100))
+	case 5:
+		return fmt.Sprintf("( see reference %d )", 1+g.rng.Intn(99999))
+	case 6:
+		return fmt.Sprintf("( accession %c%c%06d )",
+			'A'+rune(g.rng.Intn(26)), 'A'+rune(g.rng.Intn(26)), g.rng.Intn(1000000))
+	default:
+		return fmt.Sprintf("( %d %% confidence interval %d.%02d to %d.%02d )",
+			90+g.rng.Intn(9), g.rng.Intn(3), g.rng.Intn(100), 3+g.rng.Intn(4), g.rng.Intn(100))
+	}
+}
+
+type span struct{ start, end int } // byte offsets, end exclusive
+
+// toMention converts a byte span into a space-free inclusive Mention.
+func toMention(text string, sp span) corpus.Mention {
+	sf := 0
+	var start, end int
+	for i, r := range text {
+		if i == sp.start {
+			start = sf
+		}
+		if i >= sp.end {
+			break
+		}
+		if r != ' ' && r != '\t' {
+			sf++
+		}
+		if i < sp.end {
+			end = sf - 1
+		}
+	}
+	return corpus.Mention{Start: start, End: end, Text: text[sp.start:sp.end]}
+}
+
+// Generate produces the full corpus for the configuration. Gold mentions
+// reflect the annotation-noise model; the returned corpus's Alternatives
+// carry boundary variants for the BC2GM profile.
+func (g *Generator) Generate() *corpus.Corpus {
+	c := corpus.New()
+	for i := 0; i < g.cfg.Sentences; i++ {
+		id := fmt.Sprintf("%s%07d", g.cfg.Profile, g.next)
+		g.next++
+		text, genes, ambig := g.genSentence()
+		s := &corpus.Sentence{ID: id, Text: text, Tokens: tokenize.Sentence(text)}
+
+		var gold []corpus.Mention
+		for _, sp := range genes {
+			if g.rng.Float64() < g.cfg.MissRate {
+				continue // annotator missed this mention
+			}
+			m := toMention(text, sp)
+			gold = append(gold, m)
+			// Alternative boundary annotation for multi-token mentions.
+			if g.cfg.AltRate > 0 && strings.Contains(m.Text, " ") && g.rng.Float64() < g.cfg.AltRate {
+				alt := trimFirstToken(text, sp)
+				if alt != nil {
+					am := toMention(text, *alt)
+					c.Alternatives[id] = append(c.Alternatives[id], am)
+				}
+			}
+		}
+		// Spurious gold annotation over an ambiguous token.
+		if len(ambig) > 0 && g.rng.Float64() < g.cfg.SpuriousRate {
+			gold = append(gold, toMention(text, ambig[0]))
+		}
+		s.Tags = corpus.TagsFromMentions(s.Tokens, gold)
+		c.Sentences = append(c.Sentences, s)
+	}
+	return c
+}
+
+// trimFirstToken returns the span with its first space-delimited token
+// removed, or nil if that leaves nothing.
+func trimFirstToken(text string, sp span) *span {
+	seg := text[sp.start:sp.end]
+	i := strings.IndexByte(seg, ' ')
+	if i < 0 || i+1 >= len(seg) {
+		return nil
+	}
+	return &span{sp.start + i + 1, sp.end}
+}
+
+// GenerateSplit generates the corpus and splits it into train and test
+// partitions of the sizes used in the paper (or proportionally if
+// cfg.Sentences differs from the default).
+func GenerateSplit(cfg Config) (train, test *corpus.Corpus) {
+	g := NewGenerator(cfg)
+	c := g.Generate()
+	var nTrain int
+	switch cfg.Profile {
+	case AML:
+		nTrain = cfg.Sentences * 10504 / (10504 + 3952)
+	default:
+		nTrain = cfg.Sentences * 15000 / 20000
+	}
+	return c.Split(nTrain)
+}
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }

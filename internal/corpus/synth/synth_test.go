@@ -1,0 +1,225 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func smallConfig(p Profile, n int) Config {
+	cfg := DefaultConfig(p, 42)
+	cfg.Sentences = n
+	return cfg
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(smallConfig(BC2GM, 200)).Generate()
+	b := NewGenerator(smallConfig(BC2GM, 200)).Generate()
+	if len(a.Sentences) != len(b.Sentences) {
+		t.Fatal("size mismatch")
+	}
+	for i := range a.Sentences {
+		if a.Sentences[i].Text != b.Sentences[i].Text {
+			t.Fatalf("sentence %d differs:\n%q\n%q", i, a.Sentences[i].Text, b.Sentences[i].Text)
+		}
+	}
+}
+
+func TestSeedChangesOutput(t *testing.T) {
+	cfg2 := smallConfig(BC2GM, 200)
+	cfg2.Seed = 43
+	a := NewGenerator(smallConfig(BC2GM, 200)).Generate()
+	b := NewGenerator(cfg2).Generate()
+	same := 0
+	for i := range a.Sentences {
+		if a.Sentences[i].Text == b.Sentences[i].Text {
+			same++
+		}
+	}
+	if same == len(a.Sentences) {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	c := NewGenerator(smallConfig(BC2GM, 1000)).Generate()
+	if len(c.Sentences) != 1000 {
+		t.Fatalf("got %d sentences", len(c.Sentences))
+	}
+	mentions := c.NumMentions()
+	if mentions < 300 || mentions > 2500 {
+		t.Errorf("mention count %d outside plausible range", mentions)
+	}
+	// Every sentence must have consistent tokens/tags.
+	for _, s := range c.Sentences {
+		if len(s.Tags) != len(s.Tokens) {
+			t.Fatalf("sentence %s: %d tags for %d tokens", s.ID, len(s.Tags), len(s.Tokens))
+		}
+	}
+}
+
+func TestMentionTextsAreGeneLike(t *testing.T) {
+	g := NewGenerator(smallConfig(AML, 500))
+	c := g.Generate()
+	// Collect all known surfaces.
+	known := make(map[string]bool)
+	for _, ge := range g.Genes() {
+		known[ge.Symbol] = true
+		if ge.FullName != nil {
+			known[strings.Join(ge.FullName, " ")] = true
+		}
+		for _, v := range ge.Variants {
+			known[v] = true
+		}
+	}
+	// AML profile has near-zero noise, so nearly all gold mentions should
+	// be known gene surfaces.
+	total, unknown := 0, 0
+	for _, s := range c.Sentences {
+		for _, m := range s.Mentions() {
+			total++
+			if !known[m.Text] {
+				unknown++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no mentions generated")
+	}
+	if frac := float64(unknown) / float64(total); frac > 0.02 {
+		t.Errorf("%.1f%% of AML mentions are not known gene surfaces", 100*frac)
+	}
+}
+
+func TestBC2GMHasAlternatives(t *testing.T) {
+	c := NewGenerator(smallConfig(BC2GM, 2000)).Generate()
+	if len(c.Alternatives) == 0 {
+		t.Error("BC2GM profile produced no alternative annotations")
+	}
+	for id, alts := range c.Alternatives {
+		for _, a := range alts {
+			if a.Start < 0 || a.End < a.Start || a.Text == "" {
+				t.Fatalf("bad alternative for %s: %+v", id, a)
+			}
+		}
+	}
+}
+
+func TestAMLHasNoAlternatives(t *testing.T) {
+	c := NewGenerator(smallConfig(AML, 2000)).Generate()
+	if len(c.Alternatives) != 0 {
+		t.Errorf("AML profile produced %d alternatives, want 0", len(c.Alternatives))
+	}
+}
+
+func TestDerivedPoolsScaleWithCorpus(t *testing.T) {
+	small := smallConfig(BC2GM, 1000)
+	big := smallConfig(BC2GM, 8000)
+	gs := NewGenerator(small)
+	gb := NewGenerator(big)
+	if len(gb.Genes()) <= len(gs.Genes()) {
+		t.Errorf("gene pool did not scale: %d vs %d", len(gs.Genes()), len(gb.Genes()))
+	}
+	// AML's standardized nomenclature stays somewhat smaller at equal size.
+	ga := NewGenerator(smallConfig(AML, 8000))
+	if len(ga.Genes()) >= len(gb.Genes()) {
+		t.Errorf("AML pool (%d) should be below BC2GM's (%d)", len(ga.Genes()), len(gb.Genes()))
+	}
+}
+
+func TestNoiseProfilesDiffer(t *testing.T) {
+	// The BC2GM profile must carry more annotation noise than AML: compare
+	// the rate at which generated gene spans are missing from gold.
+	bc := DefaultConfig(BC2GM, 1)
+	aml := DefaultConfig(AML, 1)
+	if bc.MissRate <= aml.MissRate || bc.SpuriousRate <= aml.SpuriousRate {
+		t.Error("BC2GM profile must be noisier than AML")
+	}
+	if bc.CaseNoise <= aml.CaseNoise {
+		t.Error("BC2GM profile must have more case noise")
+	}
+}
+
+func TestMentionOffsetsValid(t *testing.T) {
+	c := NewGenerator(smallConfig(BC2GM, 500)).Generate()
+	for _, s := range c.Sentences {
+		collapsed := strings.ReplaceAll(s.Text, " ", "")
+		for _, m := range s.Mentions() {
+			if m.Start < 0 || m.End >= len(collapsed) {
+				t.Fatalf("sentence %s: mention %+v out of range (len %d)", s.ID, m, len(collapsed))
+			}
+			want := strings.ReplaceAll(m.Text, " ", "")
+			if got := collapsed[m.Start : m.End+1]; got != want {
+				t.Fatalf("sentence %s: offsets select %q, mention text is %q", s.ID, got, want)
+			}
+		}
+	}
+}
+
+func TestGenerateSplitSizes(t *testing.T) {
+	cfg := smallConfig(BC2GM, 1000)
+	train, test := GenerateSplit(cfg)
+	if len(train.Sentences) != 750 || len(test.Sentences) != 250 {
+		t.Errorf("split %d/%d, want 750/250", len(train.Sentences), len(test.Sentences))
+	}
+	cfg = smallConfig(AML, 1000)
+	train, test = GenerateSplit(cfg)
+	if len(train.Sentences)+len(test.Sentences) != 1000 {
+		t.Error("AML split loses sentences")
+	}
+	if len(train.Sentences) <= len(test.Sentences) {
+		t.Error("train should be larger than test")
+	}
+}
+
+func TestPositiveVertexFractionLow(t *testing.T) {
+	// Paper §III-D: the percentage of positively labelled vertices is low
+	// (8.5% BC2GM, 1.75% AML). Check our corpora have minority-positive
+	// trigram statistics too.
+	for _, p := range []Profile{BC2GM, AML} {
+		c := NewGenerator(smallConfig(p, 2000)).Generate()
+		positive := make(map[corpus.NGram]bool)
+		all := make(map[corpus.NGram]bool)
+		for _, s := range c.Sentences {
+			grams := s.Trigrams()
+			for i, g := range grams {
+				all[g] = true
+				if s.Tags[i] != corpus.O {
+					positive[g] = true
+				}
+			}
+		}
+		frac := float64(len(positive)) / float64(len(all))
+		if frac > 0.35 {
+			t.Errorf("%v: positive vertex fraction %.2f too high", p, frac)
+		}
+	}
+}
+
+func TestGenePoolSize(t *testing.T) {
+	cfg := smallConfig(BC2GM, 2000)
+	cfg.GenePool = 300
+	g := NewGenerator(cfg)
+	if len(g.Genes()) != 300 {
+		t.Errorf("explicit pool size %d, want 300", len(g.Genes()))
+	}
+	seen := make(map[string]bool)
+	for _, ge := range g.Genes() {
+		if ge.Symbol == "" {
+			t.Fatal("empty symbol")
+		}
+		if seen[ge.Symbol] {
+			t.Fatalf("duplicate symbol %s", ge.Symbol)
+		}
+		seen[ge.Symbol] = true
+	}
+}
+
+func BenchmarkGenerate1k(b *testing.B) {
+	cfg := smallConfig(BC2GM, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewGenerator(cfg).Generate()
+	}
+}

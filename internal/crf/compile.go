@@ -1,0 +1,58 @@
+package crf
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/features"
+)
+
+// Compiler turns corpus sentences into CRF instances by running a feature
+// extractor and interning feature strings in a shared alphabet. Compile the
+// training corpus first, then Freeze the alphabet (directly or via
+// FreezeAlphabet) before compiling test data, so unseen feature instances
+// map to no-ops rather than growing the parameter space.
+type Compiler struct {
+	Extractor *features.Extractor
+	Alphabet  *features.Alphabet
+}
+
+// NewCompiler creates a compiler with a fresh alphabet.
+func NewCompiler(ex *features.Extractor) *Compiler {
+	return &Compiler{Extractor: ex, Alphabet: features.NewAlphabet()}
+}
+
+// CompileSentence compiles one sentence. Unknown features on a frozen
+// alphabet are dropped.
+func (c *Compiler) CompileSentence(s *corpus.Sentence) *Instance {
+	words := s.Words()
+	in := &Instance{
+		Features: make([][]int32, len(words)),
+		Tags:     s.Tags,
+	}
+	for i := range words {
+		fs := c.Extractor.Position(words, i)
+		ids := make([]int32, 0, len(fs))
+		for _, f := range fs {
+			if id := c.Alphabet.Lookup(f); id >= 0 {
+				ids = append(ids, int32(id))
+			}
+		}
+		in.Features[i] = ids
+	}
+	return in
+}
+
+// Compile compiles every sentence of the corpus, in order.
+func (c *Compiler) Compile(corp *corpus.Corpus) []*Instance {
+	out := make([]*Instance, len(corp.Sentences))
+	for i, s := range corp.Sentences {
+		out[i] = c.CompileSentence(s)
+	}
+	return out
+}
+
+// FreezeAlphabet freezes the underlying alphabet and returns its size,
+// which is the numFeatures argument for Trainer.Train.
+func (c *Compiler) FreezeAlphabet() int {
+	c.Alphabet.Freeze()
+	return c.Alphabet.Len()
+}

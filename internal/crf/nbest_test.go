@@ -1,0 +1,167 @@
+package crf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// enumerateScored lists all legal paths with exact log-probabilities.
+func enumerateScored(m *Model, in *Instance) []ScoredPath {
+	emit := m.lattice(in)
+	logZ, _, _ := bruteForce(m, in)
+	var out []ScoredPath
+	for _, path := range enumeratePaths(in.Len(), m.BIO) {
+		tmp := &Instance{Features: in.Features, Tags: path}
+		out = append(out, ScoredPath{Tags: path, LogProb: m.pathScore(tmp, emit) - logZ})
+	}
+	return out
+}
+
+func TestNBestMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 15; trial++ {
+		m := randomModel(rng, Order1, 5, trial%2 == 0)
+		in := randomInstance(rng, 1+rng.Intn(4), 5, false)
+		n := 1 + rng.Intn(5)
+
+		got := m.NBest(in, n)
+		all := enumerateScored(m, in)
+		// Sort enumeration descending.
+		for i := 0; i < len(all); i++ {
+			for j := i + 1; j < len(all); j++ {
+				if all[j].LogProb > all[i].LogProb {
+					all[i], all[j] = all[j], all[i]
+				}
+			}
+		}
+		want := all
+		if len(want) > n {
+			want = want[:n]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("got %d paths, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].LogProb-want[i].LogProb) > 1e-9 {
+				t.Fatalf("trial %d: path %d logprob %g, want %g", trial, i, got[i].LogProb, want[i].LogProb)
+			}
+		}
+		// The 1-best must agree with Viterbi.
+		vit := m.Decode(in)
+		emit := m.lattice(in)
+		vs := m.pathScore(&Instance{Features: in.Features, Tags: vit}, emit)
+		gs := m.pathScore(&Instance{Features: in.Features, Tags: got[0].Tags}, emit)
+		if math.Abs(vs-gs) > 1e-9 {
+			t.Fatalf("trial %d: 1-best disagrees with Viterbi", trial)
+		}
+	}
+}
+
+func TestNBestProbabilitiesSumBelowOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	m := randomModel(rng, Order2, 5, true)
+	in := randomInstance(rng, 5, 5, false)
+	paths := m.NBest(in, 10)
+	var sum float64
+	seen := map[string]bool{}
+	for _, p := range paths {
+		key := ""
+		for _, tag := range p.Tags {
+			key += tag.String()
+		}
+		if seen[key] {
+			t.Fatalf("duplicate path %s in n-best list", key)
+		}
+		seen[key] = true
+		sum += math.Exp(p.LogProb)
+	}
+	if sum > 1+1e-9 {
+		t.Errorf("n-best probabilities sum to %g > 1", sum)
+	}
+	// Descending order.
+	for i := 1; i < len(paths); i++ {
+		if paths[i-1].LogProb < paths[i].LogProb {
+			t.Error("n-best not sorted")
+		}
+	}
+}
+
+func TestNBestEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	m := randomModel(rng, Order1, 5, false)
+	if got := m.NBest(&Instance{}, 3); got != nil {
+		t.Error("NBest(empty) != nil")
+	}
+	in := randomInstance(rng, 3, 5, false)
+	if got := m.NBest(in, 0); got != nil {
+		t.Error("NBest(n=0) != nil")
+	}
+	// Requesting more paths than exist returns all of them.
+	got := m.NBest(in, 1000)
+	if len(got) != len(enumeratePaths(3, false)) {
+		t.Errorf("got %d paths, want %d", len(got), len(enumeratePaths(3, false)))
+	}
+}
+
+func TestMentionConfidence(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	m := randomModel(rng, Order1, 5, true)
+	in := randomInstance(rng, 6, 5, false)
+	tags := []corpus.Tag{corpus.B, corpus.I, corpus.O, corpus.B, corpus.O, corpus.O}
+	confs := m.MentionConfidence(in, tags)
+	if len(confs) != 2 {
+		t.Fatalf("got %d confidences, want 2", len(confs))
+	}
+	post := m.Posteriors(in)
+	want0 := post[0][corpus.B] * post[1][corpus.I]
+	if math.Abs(confs[0]-want0) > 1e-12 {
+		t.Errorf("conf[0] = %g, want %g", confs[0], want0)
+	}
+	want1 := post[3][corpus.B]
+	if math.Abs(confs[1]-want1) > 1e-12 {
+		t.Errorf("conf[1] = %g, want %g", confs[1], want1)
+	}
+	for _, c := range confs {
+		if c < 0 || c > 1 {
+			t.Errorf("confidence %g out of [0,1]", c)
+		}
+	}
+	// All-O tags yield no mentions.
+	if got := m.MentionConfidence(in, []corpus.Tag{corpus.O, corpus.O, corpus.O, corpus.O, corpus.O, corpus.O}); len(got) != 0 {
+		t.Errorf("all-O confidences = %v", got)
+	}
+}
+
+func TestTokenEntropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	m := randomModel(rng, Order1, 5, true)
+	in := randomInstance(rng, 4, 5, false)
+	ent := m.TokenEntropy(in)
+	if len(ent) != 4 {
+		t.Fatalf("got %d entropies", len(ent))
+	}
+	maxEnt := math.Log(float64(corpus.NumTags))
+	for i, h := range ent {
+		if h < -1e-12 || h > maxEnt+1e-12 {
+			t.Errorf("entropy[%d] = %g outside [0, ln 3]", i, h)
+		}
+	}
+	// A peaked model has lower average entropy than the same model scaled
+	// toward uniform.
+	peaked := *m
+	peaked.W = append([]float64(nil), m.W...)
+	for i := range peaked.W {
+		peaked.W[i] *= 10
+	}
+	var hSoft, hPeak float64
+	for i, h := range ent {
+		hSoft += h
+		hPeak += peaked.TokenEntropy(in)[i]
+	}
+	if hPeak >= hSoft {
+		t.Errorf("peaked model entropy %g not below soft model %g", hPeak, hSoft)
+	}
+}

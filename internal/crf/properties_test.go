@@ -1,0 +1,176 @@
+package crf
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+)
+
+// TestPosteriorArgmaxTracksViterbiOnPeakedModels: when the model is very
+// confident (weights scaled up), per-position posterior argmax and the
+// Viterbi path coincide — the distribution concentrates on one path.
+func TestPosteriorArgmaxTracksViterbiOnPeakedModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		m := randomModel(rng, Order1, 6, true)
+		for i := range m.W {
+			m.W[i] *= 8
+		}
+		for i := range m.T {
+			m.T[i] *= 8
+		}
+		in := randomInstance(rng, 2+rng.Intn(6), 6, false)
+		tags := m.Decode(in)
+		post := m.Posteriors(in)
+		for i := range tags {
+			best, arg := -1.0, corpus.Tag(0)
+			for y := corpus.Tag(0); y < corpus.NumTags; y++ {
+				if post[i][y] > best {
+					best, arg = post[i][y], y
+				}
+			}
+			if arg != tags[i] && best > 0.9 {
+				t.Fatalf("trial %d pos %d: viterbi %v but confident marginal argmax %v (%.3f)",
+					trial, i, tags[i], arg, best)
+			}
+		}
+	}
+}
+
+// TestLogLikelihoodIsLogOfPathProbability: exp(LogLikelihood) must equal
+// the enumerated probability of the gold path.
+func TestLogLikelihoodIsLogOfPathProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 15; trial++ {
+		m := randomModel(rng, Order2, 5, true)
+		in := randomInstance(rng, 1+rng.Intn(4), 5, true)
+		ll := m.LogLikelihood(in)
+
+		emit := m.lattice(in)
+		logZ, _, _ := bruteForce(m, in)
+		want := m.pathScore(in, emit) - logZ
+		if math.Abs(ll-want) > 1e-9 {
+			t.Fatalf("LogLikelihood = %g, enumeration %g", ll, want)
+		}
+	}
+}
+
+// TestScalingInvarianceOfDecode: adding a constant to every emission score
+// of a position must not change the Viterbi path.
+func TestScalingInvarianceOfDecode(t *testing.T) {
+	f := func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 100 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng, Order1, 5, true)
+		in := randomInstance(rng, 3+rng.Intn(4), 5, false)
+		want := m.Decode(in)
+		// Shift all weights of one feature uniformly across states: this
+		// shifts every position where it is active by the same constant
+		// per state... instead, shift the Start vector uniformly, which
+		// adds a constant to all paths.
+		for s := range m.Start {
+			m.Start[s] += shift
+		}
+		got := m.Decode(in)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestModelGobRoundTrip: the Model struct survives gob encoding (used by
+// graphner.System.Save).
+func TestModelGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m := randomModel(rng, Order2, 7, true)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	var m2 Model
+	if err := gob.NewDecoder(&buf).Decode(&m2); err != nil {
+		t.Fatal(err)
+	}
+	in := randomInstance(rng, 6, 7, false)
+	a, b := m.Decode(in), m2.Decode(in)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("decoded path changed after gob round trip")
+		}
+	}
+	pa, pb := m.Posteriors(in), m2.Posteriors(in)
+	for i := range pa {
+		for y := range pa[i] {
+			if math.Abs(pa[i][y]-pb[i][y]) > 1e-15 {
+				t.Fatal("posteriors changed after gob round trip")
+			}
+		}
+	}
+}
+
+// TestTrainingDeterministicForFixedWorkerCount: two trainings with the
+// same data and worker count produce identical weights.
+func TestTrainingDeterministicForFixedWorkerCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var data []*Instance
+	for i := 0; i < 12; i++ {
+		data = append(data, randomInstance(rng, 3+rng.Intn(5), 6, true))
+	}
+	train := func() *Model {
+		tr := NewTrainer(Order1)
+		tr.MaxIterations = 15
+		tr.Workers = 3
+		m, err := tr.Train(data, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := train(), train()
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("nondeterministic training at fixed worker count")
+		}
+	}
+}
+
+// TestHigherL2ShrinksWeights: stronger regularization yields a smaller
+// weight norm.
+func TestHigherL2ShrinksWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	var data []*Instance
+	for i := 0; i < 15; i++ {
+		data = append(data, randomInstance(rng, 4, 6, true))
+	}
+	norm := func(l2 float64) float64 {
+		tr := NewTrainer(Order1)
+		tr.MaxIterations = 30
+		tr.L2 = l2
+		m, err := tr.Train(data, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for _, w := range m.W {
+			s += w * w
+		}
+		return s
+	}
+	weak, strong := norm(0.01), norm(10)
+	if strong >= weak {
+		t.Errorf("L2=10 norm %g not below L2=0.01 norm %g", strong, weak)
+	}
+}

@@ -1,0 +1,248 @@
+package crf
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/optimize"
+)
+
+// Trainer configures conditional log-likelihood training.
+type Trainer struct {
+	// Order of the chain (default Order2, as used for the paper's
+	// headline results).
+	Order Order
+	// L2 is the coefficient of the L2 penalty 0.5·L2·‖w‖² (default 1.0).
+	L2 float64
+	// MaxIterations bounds L-BFGS iterations (default 100).
+	MaxIterations int
+	// Workers is the number of goroutines used for the gradient
+	// (default min(GOMAXPROCS, 8); gradient buffers are dense, so each
+	// worker costs O(#parameters) memory).
+	Workers int
+	// BIO enables the structural O→I constraint (default true via NewTrainer).
+	BIO bool
+	// Progress, if non-nil, receives one line per L-BFGS iteration.
+	Progress func(iter int, nll float64)
+}
+
+// NewTrainer returns a trainer with the defaults used in the experiments.
+func NewTrainer(order Order) *Trainer {
+	return &Trainer{Order: order, L2: 1.0, MaxIterations: 100, BIO: true}
+}
+
+// Train fits a CRF on compiled labelled instances. numFeatures is the size
+// of the (frozen) feature alphabet the instances were compiled against.
+func (tr *Trainer) Train(data []*Instance, numFeatures int) (*Model, error) {
+	order := tr.Order
+	if order != Order1 && order != Order2 {
+		order = Order2
+	}
+	if numFeatures <= 0 {
+		return nil, fmt.Errorf("crf: numFeatures = %d", numFeatures)
+	}
+	for i, in := range data {
+		if in.Tags == nil {
+			return nil, fmt.Errorf("crf: training instance %d is unlabelled", i)
+		}
+		if len(in.Tags) != len(in.Features) {
+			return nil, fmt.Errorf("crf: instance %d has %d tags for %d positions", i, len(in.Tags), len(in.Features))
+		}
+	}
+	S := numStates(order)
+	l2 := tr.L2
+	if l2 <= 0 {
+		l2 = 1.0
+	}
+	maxIter := tr.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	workers := tr.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+
+	obj := &objective{
+		data:    data,
+		tmpl:    Model{Order: order, NumFeatures: numFeatures, S: S, BIO: tr.BIO},
+		l2:      l2,
+		workers: workers,
+	}
+	x := make([]float64, numFeatures*S+S*S+S)
+	var cb func(int, float64) bool
+	if tr.Progress != nil {
+		cb = func(iter int, f float64) bool {
+			tr.Progress(iter, f)
+			return true
+		}
+	}
+	if _, err := optimize.LBFGS(obj, x, optimize.LBFGSOptions{
+		MaxIterations: maxIter,
+		FuncTol:       1e-7,
+		Callback:      cb,
+	}); err != nil {
+		return nil, fmt.Errorf("crf: training: %w", err)
+	}
+	m := obj.view(x)
+	// Copy weights out of the optimizer's buffer.
+	m.W = append([]float64(nil), m.W...)
+	m.T = append([]float64(nil), m.T...)
+	m.Start = append([]float64(nil), m.Start...)
+	return &m, nil
+}
+
+// objective is the negated conditional log-likelihood with L2 penalty,
+// parallelized over sentences.
+type objective struct {
+	data    []*Instance
+	tmpl    Model
+	l2      float64
+	workers int
+
+	gradBufs [][]float64 // per-worker dense gradient buffers, reused
+}
+
+// view maps a parameter vector to a Model sharing its memory.
+func (o *objective) view(x []float64) Model {
+	m := o.tmpl
+	nW := m.NumFeatures * m.S
+	m.W = x[:nW]
+	m.T = x[nW : nW+m.S*m.S]
+	m.Start = x[nW+m.S*m.S:]
+	return m
+}
+
+// Eval implements optimize.Objective.
+func (o *objective) Eval(x, grad []float64) float64 {
+	m := o.view(x)
+	if o.gradBufs == nil {
+		o.gradBufs = make([][]float64, o.workers)
+		for w := range o.gradBufs {
+			o.gradBufs[w] = make([]float64, len(x))
+		}
+	}
+	for _, b := range o.gradBufs {
+		for i := range b {
+			b[i] = 0
+		}
+	}
+
+	nlls := make([]float64, o.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < o.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gm := o.view(o.gradBufs[w]) // gradient views share layout with x
+			var nll float64
+			for i := w; i < len(o.data); i += o.workers {
+				nll += sentenceGradient(&m, o.data[i], gm.W, gm.T, gm.Start)
+			}
+			nlls[w] = nll
+		}(w)
+	}
+	wg.Wait()
+
+	var f float64
+	for _, v := range nlls {
+		f += v
+	}
+	for i := range grad {
+		grad[i] = 0
+	}
+	for _, b := range o.gradBufs {
+		for i, v := range b {
+			grad[i] += v
+		}
+	}
+	// L2 penalty.
+	for i, v := range x {
+		f += 0.5 * o.l2 * v * v
+		grad[i] += o.l2 * v
+	}
+	return f
+}
+
+// sentenceGradient accumulates ∂NLL/∂θ for one sentence into the provided
+// gradient views and returns the sentence NLL = logZ − score(gold path).
+func sentenceGradient(m *Model, in *Instance, gW, gT, gStart []float64) float64 {
+	n := in.Len()
+	if n == 0 {
+		return 0
+	}
+	emit := m.lattice(in)
+	alpha, beta, logZ := m.forwardBackward(emit)
+	S := m.S
+
+	// Model expectations: node marginals feed emission (and start)
+	// gradients; edge marginals feed transition gradients.
+	nodeMarg := make([]float64, S)
+	for i := 0; i < n; i++ {
+		for s := 0; s < S; s++ {
+			lp := alpha[i][s] + beta[i][s] - logZ
+			if math.IsInf(lp, -1) {
+				nodeMarg[s] = 0
+			} else {
+				nodeMarg[s] = math.Exp(lp)
+			}
+		}
+		for _, fid := range in.Features[i] {
+			if fid < 0 {
+				continue
+			}
+			base := int(fid) * S
+			for s := 0; s < S; s++ {
+				gW[base+s] += nodeMarg[s]
+			}
+		}
+		if i == 0 {
+			for s := 0; s < S; s++ {
+				gStart[s] += nodeMarg[s]
+			}
+		} else {
+			for prev := 0; prev < S; prev++ {
+				if math.IsInf(alpha[i-1][prev], -1) {
+					continue
+				}
+				for cur := 0; cur < S; cur++ {
+					if !m.transitionOK(prev, cur) || math.IsInf(beta[i][cur], -1) {
+						continue
+					}
+					lp := alpha[i-1][prev] + m.T[prev*S+cur] + emit[i][cur] + beta[i][cur] - logZ
+					if !math.IsInf(lp, -1) {
+						gT[prev*S+cur] += math.Exp(lp)
+					}
+				}
+			}
+		}
+	}
+
+	// Empirical counts (subtract).
+	goldScore := 0.0
+	prevState := -1
+	for i := 0; i < n; i++ {
+		s := m.stateFor(tagBefore(in, i), in.Tags[i])
+		for _, fid := range in.Features[i] {
+			if fid < 0 {
+				continue
+			}
+			gW[int(fid)*S+s]--
+		}
+		if i == 0 {
+			gStart[s]--
+			goldScore += m.Start[s]
+		} else {
+			gT[prevState*S+s]--
+			goldScore += m.T[prevState*S+s]
+		}
+		goldScore += emit[i][s]
+		prevState = s
+	}
+	return logZ - goldScore
+}

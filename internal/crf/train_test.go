@@ -1,0 +1,174 @@
+package crf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/features"
+	"repro/internal/tokenize"
+)
+
+func TestGradientFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, order := range []Order{Order1, Order2} {
+		nf := 4
+		data := []*Instance{
+			randomInstance(rng, 4, nf, true),
+			randomInstance(rng, 3, nf, true),
+		}
+		S := numStates(order)
+		obj := &objective{
+			data:    data,
+			tmpl:    Model{Order: order, NumFeatures: nf, S: S, BIO: true},
+			l2:      0.1,
+			workers: 2,
+		}
+		n := nf*S + S*S + S
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 0.5
+		}
+		grad := make([]float64, n)
+		f0 := obj.Eval(x, grad)
+
+		const h = 1e-6
+		xp := make([]float64, n)
+		tmp := make([]float64, n)
+		for i := 0; i < n; i += 7 { // sample every 7th coordinate
+			copy(xp, x)
+			xp[i] += h
+			fp := obj.Eval(xp, tmp)
+			num := (fp - f0) / h
+			if math.Abs(num-grad[i]) > 1e-3*(1+math.Abs(num)) {
+				t.Errorf("order %d: grad[%d] = %g, finite diff %g", order, i, grad[i], num)
+			}
+		}
+	}
+}
+
+func TestObjectiveDecreasesUnderTraining(t *testing.T) {
+	// A tiny separable dataset: the word "GENE1" is always B, others O.
+	sentences := []string{
+		"the GENE1 pathway",
+		"activation of GENE1 was seen",
+		"we measured GENE1 expression",
+		"control samples showed nothing",
+	}
+	tags := [][]corpus.Tag{
+		{corpus.O, corpus.B, corpus.I, corpus.O},
+		{corpus.O, corpus.O, corpus.B, corpus.I, corpus.O, corpus.O},
+		{corpus.O, corpus.O, corpus.B, corpus.I, corpus.O},
+		{corpus.O, corpus.O, corpus.O, corpus.O},
+	}
+	corp := corpus.New()
+	for i, text := range sentences {
+		s := &corpus.Sentence{ID: string(rune('A' + i)), Text: text, Tokens: tokenize.Sentence(text)}
+		s.Tags = tags[i]
+		corp.Sentences = append(corp.Sentences, s)
+	}
+
+	comp := NewCompiler(features.NewExtractor(nil))
+	data := comp.Compile(corp)
+	nf := comp.FreezeAlphabet()
+
+	tr := NewTrainer(Order2)
+	tr.MaxIterations = 60
+	tr.L2 = 0.1
+	m, err := tr.Train(data, nf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The model should fit the training data.
+	for i, in := range data {
+		got := m.Decode(in)
+		for j := range got {
+			if got[j] != in.Tags[j] {
+				t.Errorf("sentence %d position %d: decoded %v, gold %v", i, j, got, in.Tags)
+				break
+			}
+		}
+	}
+
+	// Posterior at the GENE1 position should favor B strongly.
+	post := m.Posteriors(data[0])
+	if post[1][corpus.B] < 0.8 {
+		t.Errorf("P(B|GENE1) = %g, want > 0.8", post[1][corpus.B])
+	}
+}
+
+func TestTrainGeneralizes(t *testing.T) {
+	// Train on sentences mentioning GENEA/GENEB in recurring contexts, test
+	// on a held-out sentence with the same context but a new position.
+	corp := corpus.New()
+	mk := func(id, text string, tags []corpus.Tag) {
+		s := &corpus.Sentence{ID: id, Text: text, Tokens: tokenize.Sentence(text)}
+		s.Tags = tags
+		corp.Sentences = append(corp.Sentences, s)
+	}
+	mk("1", "mutation of GENEA was detected", []corpus.Tag{corpus.O, corpus.O, corpus.B, corpus.O, corpus.O})
+	mk("2", "mutation of GENEB was detected", []corpus.Tag{corpus.O, corpus.O, corpus.B, corpus.O, corpus.O})
+	mk("3", "expression of GENEA increased", []corpus.Tag{corpus.O, corpus.O, corpus.B, corpus.O})
+	mk("4", "the patients showed no response", []corpus.Tag{corpus.O, corpus.O, corpus.O, corpus.O, corpus.O})
+	mk("5", "no mutations were found here", []corpus.Tag{corpus.O, corpus.O, corpus.O, corpus.O, corpus.O})
+
+	comp := NewCompiler(features.NewExtractor(nil))
+	data := comp.Compile(corp)
+	nf := comp.FreezeAlphabet()
+	tr := NewTrainer(Order1)
+	tr.MaxIterations = 60
+	tr.L2 = 0.5
+	m, err := tr.Train(data, nf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	test := &corpus.Sentence{Text: "mutation of GENEB increased", Tokens: tokenize.Sentence("mutation of GENEB increased")}
+	in := comp.CompileSentence(test)
+	got := m.Decode(in)
+	if got[2] != corpus.B {
+		t.Errorf("held-out gene not detected: %v", got)
+	}
+	if got[0] != corpus.O || got[1] != corpus.O {
+		t.Errorf("context words mistagged: %v", got)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	tr := NewTrainer(Order1)
+	if _, err := tr.Train(nil, 0); err == nil {
+		t.Error("want error for zero features")
+	}
+	unl := &Instance{Features: [][]int32{{0}}}
+	if _, err := tr.Train([]*Instance{unl}, 5); err == nil {
+		t.Error("want error for unlabelled instance")
+	}
+	bad := &Instance{Features: [][]int32{{0}, {1}}, Tags: []corpus.Tag{corpus.O}}
+	if _, err := tr.Train([]*Instance{bad}, 5); err == nil {
+		t.Error("want error for tag/feature length mismatch")
+	}
+}
+
+func TestCompilerFreezing(t *testing.T) {
+	comp := NewCompiler(features.NewExtractor(nil))
+	s1 := &corpus.Sentence{Text: "alpha beta", Tokens: tokenize.Sentence("alpha beta")}
+	comp.CompileSentence(s1)
+	n := comp.FreezeAlphabet()
+	if n == 0 {
+		t.Fatal("empty alphabet")
+	}
+	s2 := &corpus.Sentence{Text: "gamma delta", Tokens: tokenize.Sentence("gamma delta")}
+	in := comp.CompileSentence(s2)
+	if comp.Alphabet.Len() != n {
+		t.Error("alphabet grew after freeze")
+	}
+	for _, fs := range in.Features {
+		for _, f := range fs {
+			if int(f) >= n {
+				t.Error("out-of-range feature id after freeze")
+			}
+		}
+	}
+}

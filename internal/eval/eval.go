@@ -1,0 +1,337 @@
+// Package eval reimplements the scoring rules of the BioCreative II gene
+// mention evaluation script, as described in §III of the GraphNER paper:
+// detections are compared against primary gene mentions and their
+// alternative annotations by exact space-free character offsets; exact
+// matches are true positives; false negatives are primary mentions left
+// unmatched; false positives are detections that match nothing. Per-sentence
+// tallies are retained for the approximate-randomization significance test
+// (package sigf), and error lists feed the qualitative false-positive
+// analysis of Figures 4 and 5.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+)
+
+// Metrics is a precision/recall/F-score triple, in [0,1].
+type Metrics struct {
+	Precision, Recall, F1 float64
+}
+
+// String renders the metrics as percentages, paper style.
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%.2f%% R=%.2f%% F=%.2f%%", 100*m.Precision, 100*m.Recall, 100*m.F1)
+}
+
+// Counts are raw match tallies.
+type Counts struct {
+	TP, FP, FN int
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.TP += other.TP
+	c.FP += other.FP
+	c.FN += other.FN
+}
+
+// Metrics converts counts to precision/recall/F1. Empty denominators give
+// zero (and F1 is zero when P+R is zero).
+func (c Counts) Metrics() Metrics {
+	var m Metrics
+	if d := c.TP + c.FP; d > 0 {
+		m.Precision = float64(c.TP) / float64(d)
+	}
+	if d := c.TP + c.FN; d > 0 {
+		m.Recall = float64(c.TP) / float64(d)
+	}
+	if s := m.Precision + m.Recall; s > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / s
+	}
+	return m
+}
+
+// SentenceResult records the outcome on one sentence.
+type SentenceResult struct {
+	ID     string
+	Counts Counts
+	// FalsePositives are detected mentions that matched nothing.
+	FalsePositives []corpus.Mention
+	// FalseNegatives are primary mentions never matched.
+	FalseNegatives []corpus.Mention
+}
+
+// Result is a full evaluation.
+type Result struct {
+	Counts      Counts
+	PerSentence []SentenceResult
+}
+
+// Metrics returns the corpus-level metrics.
+func (r *Result) Metrics() Metrics { return r.Counts.Metrics() }
+
+// Prediction carries one system's output for one sentence.
+type Prediction struct {
+	ID       string
+	Mentions []corpus.Mention
+}
+
+// Evaluate scores predictions against the gold corpus. Predictions must be
+// parallel to gold.Sentences (match by index; IDs are cross-checked).
+// Alternative annotations from gold.Alternatives are honoured: a detection
+// exactly matching an alternative counts as a true positive and consumes
+// the primary mention the alternative overlaps.
+func Evaluate(gold *corpus.Corpus, preds []Prediction) (*Result, error) {
+	if len(preds) != len(gold.Sentences) {
+		return nil, fmt.Errorf("eval: %d predictions for %d sentences", len(preds), len(gold.Sentences))
+	}
+	res := &Result{PerSentence: make([]SentenceResult, len(preds))}
+	for i, s := range gold.Sentences {
+		p := preds[i]
+		if p.ID != "" && p.ID != s.ID {
+			return nil, fmt.Errorf("eval: prediction %d has ID %q, sentence is %q", i, p.ID, s.ID)
+		}
+		sr := scoreSentence(s, gold.Alternatives[s.ID], p.Mentions)
+		res.PerSentence[i] = sr
+		res.Counts.Add(sr.Counts)
+	}
+	return res, nil
+}
+
+// spanKey is an exact-offset match key.
+type spanKey struct{ start, end int }
+
+func scoreSentence(s *corpus.Sentence, alts []corpus.Mention, detected []corpus.Mention) SentenceResult {
+	sr := SentenceResult{ID: s.ID}
+	primary := s.Mentions()
+
+	// Index primaries and alternatives.
+	primUsed := make([]bool, len(primary))
+	primIdx := make(map[spanKey]int, len(primary))
+	for i, m := range primary {
+		primIdx[spanKey{m.Start, m.End}] = i
+	}
+	// altOwner maps an alternative span to the overlapping primary (-1 if
+	// none overlaps).
+	altOwner := make(map[spanKey]int, len(alts))
+	for _, a := range alts {
+		owner := -1
+		for i, m := range primary {
+			if a.Start <= m.End && m.Start <= a.End {
+				owner = i
+				break
+			}
+		}
+		altOwner[spanKey{a.Start, a.End}] = owner
+	}
+
+	for _, d := range detected {
+		k := spanKey{d.Start, d.End}
+		if i, ok := primIdx[k]; ok && !primUsed[i] {
+			primUsed[i] = true
+			sr.Counts.TP++
+			continue
+		}
+		if owner, ok := altOwner[k]; ok {
+			if owner >= 0 && primUsed[owner] {
+				// The primary was already credited; an extra detection of
+				// its alternative is a false positive.
+				sr.Counts.FP++
+				sr.FalsePositives = append(sr.FalsePositives, d)
+				continue
+			}
+			if owner >= 0 {
+				primUsed[owner] = true
+			}
+			sr.Counts.TP++
+			continue
+		}
+		sr.Counts.FP++
+		sr.FalsePositives = append(sr.FalsePositives, d)
+	}
+	for i, m := range primary {
+		if !primUsed[i] {
+			sr.Counts.FN++
+			sr.FalseNegatives = append(sr.FalseNegatives, m)
+		}
+	}
+	return sr
+}
+
+// PredictionsFromTags converts decoded tag sequences (parallel to the
+// corpus sentences) into Prediction values.
+func PredictionsFromTags(c *corpus.Corpus, tags [][]corpus.Tag) ([]Prediction, error) {
+	if len(tags) != len(c.Sentences) {
+		return nil, fmt.Errorf("eval: %d tag rows for %d sentences", len(tags), len(c.Sentences))
+	}
+	out := make([]Prediction, len(tags))
+	for i, s := range c.Sentences {
+		if len(tags[i]) != len(s.Tokens) {
+			return nil, fmt.Errorf("eval: sentence %s: %d tags for %d tokens", s.ID, len(tags[i]), len(s.Tokens))
+		}
+		out[i] = Prediction{
+			ID:       s.ID,
+			Mentions: corpus.MentionsFromTags(s.Tokens, tags[i], s.Text),
+		}
+	}
+	return out, nil
+}
+
+// ErrorCategory partitions erroneous mentions for the paper's qualitative
+// analysis (§III-E): gene-related errors involve actual genes, gene
+// families, or protein domains; spurious errors are thematically unrelated
+// to genes.
+type ErrorCategory int
+
+// The two categories of §III-E.
+const (
+	GeneRelated ErrorCategory = iota
+	Spurious
+)
+
+func (c ErrorCategory) String() string {
+	if c == Spurious {
+		return "spurious"
+	}
+	return "gene-related"
+}
+
+// Categorizer classifies error mentions given a lexicon of known gene
+// surfaces (for the synthetic corpora, the generator's full nomenclature).
+type Categorizer struct {
+	lexicon map[string]bool
+	words   map[string]bool // individual words of multi-word gene names
+}
+
+// NewCategorizer builds a categorizer from known gene surface forms.
+func NewCategorizer(surfaces []string) *Categorizer {
+	c := &Categorizer{lexicon: make(map[string]bool), words: make(map[string]bool)}
+	for _, s := range surfaces {
+		c.lexicon[strings.ToLower(s)] = true
+		for _, w := range strings.Fields(s) {
+			c.words[strings.ToLower(w)] = true
+		}
+	}
+	return c
+}
+
+// Categorize labels one error mention. A mention is gene-related when its
+// full text is a known gene surface, or when any of its words appears in a
+// known gene name (catching boundary errors around real genes).
+func (c *Categorizer) Categorize(m corpus.Mention) ErrorCategory {
+	t := strings.ToLower(m.Text)
+	if c.lexicon[t] {
+		return GeneRelated
+	}
+	for _, w := range strings.Fields(t) {
+		if c.words[w] {
+			return GeneRelated
+		}
+	}
+	return Spurious
+}
+
+// CategoryCounts tallies error mentions by category.
+func (c *Categorizer) CategoryCounts(mentions []corpus.Mention) (geneRelated, spurious int) {
+	for _, m := range mentions {
+		if c.Categorize(m) == GeneRelated {
+			geneRelated++
+		} else {
+			spurious++
+		}
+	}
+	return geneRelated, spurious
+}
+
+// FalsePositiveSets extracts the distinct false-positive mention keys of a
+// result, for UpSet-style intersection analysis between two systems.
+func FalsePositiveSets(r *Result) map[string]corpus.Mention {
+	out := make(map[string]corpus.Mention)
+	for _, sr := range r.PerSentence {
+		for _, m := range sr.FalsePositives {
+			out[fmt.Sprintf("%s|%d %d", sr.ID, m.Start, m.End)] = m
+		}
+	}
+	return out
+}
+
+// UpsetRow is one bar of an UpSet plot: which systems share the errors and
+// how many errors per category.
+type UpsetRow struct {
+	InA, InB              bool
+	GeneRelated, Spurious int
+}
+
+// Upset computes the UpSet intersection table of false positives between
+// two systems (the paper's Figures 4 and 5).
+func Upset(a, b *Result, cat *Categorizer) []UpsetRow {
+	sa, sb := FalsePositiveSets(a), FalsePositiveSets(b)
+	rows := map[[2]bool]*UpsetRow{
+		{true, false}: {InA: true},
+		{false, true}: {InB: true},
+		{true, true}:  {InA: true, InB: true},
+	}
+	classify := func(m corpus.Mention, inA, inB bool) {
+		r := rows[[2]bool{inA, inB}]
+		if cat.Categorize(m) == GeneRelated {
+			r.GeneRelated++
+		} else {
+			r.Spurious++
+		}
+	}
+	for k, m := range sa {
+		if _, both := sb[k]; both {
+			classify(m, true, true)
+		} else {
+			classify(m, true, false)
+		}
+	}
+	for k, m := range sb {
+		if _, both := sa[k]; !both {
+			classify(m, false, true)
+		}
+	}
+	out := []UpsetRow{*rows[[2]bool{true, false}], *rows[[2]bool{false, true}], *rows[[2]bool{true, true}]}
+	sort.Slice(out, func(i, j int) bool {
+		ti := out[i].GeneRelated + out[i].Spurious
+		tj := out[j].GeneRelated + out[j].Spurious
+		return ti > tj
+	})
+	return out
+}
+
+// FormatUpset renders the intersection table as text, with labels naming
+// the two systems.
+func FormatUpset(rows []UpsetRow, nameA, nameB string) string {
+	var bldr strings.Builder
+	fmt.Fprintf(&bldr, "%-24s %12s %10s %8s\n", "set", "gene-related", "spurious", "total")
+	for _, r := range rows {
+		var set string
+		switch {
+		case r.InA && r.InB:
+			set = nameA + " ∩ " + nameB
+		case r.InA:
+			set = nameA + " only"
+		default:
+			set = nameB + " only"
+		}
+		fmt.Fprintf(&bldr, "%-24s %12d %10d %8d\n", set, r.GeneRelated, r.Spurious, r.GeneRelated+r.Spurious)
+	}
+	return bldr.String()
+}
+
+// HarmonicMean is exposed for tests of the F-score identity.
+func HarmonicMean(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// ApproxEqual reports |a−b| ≤ eps, for test helpers.
+func ApproxEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }

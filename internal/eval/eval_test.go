@@ -1,0 +1,245 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+	"repro/internal/tokenize"
+)
+
+func sentence(id, text string, tags []corpus.Tag) *corpus.Sentence {
+	return &corpus.Sentence{ID: id, Text: text, Tokens: tokenize.Sentence(text), Tags: tags}
+}
+
+func TestCountsMetrics(t *testing.T) {
+	m := Counts{TP: 8, FP: 2, FN: 2}.Metrics()
+	if math.Abs(m.Precision-0.8) > 1e-12 || math.Abs(m.Recall-0.8) > 1e-12 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if math.Abs(m.F1-0.8) > 1e-12 {
+		t.Errorf("F1 = %g", m.F1)
+	}
+	z := Counts{}.Metrics()
+	if z.Precision != 0 || z.Recall != 0 || z.F1 != 0 {
+		t.Error("zero counts must give zero metrics")
+	}
+}
+
+func TestFScoreIsHarmonicMean(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		c := Counts{TP: int(tp), FP: int(fp), FN: int(fn)}
+		m := c.Metrics()
+		return ApproxEqual(m.F1, HarmonicMean(m.Precision, m.Recall), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateExactMatch(t *testing.T) {
+	gold := corpus.New()
+	gold.Sentences = append(gold.Sentences,
+		sentence("S1", "the LNK gene", []corpus.Tag{corpus.O, corpus.B, corpus.O}),
+	)
+	// Perfect prediction.
+	preds := []Prediction{{ID: "S1", Mentions: []corpus.Mention{{Start: 3, End: 5, Text: "LNK"}}}}
+	r, err := Evaluate(gold, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts != (Counts{TP: 1}) {
+		t.Errorf("counts = %+v", r.Counts)
+	}
+	// Wrong boundary: FP + FN.
+	preds = []Prediction{{ID: "S1", Mentions: []corpus.Mention{{Start: 3, End: 9, Text: "LNKgene"}}}}
+	r, err = Evaluate(gold, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts != (Counts{FP: 1, FN: 1}) {
+		t.Errorf("counts = %+v", r.Counts)
+	}
+	// No prediction: FN only.
+	preds = []Prediction{{ID: "S1"}}
+	r, err = Evaluate(gold, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts != (Counts{FN: 1}) {
+		t.Errorf("counts = %+v", r.Counts)
+	}
+}
+
+func TestEvaluateAlternatives(t *testing.T) {
+	// Primary is "wilms tumor - 1" (tokens 0-3); alternative drops the
+	// first word.
+	text := "wilms tumor - 1 positive"
+	gold := corpus.New()
+	gold.Sentences = append(gold.Sentences,
+		sentence("S1", text, []corpus.Tag{corpus.B, corpus.I, corpus.I, corpus.I, corpus.O}),
+	)
+	prim := gold.Sentences[0].Mentions()[0]
+	alt := corpus.Mention{Start: 5, End: prim.End, Text: "tumor - 1"}
+	gold.Alternatives["S1"] = []corpus.Mention{alt}
+
+	// Detecting the alternative span counts as a TP and consumes the
+	// primary.
+	preds := []Prediction{{ID: "S1", Mentions: []corpus.Mention{alt}}}
+	r, err := Evaluate(gold, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts != (Counts{TP: 1}) {
+		t.Errorf("counts = %+v", r.Counts)
+	}
+
+	// Detecting both primary and its alternative yields one TP, one FP.
+	preds = []Prediction{{ID: "S1", Mentions: []corpus.Mention{prim, alt}}}
+	r, err = Evaluate(gold, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts != (Counts{TP: 1, FP: 1}) {
+		t.Errorf("counts = %+v", r.Counts)
+	}
+}
+
+func TestEvaluateDuplicateDetection(t *testing.T) {
+	gold := corpus.New()
+	gold.Sentences = append(gold.Sentences,
+		sentence("S1", "the LNK gene", []corpus.Tag{corpus.O, corpus.B, corpus.O}),
+	)
+	m := corpus.Mention{Start: 3, End: 5, Text: "LNK"}
+	preds := []Prediction{{ID: "S1", Mentions: []corpus.Mention{m, m}}}
+	r, err := Evaluate(gold, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts != (Counts{TP: 1, FP: 1}) {
+		t.Errorf("duplicate detection: %+v", r.Counts)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	gold := corpus.New()
+	gold.Sentences = append(gold.Sentences, sentence("S1", "x", []corpus.Tag{corpus.O}))
+	if _, err := Evaluate(gold, nil); err == nil {
+		t.Error("want error for prediction count mismatch")
+	}
+	if _, err := Evaluate(gold, []Prediction{{ID: "WRONG"}}); err == nil {
+		t.Error("want error for ID mismatch")
+	}
+}
+
+func TestPredictionsFromTags(t *testing.T) {
+	c := corpus.New()
+	c.Sentences = append(c.Sentences, sentence("S1", "the LNK gene", nil))
+	preds, err := PredictionsFromTags(c, [][]corpus.Tag{{corpus.O, corpus.B, corpus.O}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds[0].Mentions) != 1 || preds[0].Mentions[0].Text != "LNK" {
+		t.Errorf("preds = %+v", preds)
+	}
+	if _, err := PredictionsFromTags(c, nil); err == nil {
+		t.Error("want error for row count mismatch")
+	}
+	if _, err := PredictionsFromTags(c, [][]corpus.Tag{{corpus.O}}); err == nil {
+		t.Error("want error for tag length mismatch")
+	}
+}
+
+func TestCategorizer(t *testing.T) {
+	cat := NewCategorizer([]string{"FLT3", "lymphocyte adaptor protein", "WT1"})
+	cases := []struct {
+		text string
+		want ErrorCategory
+	}{
+		{"FLT3", GeneRelated},
+		{"flt3", GeneRelated},            // case-insensitive
+		{"adaptor protein", GeneRelated}, // words of a known gene name
+		{"the lymphocyte", GeneRelated},  // boundary error around a gene
+		{"Ann Arbor", Spurious},
+		{"MPN", Spurious},
+		{"confidence interval", Spurious},
+	}
+	for _, c := range cases {
+		got := cat.Categorize(corpus.Mention{Text: c.text})
+		if got != c.want {
+			t.Errorf("Categorize(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+	g, s := cat.CategoryCounts([]corpus.Mention{{Text: "FLT3"}, {Text: "Ann Arbor"}, {Text: "WT1"}})
+	if g != 2 || s != 1 {
+		t.Errorf("counts = %d,%d", g, s)
+	}
+}
+
+func TestUpset(t *testing.T) {
+	mk := func(id string, fps ...corpus.Mention) *Result {
+		return &Result{PerSentence: []SentenceResult{{ID: id, FalsePositives: fps}}}
+	}
+	mA := corpus.Mention{Start: 0, End: 3, Text: "FLT3"}
+	mB := corpus.Mention{Start: 5, End: 7, Text: "MPN"}
+	mC := corpus.Mention{Start: 9, End: 11, Text: "WT1"}
+	a := mk("S1", mA, mB)
+	b := mk("S1", mB, mC)
+	cat := NewCategorizer([]string{"FLT3", "WT1"})
+	rows := Upset(a, b, cat)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	var onlyA, onlyB, both UpsetRow
+	for _, r := range rows {
+		switch {
+		case r.InA && r.InB:
+			both = r
+		case r.InA:
+			onlyA = r
+		default:
+			onlyB = r
+		}
+	}
+	if onlyA.GeneRelated != 1 || onlyA.Spurious != 0 {
+		t.Errorf("onlyA = %+v", onlyA)
+	}
+	if onlyB.GeneRelated != 1 || onlyB.Spurious != 0 {
+		t.Errorf("onlyB = %+v", onlyB)
+	}
+	if both.Spurious != 1 || both.GeneRelated != 0 {
+		t.Errorf("both = %+v", both)
+	}
+	if FormatUpset(rows, "GraphNER", "BANNER") == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestEvaluatePropertyConservation(t *testing.T) {
+	// Property: TP+FN equals the number of primary mentions; TP+FP equals
+	// the number of detections (each detection is TP or FP exactly once).
+	gold := corpus.New()
+	gold.Sentences = append(gold.Sentences,
+		sentence("S1", "wilms tumor - 1 positive LNK", []corpus.Tag{corpus.B, corpus.I, corpus.I, corpus.I, corpus.O, corpus.B}),
+	)
+	f := func(spans []uint8) bool {
+		var dets []corpus.Mention
+		for i := 0; i+1 < len(spans) && i < 10; i += 2 {
+			s := int(spans[i]) % 20
+			e := s + int(spans[i+1])%5
+			dets = append(dets, corpus.Mention{Start: s, End: e})
+		}
+		r, err := Evaluate(gold, []Prediction{{ID: "S1", Mentions: dets}})
+		if err != nil {
+			return false
+		}
+		if r.Counts.TP+r.Counts.FP != len(dets) {
+			return false
+		}
+		return r.Counts.TP+r.Counts.FN == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,321 @@
+// Package experiments drives the reproduction of every table and figure in
+// the GraphNER paper's evaluation section over the synthetic substitute
+// corpora. It is shared by cmd/benchtables (the end-to-end regeneration
+// binary), the repository's testing.B benchmarks, and the examples. All
+// heavyweight artifacts — corpora, trained CRFs, similarity graphs,
+// distributional word classes — are built lazily and cached per (profile,
+// scale, seed) inside an Env, so one process can regenerate several tables
+// without retraining.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/brown"
+	"repro/internal/corpus"
+	"repro/internal/corpus/synth"
+	"repro/internal/crf"
+	"repro/internal/eval"
+	"repro/internal/features"
+	"repro/internal/graph"
+	"repro/internal/graphner"
+	"repro/internal/neural"
+	"repro/internal/word2vec"
+)
+
+// Scale sets the cost/fidelity trade-off of a reproduction run.
+type Scale struct {
+	Name string
+	// Sentences per corpus (train+test combined); 0 keeps the paper's
+	// sizes (20 000 for BC2GM, 14 456 for AML).
+	Sentences int
+	// CRFIterations bounds base-CRF L-BFGS iterations.
+	CRFIterations int
+	// CRFOrder is the chain order of the base CRFs.
+	CRFOrder crf.Order
+	// NeuralEpochs bounds neural tagger training.
+	NeuralEpochs int
+	// NeuralSentences caps the training sentences of the neural rows
+	// (they are by far the slowest systems); 0 means no cap.
+	NeuralSentences int
+	// SigfRepetitions for Table V.
+	SigfRepetitions int
+	// BrownClusters / BrownMaxWords / W2VDim size the distributional
+	// features of the ChemDNER configuration.
+	BrownClusters, BrownMaxWords, W2VDim int
+	// MaxDF caps feature document frequency in k-NN candidate generation;
+	// 0 keeps the search exact (affordable below ~10k sentences).
+	MaxDF int
+}
+
+// Smoke is the continuous-integration scale: minutes, not hours.
+var Smoke = Scale{
+	Name: "smoke", Sentences: 1600, CRFIterations: 40, CRFOrder: crf.Order1,
+	NeuralEpochs: 4, NeuralSentences: 800, SigfRepetitions: 2000,
+	BrownClusters: 24, BrownMaxWords: 600, W2VDim: 16,
+}
+
+// Standard is the default scale of cmd/benchtables. Its corpus size is
+// chosen so the supervised baselines sit at paper-comparable headroom
+// (F around the low 90s, vs the paper's 84-87 on BC2GM): template-based
+// synthetic corpora saturate the CRF at larger sizes, unlike real text
+// (see EXPERIMENTS.md, "scale fidelity").
+var Standard = Scale{
+	Name: "standard", Sentences: 2500, CRFIterations: 40, CRFOrder: crf.Order1,
+	NeuralEpochs: 8, NeuralSentences: 1800, SigfRepetitions: 10000,
+	BrownClusters: 48, BrownMaxWords: 1500, W2VDim: 24,
+}
+
+// Full uses the paper's corpus sizes. NOTE: at these sizes the synthetic
+// corpora are easier than the real BC2GM/AML data — the finite template
+// grammar lets the supervised CRF approach its noise ceiling, shrinking
+// the headroom GraphNER exploits. Full is provided for completeness and
+// for the timing/statistics experiments; the difficulty-matched results
+// are Standard's.
+var Full = Scale{
+	Name: "full", Sentences: 0, CRFIterations: 100, CRFOrder: crf.Order2,
+	NeuralEpochs: 8, NeuralSentences: 5000, SigfRepetitions: 10000,
+	BrownClusters: 64, BrownMaxWords: 2000, W2VDim: 32, MaxDF: 2000,
+}
+
+// Env caches the expensive artifacts of a reproduction run.
+type Env struct {
+	Scale Scale
+	Seed  int64
+	// Log receives progress lines; nil silences them.
+	Log io.Writer
+
+	corpora  map[synth.Profile]*corporaPair
+	classers map[synth.Profile]features.WordClasser
+	systems  map[systemKey]*graphner.System
+	graphs   map[systemKey]*graph.Graph
+	gens     map[synth.Profile]*synth.Generator
+}
+
+type corporaPair struct {
+	train, test *corpus.Corpus
+}
+
+// Base identifies the base CRF configuration of a system row.
+type Base int
+
+// The two base models of the paper.
+const (
+	BANNER Base = iota
+	ChemDNER
+)
+
+func (b Base) String() string {
+	if b == ChemDNER {
+		return "BANNER-ChemDNER"
+	}
+	return "BANNER"
+}
+
+type systemKey struct {
+	profile synth.Profile
+	base    Base
+}
+
+// NewEnv creates an experiment environment.
+func NewEnv(scale Scale, seed int64, log io.Writer) *Env {
+	return &Env{
+		Scale: scale, Seed: seed, Log: log,
+		corpora:  make(map[synth.Profile]*corporaPair),
+		classers: make(map[synth.Profile]features.WordClasser),
+		systems:  make(map[systemKey]*graphner.System),
+		graphs:   make(map[systemKey]*graph.Graph),
+		gens:     make(map[synth.Profile]*synth.Generator),
+	}
+}
+
+func (e *Env) logf(format string, args ...any) {
+	if e.Log != nil {
+		fmt.Fprintf(e.Log, format+"\n", args...)
+	}
+}
+
+// Corpora returns (building if necessary) the train/test pair for a
+// profile at the environment's scale.
+func (e *Env) Corpora(p synth.Profile) (train, test *corpus.Corpus) {
+	if pair, ok := e.corpora[p]; ok {
+		return pair.train, pair.test
+	}
+	cfg := synth.DefaultConfig(p, e.Seed)
+	if e.Scale.Sentences > 0 {
+		cfg.Sentences = e.Scale.Sentences
+	}
+	e.logf("[%s] generating %s corpus (%d sentences)", e.Scale.Name, p, cfg.Sentences)
+	g := synth.NewGenerator(cfg)
+	c := g.Generate()
+	var nTrain int
+	switch p {
+	case synth.AML:
+		nTrain = cfg.Sentences * 10504 / (10504 + 3952)
+	default:
+		nTrain = cfg.Sentences * 15000 / 20000
+	}
+	train, test = c.Split(nTrain)
+	e.corpora[p] = &corporaPair{train, test}
+	e.gens[p] = g
+	return train, test
+}
+
+// Generator exposes the corpus generator (for the error categorizer's gene
+// lexicon).
+func (e *Env) Generator(p synth.Profile) *synth.Generator {
+	e.Corpora(p)
+	return e.gens[p]
+}
+
+// Classer returns the ChemDNER-style distributional word classes for a
+// profile: Brown cluster paths and word2vec k-means clusters learned over
+// the profile's full unlabelled text (train+test, labels ignored), exactly
+// the semi-supervised feature construction of BANNER-ChemDNER.
+func (e *Env) Classer(p synth.Profile) (features.WordClasser, error) {
+	if c, ok := e.classers[p]; ok {
+		return c, nil
+	}
+	train, test := e.Corpora(p)
+	var sentences [][]string
+	for _, s := range train.Sentences {
+		sentences = append(sentences, s.Words())
+	}
+	for _, s := range test.Sentences {
+		sentences = append(sentences, s.Words())
+	}
+	e.logf("[%s] learning Brown clusters for %s", e.Scale.Name, p)
+	bc, err := brown.Cluster(sentences, brown.Config{
+		NumClusters: e.Scale.BrownClusters,
+		MaxWords:    e.Scale.BrownMaxWords,
+		MinCount:    2,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: brown: %w", err)
+	}
+	e.logf("[%s] training word2vec for %s", e.Scale.Name, p)
+	wv, err := word2vec.Train(sentences, word2vec.Config{
+		Dim: e.Scale.W2VDim, Epochs: 3, MinCount: 2, Seed: e.Seed,
+		Clusters: e.Scale.BrownClusters,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: word2vec: %w", err)
+	}
+	mc := features.MultiClasser{bc, wv}
+	e.classers[p] = mc
+	return mc, nil
+}
+
+// GraphNERConfig returns the configuration used for a profile/base pair,
+// mirroring Table IV (hyper-parameters re-cross-validated for the
+// synthetic substrate; see EXPERIMENTS.md).
+func (e *Env) GraphNERConfig(p synth.Profile, b Base) (graphner.Config, error) {
+	cfg := graphner.Default()
+	cfg.Order = e.Scale.CRFOrder
+	cfg.CRFIterations = e.Scale.CRFIterations
+	// Prune very-high-document-frequency features from k-NN candidate
+	// generation at scales where the exact search would be too costly
+	// (see BenchmarkAblation_KNNMaxDF).
+	cfg.MaxDF = e.Scale.MaxDF
+	if b == ChemDNER {
+		// Per-pair cross-validation (Table IV reproduction): the ChemDNER
+		// base model's distributional features already generalize across
+		// the corpus, so its CV prefers a much larger CRF share in the
+		// mixture than BANNER's pairs do.
+		cfg.Alpha = 0.8
+		cfg.TransitionPower = 0.02
+	}
+	if b == ChemDNER {
+		classer, err := e.Classer(p)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Extractor = features.NewExtractor(classer)
+	}
+	return cfg, nil
+}
+
+// System returns (training if necessary) the GraphNER system for a
+// profile/base pair.
+func (e *Env) System(p synth.Profile, b Base) (*graphner.System, error) {
+	key := systemKey{p, b}
+	if s, ok := e.systems[key]; ok {
+		return s, nil
+	}
+	train, _ := e.Corpora(p)
+	cfg, err := e.GraphNERConfig(p, b)
+	if err != nil {
+		return nil, err
+	}
+	e.logf("[%s] training %s base CRF on %s (%d sentences, order %d)",
+		e.Scale.Name, b, p, len(train.Sentences), cfg.Order)
+	sys, err := graphner.Train(train, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training %s on %s: %w", b, p, err)
+	}
+	e.systems[key] = sys
+	return sys, nil
+}
+
+// Graph returns (building if necessary) the all-features similarity graph
+// for a profile/base pair.
+func (e *Env) Graph(p synth.Profile, b Base) (*graph.Graph, error) {
+	key := systemKey{p, b}
+	if g, ok := e.graphs[key]; ok {
+		return g, nil
+	}
+	sys, err := e.System(p, b)
+	if err != nil {
+		return nil, err
+	}
+	_, test := e.Corpora(p)
+	e.logf("[%s] building %s similarity graph for %s", e.Scale.Name, b, p)
+	g, err := sys.BuildGraph(test)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: graph for %s/%s: %w", p, b, err)
+	}
+	e.graphs[key] = g
+	return g, nil
+}
+
+// Score evaluates decoded tags against the test corpus.
+func Score(test *corpus.Corpus, tags [][]corpus.Tag) (*eval.Result, error) {
+	preds, err := eval.PredictionsFromTags(test, tags)
+	if err != nil {
+		return nil, err
+	}
+	return eval.Evaluate(test, preds)
+}
+
+// NeuralBaseline trains one of the neural comparison systems on the
+// profile's training data (with a carved-out dev set, as the paper
+// describes) and returns its evaluation on the test set.
+func (e *Env) NeuralBaseline(p synth.Profile, arch neural.Arch) (*eval.Result, error) {
+	train, test := e.Corpora(p)
+	sents := train.Sentences
+	if limit := e.Scale.NeuralSentences; limit > 0 && len(sents) > limit {
+		sents = sents[:limit]
+	}
+	// The paper's split: 12000/3000 train/dev for BC2GM (80/20), 82%/18%
+	// for AML.
+	nDev := len(sents) / 5
+	sub := corpus.New()
+	sub.Sentences = sents[:len(sents)-nDev]
+	dev := corpus.New()
+	dev.Sentences = sents[len(sents)-nDev:]
+
+	e.logf("[%s] training %v on %s (%d train / %d dev sentences)",
+		e.Scale.Name, arch, p, len(sub.Sentences), len(dev.Sentences))
+	tg, err := neural.TrainTagger(sub, dev, neural.TaggerConfig{
+		Arch:        arch,
+		Epochs:      e.Scale.NeuralEpochs,
+		Rate:        3e-3,
+		WordDropout: 0.05,
+		Seed:        e.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %v on %s: %w", arch, p, err)
+	}
+	return Score(test, tg.TagCorpus(test))
+}

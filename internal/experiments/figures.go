@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/corpus/synth"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/graphner"
+	"repro/internal/stats"
+)
+
+// TimingPoint is one train:test ratio measurement of Figure 2.
+type TimingPoint struct {
+	Ratio             string // e.g. "9:1"
+	TrainSentences    int
+	TestSentences     int
+	BaselineTrainTest stats.Timing // CRF train + Viterbi test
+	GraphNERTrainTest stats.Timing // CRF train + full Algorithm-1 test
+	GraphConstruction stats.Timing // measured separately, as in the paper
+}
+
+// Figure2 measures the wall-clock cost of train+test for the base CRF
+// alone versus GraphNER, across train:test split ratios of the BC2GM
+// corpus, with reps repetitions per ratio (the paper uses 10). Graph
+// construction is timed separately: the paper's Figure 2 reports the
+// train/test procedures, with construction treated as preprocessing.
+func (e *Env) Figure2(ratios []int, reps int) ([]TimingPoint, error) {
+	if len(ratios) == 0 {
+		ratios = []int{9, 7, 5, 3, 1}
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	train, test := e.Corpora(synth.BC2GM)
+	all := corpus.New()
+	all.Sentences = append(append([]*corpus.Sentence{}, train.Sentences...), test.Sentences...)
+
+	cfg, err := e.GraphNERConfig(synth.BC2GM, BANNER)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []TimingPoint
+	for _, r := range ratios {
+		nTrain := len(all.Sentences) * r / 10
+		tr, te := all.Split(nTrain)
+		pt := TimingPoint{
+			Ratio:          fmt.Sprintf("%d:%d", r, 10-r),
+			TrainSentences: len(tr.Sentences),
+			TestSentences:  len(te.Sentences),
+		}
+		var baseT, gnT, graphT []time.Duration
+		for rep := 0; rep < reps; rep++ {
+			e.logf("[%s] Figure 2: ratio %s rep %d/%d", e.Scale.Name, pt.Ratio, rep+1, reps)
+			// Baseline: CRF train + Viterbi decode.
+			t0 := time.Now()
+			sys, err := graphner.Train(tr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			sys.BaselineTags(te)
+			baseT = append(baseT, time.Since(t0))
+
+			// Graph construction (preprocessing).
+			t1 := time.Now()
+			g, err := sys.BuildGraph(te)
+			if err != nil {
+				return nil, err
+			}
+			graphT = append(graphT, time.Since(t1))
+
+			// GraphNER: CRF train + full TEST procedure (graph reused).
+			t2 := time.Now()
+			sys2, err := graphner.Train(tr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sys2.TestWithGraph(te, g); err != nil {
+				return nil, err
+			}
+			gnT = append(gnT, time.Since(t2))
+		}
+		pt.BaselineTrainTest = stats.Summarize(baseT)
+		pt.GraphNERTrainTest = stats.Summarize(gnT)
+		pt.GraphConstruction = stats.Summarize(graphT)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatFigure2 renders the timing series.
+func FormatFigure2(points []TimingPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %8s %8s %16s %16s %16s\n",
+		"ratio", "train", "test", "CRF train+test", "GraphNER t+t", "graph constr.")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-6s %8d %8d %16v %16v %16v\n",
+			p.Ratio, p.TrainSentences, p.TestSentences,
+			p.BaselineTrainTest.Mean.Round(time.Millisecond),
+			p.GraphNERTrainTest.Mean.Round(time.Millisecond),
+			p.GraphConstruction.Mean.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// InfluenceReport is Figure 3: histograms of Influence(v) and
+// |Influencees(v)| over the all-features graph.
+type InfluenceReport struct {
+	Influence   graph.Histogram
+	Influencees graph.Histogram
+}
+
+// Figure3 computes the influence histograms for a profile's all-features
+// graph.
+func (e *Env) Figure3(p synth.Profile) (*InfluenceReport, error) {
+	g, err := e.Graph(p, BANNER)
+	if err != nil {
+		return nil, err
+	}
+	st := g.Influences()
+	infl := make([]float64, len(st.Influencees))
+	for i, v := range st.Influencees {
+		infl[i] = float64(v)
+	}
+	return &InfluenceReport{
+		Influence:   graph.LogHistogram(st.Influence, 12),
+		Influencees: graph.LogHistogram(infl, 12),
+	}, nil
+}
+
+// UpsetReport is Figures 4 and 5: the false-positive intersection table
+// between GraphNER and BANNER-ChemDNER plus the chi-square test on the
+// proportion of gene-related false positives.
+type UpsetReport struct {
+	Rows []eval.UpsetRow
+	// GraphNER / baseline gene-related vs spurious FP counts.
+	GNGene, GNSpurious     int
+	BaseGene, BaseSpurious int
+	Chi2, PValue           float64
+	Rendered               string
+}
+
+// UpsetFigure computes the report for a profile (Figure 4 = AML, Figure 5
+// = BC2GM).
+func (e *Env) UpsetFigure(p synth.Profile) (*UpsetReport, error) {
+	baseline, gnr, _, err := e.systemPair(p, ChemDNER)
+	if err != nil {
+		return nil, err
+	}
+	gen := e.Generator(p)
+	var surfaces []string
+	for _, ge := range gen.Genes() {
+		surfaces = append(surfaces, ge.Symbol)
+		if ge.FullName != nil {
+			surfaces = append(surfaces, strings.Join(ge.FullName, " "))
+		}
+		surfaces = append(surfaces, ge.Variants...)
+	}
+	cat := eval.NewCategorizer(surfaces)
+
+	rep := &UpsetReport{Rows: eval.Upset(gnr, baseline, cat)}
+	for _, m := range eval.FalsePositiveSets(gnr) {
+		if cat.Categorize(m) == eval.GeneRelated {
+			rep.GNGene++
+		} else {
+			rep.GNSpurious++
+		}
+	}
+	for _, m := range eval.FalsePositiveSets(baseline) {
+		if cat.Categorize(m) == eval.GeneRelated {
+			rep.BaseGene++
+		} else {
+			rep.BaseSpurious++
+		}
+	}
+	gnTotal := rep.GNGene + rep.GNSpurious
+	baseTotal := rep.BaseGene + rep.BaseSpurious
+	if gnTotal > 0 && baseTotal > 0 {
+		chi2, pv, err := stats.ChiSquareProportions(rep.GNGene, gnTotal, rep.BaseGene, baseTotal)
+		if err != nil {
+			return nil, err
+		}
+		rep.Chi2, rep.PValue = chi2, pv
+	} else {
+		rep.PValue = 1
+	}
+	rep.Rendered = eval.FormatUpset(rep.Rows, "GraphNER", "BANNER-ChemDNER")
+	return rep, nil
+}
+
+// AbundantResult compares GraphNER with and without extra unlabelled data
+// — the setting the paper's conclusion expects to raise performance ("we
+// expect even higher performance when the tool is provided abundant
+// unlabelled data").
+type AbundantResult struct {
+	Baseline, Transductive, WithExtra eval.Metrics
+	ExtraSentences                    int
+	VerticesPlain, VerticesExtra      int
+}
+
+// AbundantUnlabelled runs the extension experiment on a profile: an extra
+// unlabelled corpus (a fresh sample from the same generator distribution)
+// joins graph construction and posterior averaging.
+func (e *Env) AbundantUnlabelled(p synth.Profile, extraSentences int) (*AbundantResult, error) {
+	sys, err := e.System(p, BANNER)
+	if err != nil {
+		return nil, err
+	}
+	_, test := e.Corpora(p)
+	cfg := synth.DefaultConfig(p, e.Seed+1000) // disjoint sample
+	cfg.Sentences = extraSentences
+	extra := synth.NewGenerator(cfg).Generate().StripLabels()
+
+	e.logf("[%s] abundant-unlabelled: plain transductive pass on %s", e.Scale.Name, p)
+	plain, err := sys.Test(test)
+	if err != nil {
+		return nil, err
+	}
+	e.logf("[%s] abundant-unlabelled: +%d extra sentences", e.Scale.Name, extraSentences)
+	more, err := sys.TestWithExtra(test, extra)
+	if err != nil {
+		return nil, err
+	}
+	baseRes, err := Score(test, plain.BaselineTags)
+	if err != nil {
+		return nil, err
+	}
+	plainRes, err := Score(test, plain.Tags)
+	if err != nil {
+		return nil, err
+	}
+	moreRes, err := Score(test, more.Tags)
+	if err != nil {
+		return nil, err
+	}
+	return &AbundantResult{
+		Baseline:       baseRes.Metrics(),
+		Transductive:   plainRes.Metrics(),
+		WithExtra:      moreRes.Metrics(),
+		ExtraSentences: extraSentences,
+		VerticesPlain:  plain.Graph.NumVertices(),
+		VerticesExtra:  more.Graph.NumVertices(),
+	}, nil
+}
+
+// GraphStats reproduces §III-D: vertex counts, labelled and positive
+// fractions, edge identity |E| = K·|V|, and weak connectivity.
+type GraphStats struct {
+	Profile          synth.Profile
+	Vertices, Edges  int
+	K                int
+	LabelledFraction float64
+	PositiveFraction float64
+	WeaklyConnected  bool
+	SerializedBytes  int64
+}
+
+// GraphStatistics computes the §III-D statistics for a profile, reusing
+// the cached GraphNER system and graph.
+func (e *Env) GraphStatistics(p synth.Profile) (*GraphStats, error) {
+	sys, err := e.System(p, BANNER)
+	if err != nil {
+		return nil, err
+	}
+	g, err := e.Graph(p, BANNER)
+	if err != nil {
+		return nil, err
+	}
+	_ = sys
+	train, _ := e.Corpora(p)
+	return graphStatsFor(p, g, train)
+}
+
+// GraphStatisticsOnly computes the §III-D statistics without training any
+// CRF: graph construction in All-features mode needs only the feature
+// extractor, so the full-corpus-size statistics (the paper's 406 179 /
+// 348 683 vertex counts) are reachable at a fraction of the cost of a
+// full reproduction run.
+func (e *Env) GraphStatisticsOnly(p synth.Profile) (*GraphStats, error) {
+	train, test := e.Corpora(p)
+	union := corpus.New()
+	union.Sentences = append(append([]*corpus.Sentence{}, train.Sentences...), test.Sentences...)
+	e.logf("[%s] building all-features graph for %s (%d sentences, stats only)",
+		e.Scale.Name, p, len(union.Sentences))
+	g, err := graph.Build(union, graph.BuilderConfig{K: 10, MaxDF: 2000})
+	if err != nil {
+		return nil, err
+	}
+	return graphStatsFor(p, g, train)
+}
+
+func graphStatsFor(p synth.Profile, g *graph.Graph, train *corpus.Corpus) (*GraphStats, error) {
+	refs := graphner.ReferenceDistributions(train)
+	labelled, positive := 0, 0
+	for _, v := range g.Vertices {
+		if d, ok := refs[v]; ok {
+			labelled++
+			if d[corpus.B]+d[corpus.I] > 0 {
+				positive++
+			}
+		}
+	}
+	size, err := g.WriteTo(discardCounter{})
+	if err != nil {
+		return nil, err
+	}
+	st := &GraphStats{
+		Profile:         p,
+		Vertices:        g.NumVertices(),
+		Edges:           g.NumEdges(),
+		K:               g.K,
+		WeaklyConnected: g.WeaklyConnected(),
+		SerializedBytes: size,
+	}
+	if st.Vertices > 0 {
+		st.LabelledFraction = float64(labelled) / float64(st.Vertices)
+		st.PositiveFraction = float64(positive) / float64(st.Vertices)
+	}
+	return st, nil
+}
+
+// discardCounter is an io.Writer that only counts.
+type discardCounter struct{}
+
+func (discardCounter) Write(p []byte) (int, error) { return len(p), nil }
+
+// FormatGraphStats renders §III-D statistics.
+func FormatGraphStats(st *GraphStats) string {
+	return fmt.Sprintf(
+		"%s all-features graph: %d vertices, %d edges (K=%d), %.1f%% labelled, %.2f%% positive, weakly connected=%v, serialized=%.1f MB",
+		st.Profile, st.Vertices, st.Edges, st.K,
+		100*st.LabelledFraction, 100*st.PositiveFraction,
+		st.WeaklyConnected, float64(st.SerializedBytes)/1e6)
+}

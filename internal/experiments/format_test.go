@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/sigf"
+	"repro/internal/stats"
+)
+
+func TestTableString(t *testing.T) {
+	tab := &Table{
+		Title: "Table X",
+		Rows: []Row{
+			{Category: "Baselines", Method: "BANNER", Metrics: eval.Metrics{Precision: 0.9, Recall: 0.8, F1: 0.847}},
+		},
+		Notes: []string{"a note"},
+	}
+	out := tab.String()
+	for _, want := range []string{"Table X", "BANNER", "90.00%", "80.00%", "84.70%", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatHypotheses(t *testing.T) {
+	out := FormatHypotheses([]Hypothesis{
+		{Null: "A and B have the same F-score", Metric: sigf.FScore, PValue: 0.0123},
+	})
+	if !strings.Contains(out, "0.0123") || !strings.Contains(out, "same F-score") {
+		t.Errorf("rendered hypotheses:\n%s", out)
+	}
+}
+
+func TestFormatFigure2(t *testing.T) {
+	pts := []TimingPoint{{
+		Ratio: "7:3", TrainSentences: 700, TestSentences: 300,
+		BaselineTrainTest: stats.Timing{N: 1, Mean: 2 * time.Second},
+		GraphNERTrainTest: stats.Timing{N: 1, Mean: 3 * time.Second},
+		GraphConstruction: stats.Timing{N: 1, Mean: 5 * time.Second},
+	}}
+	out := FormatFigure2(pts)
+	for _, want := range []string{"7:3", "700", "300", "2s", "3s", "5s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered figure 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatGraphStatsContent(t *testing.T) {
+	st := &GraphStats{
+		Vertices: 1000, Edges: 10000, K: 10,
+		LabelledFraction: 0.8, PositiveFraction: 0.1,
+		WeaklyConnected: true, SerializedBytes: 2_000_000,
+	}
+	out := FormatGraphStats(st)
+	for _, want := range []string{"1000 vertices", "10000 edges", "80.0% labelled", "10.00% positive", "2.0 MB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered stats missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestBaseString(t *testing.T) {
+	if BANNER.String() != "BANNER" || ChemDNER.String() != "BANNER-ChemDNER" {
+		t.Error("base names")
+	}
+}
+
+func TestScalesAreOrdered(t *testing.T) {
+	// Sanity: smoke ≤ standard in every cost dimension that matters.
+	if Smoke.CRFIterations > Standard.CRFIterations && Smoke.Sentences > Standard.Sentences {
+		t.Error("smoke scale costlier than standard")
+	}
+	if Full.Sentences != 0 {
+		t.Error("full scale must use paper corpus sizes (Sentences=0)")
+	}
+	if Full.MaxDF == 0 {
+		t.Error("full scale must cap document frequency for tractable k-NN")
+	}
+}

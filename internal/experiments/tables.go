@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/corpus/synth"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/graphner"
+	"repro/internal/neural"
+	"repro/internal/sigf"
+)
+
+// Row is one system's line in a results table.
+type Row struct {
+	Category string
+	Method   string
+	Metrics  eval.Metrics
+	// Result carries the per-sentence outcomes for significance testing
+	// and error analysis; nil for rows that only report aggregate scores.
+	Result *eval.Result
+}
+
+// Table is a rendered experiment: rows plus free-form notes.
+type Table struct {
+	Title string
+	Rows  []Row
+	Notes []string
+}
+
+// String renders the table in the paper's layout.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-16s %-36s %10s %10s %10s\n", "Category", "Method", "Precision", "Recall", "F-Score")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-16s %-36s %9.2f%% %9.2f%% %9.2f%%\n",
+			r.Category, r.Method, 100*r.Metrics.Precision, 100*r.Metrics.Recall, 100*r.Metrics.F1)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// systemPair evaluates a base CRF and GraphNER on top of it, reusing the
+// cached graph.
+func (e *Env) systemPair(p synth.Profile, b Base) (baseline, gnr *eval.Result, out *graphner.Output, err error) {
+	sys, err := e.System(p, b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g, err := e.Graph(p, b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	_, test := e.Corpora(p)
+	e.logf("[%s] running GraphNER(%s) on %s", e.Scale.Name, b, p)
+	out, err = sys.TestWithGraph(test, g)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	baseline, err = Score(test, out.BaselineTags)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	gnr, err = Score(test, out.Tags)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return baseline, gnr, out, nil
+}
+
+// resultsTable builds the Table I / Table II layout for a profile.
+func (e *Env) resultsTable(p synth.Profile, title string) (*Table, error) {
+	t := &Table{Title: title}
+
+	// Neural comparison rows.
+	for _, arch := range []neural.Arch{neural.LSTMCRF, neural.CharAttention} {
+		res, err := e.NeuralBaseline(p, arch)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Category: "Neural", Method: arch.String(),
+			Metrics: res.Metrics(), Result: res,
+		})
+	}
+
+	// Base CRFs and GraphNER on each.
+	for _, b := range []Base{BANNER, ChemDNER} {
+		baseline, gnr, _, err := e.systemPair(p, b)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Category: "Baselines", Method: b.String(),
+			Metrics: baseline.Metrics(), Result: baseline,
+		})
+		t.Rows = append(t.Rows, Row{
+			Category: "GraphNER", Method: "CRF=" + b.String(),
+			Metrics: gnr.Metrics(), Result: gnr,
+		})
+	}
+	return t, nil
+}
+
+// Table1 reproduces "Results on the BC2GM corpus".
+func (e *Env) Table1() (*Table, error) {
+	return e.resultsTable(synth.BC2GM, "Table I — results on the BC2GM-profile corpus")
+}
+
+// Table2 reproduces "Results on the AML corpus".
+func (e *Env) Table2() (*Table, error) {
+	return e.resultsTable(synth.AML, "Table II — results on the AML-profile corpus")
+}
+
+// Table3 reproduces the feature-set ablation for graph construction:
+// All-features vs Lexical-features vs MI thresholds, and K=10 vs K=5.
+func (e *Env) Table3() (*Table, error) {
+	t := &Table{Title: "Table III — effect of vertex feature sets and K on BC2GM"}
+	_, test := e.Corpora(synth.BC2GM)
+
+	type variant struct {
+		name string
+		mode graph.FeatureMode
+		mi   float64
+		k    int
+	}
+	variants := []variant{
+		{"All-features", graph.AllFeatures, 0, 10},
+		{"Lexical-features", graph.LexicalFeatures, 0, 10},
+		{"MI > 0.002", graph.MIFeatures, 0.002, 10},
+		{"MI > 0.005", graph.MIFeatures, 0.005, 10},
+		{"MI > 0.01", graph.MIFeatures, 0.01, 10},
+		{"All-features (K=5)", graph.AllFeatures, 0, 5},
+	}
+	for _, b := range []Base{BANNER, ChemDNER} {
+		sys, err := e.System(synth.BC2GM, b)
+		if err != nil {
+			return nil, err
+		}
+		// Baseline row once per base model.
+		baseRes, err := Score(test, sys.BaselineTags(test))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Category: "Baseline", Method: b.String(),
+			Metrics: baseRes.Metrics(), Result: baseRes,
+		})
+		for _, v := range variants {
+			cfg := sys.Config()
+			cfg.Mode = v.mode
+			cfg.MIThreshold = v.mi
+			cfg.K = v.k
+			vs := sys.WithConfig(cfg)
+			e.logf("[%s] Table III: %s / %s", e.Scale.Name, b, v.name)
+			g, err := vs.BuildGraph(test)
+			if err != nil {
+				return nil, err
+			}
+			out, err := vs.TestWithGraph(test, g)
+			if err != nil {
+				return nil, err
+			}
+			res, err := Score(test, out.Tags)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, Row{
+				Category: "GraphNER", Method: fmt.Sprintf("%s / %s", b, v.name),
+				Metrics: res.Metrics(), Result: res,
+			})
+		}
+	}
+	return t, nil
+}
+
+// CVResult is one hyper-parameter assignment with its cross-validated
+// F-score.
+type CVResult struct {
+	Alpha, Mu, Nu float64
+	Iterations    int
+	F1            float64
+}
+
+// Table4 reproduces the cross-validation that chose the paper's Table IV
+// hyper-parameters: a grid over (α, μ, ν, #iterations) scored by F on
+// held-out folds of the training data.
+func (e *Env) Table4(p synth.Profile, b Base, folds int) ([]CVResult, error) {
+	if folds < 2 {
+		folds = 3
+	}
+	train, _ := e.Corpora(p)
+	cfg, err := e.GraphNERConfig(p, b)
+	if err != nil {
+		return nil, err
+	}
+
+	alphas := []float64{0.02, 0.1, 0.3}
+	mus := []float64{1e-6, 1e-4}
+	nus := []float64{1e-6, 1e-4}
+	iters := []int{2, 3}
+
+	var grid []CVResult
+	for _, a := range alphas {
+		for _, m := range mus {
+			for _, n := range nus {
+				for _, it := range iters {
+					grid = append(grid, CVResult{Alpha: a, Mu: m, Nu: n, Iterations: it})
+				}
+			}
+		}
+	}
+
+	per := len(train.Sentences) / folds
+	sums := make([]float64, len(grid))
+	for f := 0; f < folds; f++ {
+		foldTest := corpus.New()
+		foldTrain := corpus.New()
+		for i, s := range train.Sentences {
+			if i/per == f {
+				foldTest.Sentences = append(foldTest.Sentences, s)
+			} else {
+				foldTrain.Sentences = append(foldTrain.Sentences, s)
+			}
+		}
+		e.logf("[%s] Table IV: fold %d/%d (%d train / %d test)",
+			e.Scale.Name, f+1, folds, len(foldTrain.Sentences), len(foldTest.Sentences))
+		sys, err := graphner.Train(foldTrain, cfg)
+		if err != nil {
+			return nil, err
+		}
+		g, err := sys.BuildGraph(foldTest)
+		if err != nil {
+			return nil, err
+		}
+		for gi, cv := range grid {
+			c2 := sys.Config()
+			c2.Alpha, c2.Mu, c2.Nu, c2.Iterations = cv.Alpha, cv.Mu, cv.Nu, cv.Iterations
+			out, err := sys.WithConfig(c2).TestWithGraph(foldTest, g)
+			if err != nil {
+				return nil, err
+			}
+			res, err := Score(foldTest, out.Tags)
+			if err != nil {
+				return nil, err
+			}
+			sums[gi] += res.Metrics().F1
+		}
+	}
+	for i := range grid {
+		grid[i].F1 = sums[i] / float64(folds)
+	}
+	sort.Slice(grid, func(i, j int) bool { return grid[i].F1 > grid[j].F1 })
+	return grid, nil
+}
+
+// Hypothesis is one Table V row.
+type Hypothesis struct {
+	Null   string
+	Metric sigf.Metric
+	PValue float64
+}
+
+// Table5 reproduces the significance tests: the eight null hypotheses of
+// Table V, tested with approximate randomization.
+func (e *Env) Table5() ([]Hypothesis, error) {
+	var out []Hypothesis
+	test := func(p synth.Profile, b Base, metrics []sigf.Metric) error {
+		baseline, gnr, _, err := e.systemPair(p, b)
+		if err != nil {
+			return err
+		}
+		for _, m := range metrics {
+			r, err := sigf.Test(sigf.FromResults(baseline), sigf.FromResults(gnr), m,
+				sigf.Options{Repetitions: e.Scale.SigfRepetitions, Seed: e.Seed})
+			if err != nil {
+				return err
+			}
+			out = append(out, Hypothesis{
+				Null: fmt.Sprintf("%s and GraphNER with %s have the same %v on %s corpus",
+					b, b, m, p),
+				Metric: m,
+				PValue: r.PValue,
+			})
+		}
+		return nil
+	}
+	// BC2GM: F-score tests only (as in the paper's Table V).
+	for _, b := range []Base{BANNER, ChemDNER} {
+		if err := test(synth.BC2GM, b, []sigf.Metric{sigf.FScore}); err != nil {
+			return nil, err
+		}
+	}
+	// AML: F, recall and precision per base model.
+	for _, b := range []Base{BANNER, ChemDNER} {
+		if err := test(synth.AML, b, []sigf.Metric{sigf.FScore, sigf.Recall, sigf.Precision}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// FormatHypotheses renders Table V.
+func FormatHypotheses(hs []Hypothesis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-90s %10s\n", "null hypothesis", "p-value")
+	for _, h := range hs {
+		fmt.Fprintf(&b, "%-90s %10.4g\n", h.Null, h.PValue)
+	}
+	return b.String()
+}

@@ -1,0 +1,337 @@
+// Package features implements BANNER-style feature extraction for
+// biomedical named entity recognition. Each token position in a sentence is
+// mapped to a set of string feature instances (orthographic, lexical,
+// character-level, and windowed context features). The same feature
+// instances serve two purposes in GraphNER:
+//
+//   - conjoined with BIO tags they become the binary indicator features of
+//     the linear-chain CRF (the BANNER base model);
+//   - aggregated per 3-gram they become the PMI vector components from
+//     which the similarity graph is built ("All-features" mode in the
+//     paper's Table III).
+//
+// Distributional features in the style of BANNER-ChemDNER — Brown cluster
+// bit-path prefixes and word-embedding cluster identities — are plugged in
+// through the WordClasser interface, keeping this package independent of
+// the packages that learn them.
+package features
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/tokenize"
+)
+
+// WordClasser supplies distributional word classes learned from unlabelled
+// text: Brown cluster paths and/or embedding cluster IDs. Implementations
+// must be safe for concurrent use after construction.
+type WordClasser interface {
+	// Classes returns feature strings for the word, e.g.
+	// ["brown4=0110", "brown6=011010", "w2v=17"]. It returns nil for
+	// unknown words.
+	Classes(word string) []string
+}
+
+// MultiClasser combines several WordClassers; the feature lists are
+// concatenated. It is how the BANNER-ChemDNER configuration stacks Brown
+// cluster paths and word2vec cluster identities.
+type MultiClasser []WordClasser
+
+// Classes implements WordClasser.
+func (m MultiClasser) Classes(word string) []string {
+	var out []string
+	for _, c := range m {
+		out = append(out, c.Classes(word)...)
+	}
+	return out
+}
+
+// LexiconClasser emits dictionary-membership features, the gene-lexicon
+// features BANNER optionally uses: a word contained in any known entity
+// surface yields "LEX" plus "LEXFULL" when the word alone is a complete
+// entry. Matching is case-insensitive.
+type LexiconClasser struct {
+	full  map[string]bool
+	parts map[string]bool
+}
+
+// NewLexiconClasser builds a classer from entity surface forms
+// (multi-word surfaces contribute their individual words to partial
+// matching).
+func NewLexiconClasser(surfaces []string) *LexiconClasser {
+	l := &LexiconClasser{full: make(map[string]bool), parts: make(map[string]bool)}
+	for _, s := range surfaces {
+		low := strings.ToLower(s)
+		l.full[low] = true
+		for _, w := range strings.Fields(low) {
+			l.parts[w] = true
+		}
+	}
+	return l
+}
+
+// Classes implements WordClasser.
+func (l *LexiconClasser) Classes(word string) []string {
+	low := strings.ToLower(word)
+	switch {
+	case l.full[low]:
+		return []string{"LEX", "LEXFULL"}
+	case l.parts[low]:
+		return []string{"LEX"}
+	}
+	return nil
+}
+
+// Extractor generates feature instances for sentence positions.
+// The zero value is a plain BANNER-style extractor; attach a WordClasser
+// for BANNER-ChemDNER-style distributional features.
+type Extractor struct {
+	// Classer, if non-nil, contributes distributional features.
+	Classer WordClasser
+	// WindowSize is the half-width of the context window (default 2).
+	WindowSize int
+	// CharNGrams enables character 2- and 3-gram features.
+	CharNGrams bool
+}
+
+// NewExtractor returns the configuration used for the experiments: window
+// of 2, char n-grams on.
+func NewExtractor(classer WordClasser) *Extractor {
+	return &Extractor{Classer: classer, WindowSize: 2, CharNGrams: true}
+}
+
+// Position computes the feature instances for token index i of words.
+// The returned strings are unique per instance kind (prefixed) and stable
+// across calls.
+func (e *Extractor) Position(words []string, i int) []string {
+	w := words[i]
+	window := e.WindowSize
+	if window == 0 {
+		window = 2
+	}
+	feats := make([]string, 0, 32)
+	add := func(f string) { feats = append(feats, f) }
+
+	lower := strings.ToLower(w)
+	add("w=" + lower)
+	add("lemma=" + tokenize.Lemma(w))
+	add("shape=" + tokenize.Shape(w))
+	add("brief=" + tokenize.BriefShape(w))
+
+	// Prefixes and suffixes (2..4 characters).
+	r := []rune(lower)
+	for n := 2; n <= 4 && n <= len(r); n++ {
+		add("pre" + strconv.Itoa(n) + "=" + string(r[:n]))
+		add("suf" + strconv.Itoa(n) + "=" + string(r[len(r)-n:]))
+	}
+
+	// Orthographic predicates.
+	for _, p := range orthoPredicates(w) {
+		add(p)
+	}
+
+	// Character n-grams (2 and 3) over the lowercased word.
+	if e.CharNGrams {
+		for n := 2; n <= 3; n++ {
+			for j := 0; j+n <= len(r); j++ {
+				add("cg" + strconv.Itoa(n) + "=" + string(r[j:j+n]))
+			}
+		}
+	}
+
+	// Window features: surrounding words and lemmas with relative offsets.
+	for d := -window; d <= window; d++ {
+		if d == 0 {
+			continue
+		}
+		j := i + d
+		var wj string
+		if j < 0 {
+			wj = "<s>"
+		} else if j >= len(words) {
+			wj = "</s>"
+		} else {
+			wj = strings.ToLower(words[j])
+		}
+		add(fmt.Sprintf("w%+d=%s", d, wj))
+		if j >= 0 && j < len(words) {
+			add(fmt.Sprintf("lem%+d=%s", d, tokenize.Lemma(words[j])))
+			add(fmt.Sprintf("shape%+d=%s", d, tokenize.BriefShape(words[j])))
+		}
+	}
+
+	// Adjacent-word bigrams.
+	if i > 0 {
+		add("bg-1=" + strings.ToLower(words[i-1]) + "_" + lower)
+	}
+	if i+1 < len(words) {
+		add("bg+1=" + lower + "_" + strings.ToLower(words[i+1]))
+	}
+
+	// Distributional word classes for the token and its neighbours.
+	if e.Classer != nil {
+		for _, c := range e.Classer.Classes(w) {
+			add(c)
+		}
+		if i > 0 {
+			for _, c := range e.Classer.Classes(words[i-1]) {
+				add(c + "@-1")
+			}
+		}
+		if i+1 < len(words) {
+			for _, c := range e.Classer.Classes(words[i+1]) {
+				add(c + "@+1")
+			}
+		}
+	}
+	return feats
+}
+
+// Sentence computes Position for every index, reusing tokenization work.
+func (e *Extractor) Sentence(words []string) [][]string {
+	out := make([][]string, len(words))
+	for i := range words {
+		out[i] = e.Position(words, i)
+	}
+	return out
+}
+
+// orthoPredicates returns the boolean orthographic features that hold for w.
+func orthoPredicates(w string) []string {
+	var (
+		hasUpper, hasLower, hasDigit, hasPunct, hasGreek bool
+		allUpper, allDigit                               = true, true
+	)
+	for _, r := range w {
+		switch {
+		case unicode.IsUpper(r):
+			hasUpper = true
+			allDigit = false
+		case unicode.IsLower(r):
+			hasLower = true
+			allUpper, allDigit = false, false
+		case unicode.IsDigit(r):
+			hasDigit = true
+			allUpper = false
+		default:
+			hasPunct = true
+			allUpper, allDigit = false, false
+		}
+	}
+	if isGreekName(w) {
+		hasGreek = true
+	}
+	var out []string
+	if hasUpper && allUpper && len(w) > 1 {
+		out = append(out, "ALLCAPS")
+	}
+	if hasUpper && hasLower {
+		out = append(out, "MIXEDCASE")
+	}
+	if hasUpper && hasDigit {
+		out = append(out, "ALPHANUMERIC")
+	}
+	if allDigit && len(w) > 0 {
+		out = append(out, "NUMBER")
+	}
+	if hasDigit && !allDigit {
+		out = append(out, "HASDIGIT")
+	}
+	if hasPunct && len(w) == 1 {
+		out = append(out, "PUNCT", "punct="+w)
+	}
+	if hasGreek {
+		out = append(out, "GREEK")
+	}
+	if len([]rune(w)) == 1 && hasUpper {
+		out = append(out, "SINGLEUPPER")
+	}
+	if romanNumeral(w) {
+		out = append(out, "ROMAN")
+	}
+	return out
+}
+
+var greekNames = map[string]bool{
+	"alpha": true, "beta": true, "gamma": true, "delta": true,
+	"epsilon": true, "zeta": true, "eta": true, "theta": true,
+	"kappa": true, "lambda": true, "sigma": true, "omega": true,
+}
+
+func isGreekName(w string) bool { return greekNames[strings.ToLower(w)] }
+
+func romanNumeral(w string) bool {
+	if w == "" {
+		return false
+	}
+	for _, r := range w {
+		switch r {
+		case 'I', 'V', 'X', 'L', 'C':
+		default:
+			return false
+		}
+	}
+	return len(w) <= 4
+}
+
+// Alphabet interns feature strings to dense integer identifiers. It grows
+// while unfrozen; after Freeze, unknown strings map to -1. Alphabet is not
+// safe for concurrent mutation; freeze it before sharing across goroutines.
+type Alphabet struct {
+	index  map[string]int
+	names  []string
+	frozen bool
+}
+
+// NewAlphabet returns an empty, unfrozen alphabet.
+func NewAlphabet() *Alphabet {
+	return &Alphabet{index: make(map[string]int)}
+}
+
+// Lookup returns the id of s, adding it if the alphabet is unfrozen.
+// It returns -1 for unknown strings on a frozen alphabet.
+func (a *Alphabet) Lookup(s string) int {
+	if id, ok := a.index[s]; ok {
+		return id
+	}
+	if a.frozen {
+		return -1
+	}
+	id := len(a.names)
+	a.index[s] = id
+	a.names = append(a.names, s)
+	return id
+}
+
+// Name returns the string for id. It panics on out-of-range ids.
+func (a *Alphabet) Name(id int) string { return a.names[id] }
+
+// Len returns the number of interned strings.
+func (a *Alphabet) Len() int { return len(a.names) }
+
+// Freeze stops the alphabet from growing; subsequent unknown lookups
+// return -1. Freezing an already-frozen alphabet is a no-op.
+func (a *Alphabet) Freeze() { a.frozen = true }
+
+// Frozen reports whether the alphabet is frozen.
+func (a *Alphabet) Frozen() bool { return a.frozen }
+
+// Names returns the interned strings in id order. The returned slice is a
+// copy and safe to retain; it is the serialized form of the alphabet.
+func (a *Alphabet) Names() []string {
+	return append([]string(nil), a.names...)
+}
+
+// NewAlphabetFromNames reconstructs a frozen alphabet from a Names()
+// snapshot, preserving ids.
+func NewAlphabetFromNames(names []string) *Alphabet {
+	a := NewAlphabet()
+	for _, n := range names {
+		a.Lookup(n)
+	}
+	a.Freeze()
+	return a
+}

@@ -1,0 +1,403 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/features"
+	"repro/internal/tokenize"
+)
+
+// FeatureMode selects the vertex representation of the paper's Table III.
+type FeatureMode int
+
+const (
+	// AllFeatures uses every feature the BANNER-style extractor produces
+	// at the 3-gram's center position.
+	AllFeatures FeatureMode = iota
+	// LexicalFeatures uses only the lemmas of the words in a window of
+	// length 5 around the center position.
+	LexicalFeatures
+	// MIFeatures uses the subset of AllFeatures whose mutual information
+	// with the tagger-assigned BIO tag exceeds MIThreshold.
+	MIFeatures
+)
+
+func (m FeatureMode) String() string {
+	switch m {
+	case LexicalFeatures:
+		return "Lexical-features"
+	case MIFeatures:
+		return "MI-features"
+	}
+	return "All-features"
+}
+
+// BuilderConfig controls graph construction.
+type BuilderConfig struct {
+	// K is the out-degree of the k-NN graph (default 10, paper's default).
+	K int
+	// Mode selects the vertex representation.
+	Mode FeatureMode
+	// MIThreshold filters features in MIFeatures mode (e.g. 0.005, 0.01).
+	MIThreshold float64
+	// Tags supplies per-sentence BIO tags, parallel to the corpus
+	// sentences, for MIFeatures mode. Typically the base CRF's decoded
+	// output (train gold tags also work).
+	Tags [][]corpus.Tag
+	// Extractor provides the feature set for AllFeatures/MIFeatures
+	// (default: plain BANNER-style extractor).
+	Extractor *features.Extractor
+	// MaxDF drops features occurring at more than this many vertices from
+	// candidate generation (they still contribute to cosine scores of
+	// generated candidates). 0 means no cap. High-document-frequency
+	// features generate enormous candidate lists without discriminating;
+	// capping them prunes the exact search with negligible recall loss.
+	MaxDF int
+	// Workers bounds the parallelism of the k-NN search (default
+	// GOMAXPROCS).
+	Workers int
+	// UseLSH switches the nearest-neighbour search from the exact
+	// inverted-index algorithm to random-hyperplane locality-sensitive
+	// hashing with exact re-ranking — the remedy for the construction
+	// scalability the paper's conclusion flags as an open problem.
+	// Recall is high but not perfect; see Recall and the graph package
+	// tests.
+	UseLSH bool
+	// LSH tunes the approximate search when UseLSH is set.
+	LSH LSHConfig
+}
+
+// Build constructs the 3-gram similarity graph over the corpus (typically
+// the union of labelled and unlabelled data, per Algorithm 1).
+func Build(corp *corpus.Corpus, cfg BuilderConfig) (*Graph, error) {
+	if len(corp.Sentences) == 0 {
+		return nil, fmt.Errorf("graph: empty corpus")
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	if cfg.Extractor == nil {
+		cfg.Extractor = features.NewExtractor(nil)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Mode == MIFeatures {
+		if cfg.Tags == nil {
+			return nil, fmt.Errorf("graph: MIFeatures mode requires Tags")
+		}
+		if len(cfg.Tags) != len(corp.Sentences) {
+			return nil, fmt.Errorf("graph: %d tag rows for %d sentences", len(cfg.Tags), len(corp.Sentences))
+		}
+	}
+
+	vecs, verts, err := vertexVectors(corp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var neighbors [][]Edge
+	if cfg.UseLSH {
+		neighbors = knnLSH(vecs, cfg, cfg.LSH)
+	} else {
+		neighbors = knn(vecs, cfg)
+	}
+	g := &Graph{
+		Vertices:  verts,
+		Index:     make(map[corpus.NGram]int, len(verts)),
+		Neighbors: neighbors,
+		K:         cfg.K,
+	}
+	for i, v := range verts {
+		g.Index[v] = i
+	}
+	return g, nil
+}
+
+// sparseVec is a sorted-by-feature-id sparse vector with cached norm.
+type sparseVec struct {
+	ids  []int32
+	vals []float64
+	norm float64
+}
+
+// vertexVectors aggregates per-occurrence feature counts per 3-gram and
+// converts them to PPMI vectors.
+func vertexVectors(corp *corpus.Corpus, cfg BuilderConfig) ([]sparseVec, []corpus.NGram, error) {
+	verts := corp.UniqueTrigrams()
+	index := make(map[corpus.NGram]int, len(verts))
+	for i, v := range verts {
+		index[v] = i
+	}
+
+	alphabet := features.NewAlphabet()
+	// counts[v] maps feature id -> co-occurrence count.
+	counts := make([]map[int32]float64, len(verts))
+	for i := range counts {
+		counts[i] = make(map[int32]float64, 8)
+	}
+	vertTotal := make([]float64, len(verts))
+	var featTotal []float64
+	var grand float64
+
+	var miKeep map[string]bool
+	if cfg.Mode == MIFeatures {
+		miKeep = miSelect(corp, cfg)
+	}
+
+	addFeat := func(vi int, f string) {
+		id := int32(alphabet.Lookup(f))
+		counts[vi][id]++
+		for int(id) >= len(featTotal) {
+			featTotal = append(featTotal, 0)
+		}
+		featTotal[id]++
+		vertTotal[vi]++
+		grand++
+	}
+
+	for si, s := range corp.Sentences {
+		words := s.Words()
+		for i := range words {
+			vi := index[corpus.Trigram(words, i)]
+			switch cfg.Mode {
+			case LexicalFeatures:
+				for d := -2; d <= 2; d++ {
+					j := i + d
+					if j < 0 || j >= len(words) {
+						continue
+					}
+					addFeat(vi, fmt.Sprintf("lem%+d=%s", d, tokenize.Lemma(words[j])))
+				}
+			default:
+				for _, f := range cfg.Extractor.Position(words, i) {
+					if miKeep != nil && !miKeep[f] {
+						continue
+					}
+					addFeat(vi, f)
+				}
+			}
+		}
+		_ = si
+	}
+	if grand == 0 {
+		// Possible in MIFeatures mode when the threshold excludes every
+		// feature: the graph degenerates to isolated vertices.
+		return make([]sparseVec, len(verts)), verts, nil
+	}
+
+	// PPMI transform: pmi = log(c(v,f)·N / (c(v)·c(f))), clamped at 0.
+	vecs := make([]sparseVec, len(verts))
+	for vi := range verts {
+		m := counts[vi]
+		ids := make([]int32, 0, len(m))
+		for id := range m {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		vals := make([]float64, 0, len(ids))
+		keep := ids[:0]
+		var norm float64
+		for _, id := range ids {
+			pmi := math.Log(m[id] * grand / (vertTotal[vi] * featTotal[id]))
+			if pmi <= 0 {
+				continue
+			}
+			keep = append(keep, id)
+			vals = append(vals, pmi)
+			norm += pmi * pmi
+		}
+		vecs[vi] = sparseVec{ids: keep, vals: vals, norm: math.Sqrt(norm)}
+	}
+	return vecs, verts, nil
+}
+
+// MIFeatureCount reports how many features pass the MI threshold of the
+// configuration — the paper quotes 85 features for MI > 0.005 and 40 for
+// MI > 0.01 on BC2GM. Useful for calibrating thresholds on new corpora.
+func MIFeatureCount(corp *corpus.Corpus, cfg BuilderConfig) (int, error) {
+	if cfg.Tags == nil || len(cfg.Tags) != len(corp.Sentences) {
+		return 0, fmt.Errorf("graph: MIFeatureCount requires Tags parallel to sentences")
+	}
+	if cfg.Extractor == nil {
+		cfg.Extractor = features.NewExtractor(nil)
+	}
+	return len(miSelect(corp, cfg)), nil
+}
+
+// miSelect computes the mutual information between each feature's presence
+// and the BIO tag over all token positions, returning the features above
+// the threshold.
+func miSelect(corp *corpus.Corpus, cfg BuilderConfig) map[string]bool {
+	featTag := make(map[string]*[corpus.NumTags]float64)
+	var tagCount [corpus.NumTags]float64
+	var n float64
+	for si, s := range corp.Sentences {
+		words := s.Words()
+		tags := cfg.Tags[si]
+		for i := range words {
+			if i >= len(tags) {
+				break
+			}
+			t := tags[i]
+			tagCount[t]++
+			n++
+			for _, f := range cfg.Extractor.Position(words, i) {
+				c := featTag[f]
+				if c == nil {
+					c = new([corpus.NumTags]float64)
+					featTag[f] = c
+				}
+				c[t]++
+			}
+		}
+	}
+	keep := make(map[string]bool)
+	if n == 0 {
+		return keep
+	}
+	for f, c := range featTag {
+		var cf float64
+		for _, v := range c {
+			cf += v
+		}
+		var mi float64
+		for t := 0; t < corpus.NumTags; t++ {
+			pt := tagCount[t] / n
+			if pt == 0 {
+				continue
+			}
+			// Present half.
+			if c[t] > 0 {
+				p := c[t] / n
+				mi += p * math.Log2(p/((cf/n)*pt))
+			}
+			// Absent half.
+			if abs := tagCount[t] - c[t]; abs > 0 && n-cf > 0 {
+				p := abs / n
+				mi += p * math.Log2(p/(((n-cf)/n)*pt))
+			}
+		}
+		if mi > cfg.MIThreshold {
+			keep[f] = true
+		}
+	}
+	return keep
+}
+
+// knn finds, for every vertex, its K most cosine-similar vertices, using an
+// inverted index for candidate generation and exact sparse dot products for
+// scoring. The search over query vertices runs in parallel.
+func knn(vecs []sparseVec, cfg BuilderConfig) [][]Edge {
+	n := len(vecs)
+	// Inverted index: feature id -> vertex postings.
+	nf := 0
+	for i := range vecs {
+		for _, id := range vecs[i].ids {
+			if int(id) >= nf {
+				nf = int(id) + 1
+			}
+		}
+	}
+	postings := make([][]int32, nf)
+	for vi := range vecs {
+		for _, id := range vecs[vi].ids {
+			postings[id] = append(postings[id], int32(vi))
+		}
+	}
+
+	out := make([][]Edge, n)
+	var wg sync.WaitGroup
+	workers := cfg.Workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scores := make([]float64, n)
+			touched := make([]int32, 0, 1024)
+			for vi := w; vi < n; vi += workers {
+				q := &vecs[vi]
+				if q.norm == 0 {
+					continue
+				}
+				touched = touched[:0]
+				for k, id := range q.ids {
+					pl := postings[id]
+					if cfg.MaxDF > 0 && len(pl) > cfg.MaxDF {
+						continue
+					}
+					qv := q.vals[k]
+					for _, cand := range pl {
+						if cand == int32(vi) {
+							continue
+						}
+						if scores[cand] == 0 {
+							touched = append(touched, cand)
+						}
+						// Sparse partial dot: accumulate q_f · c_f.
+						scores[cand] += qv * valueOf(&vecs[cand], id)
+					}
+				}
+				// Select top K by cosine.
+				edges := topK(scores, touched, q.norm, vecs, cfg.K)
+				for _, c := range touched {
+					scores[c] = 0
+				}
+				out[vi] = edges
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// valueOf returns the vector's value for a feature id (binary search).
+func valueOf(v *sparseVec, id int32) float64 {
+	lo, hi := 0, len(v.ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(v.ids) && v.ids[lo] == id {
+		return v.vals[lo]
+	}
+	return 0
+}
+
+// topK selects the K best candidates by cosine = score/(|q||c|), keeping a
+// small descending-sorted buffer with ordered insertion (O(C·K) with K=10).
+func topK(scores []float64, touched []int32, qnorm float64, vecs []sparseVec, k int) []Edge {
+	edges := make([]Edge, 0, k)
+	less := func(a, b Edge) bool {
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		return a.To < b.To
+	}
+	for _, c := range touched {
+		cn := vecs[c].norm
+		if cn == 0 {
+			continue
+		}
+		e := Edge{To: c, Weight: scores[c] / (qnorm * cn)}
+		if len(edges) == k {
+			if !less(e, edges[k-1]) {
+				continue
+			}
+			edges = edges[:k-1]
+		}
+		i := sort.Search(len(edges), func(j int) bool { return less(e, edges[j]) })
+		edges = append(edges, Edge{})
+		copy(edges[i+1:], edges[i:])
+		edges[i] = e
+	}
+	return edges
+}

@@ -1,0 +1,311 @@
+// Package graph builds and represents the 3-gram similarity graph at the
+// heart of GraphNER. Vertices are the unique 3-grams of a partially
+// labelled corpus; each vertex is represented by a sparse vector of
+// positive pointwise mutual information (PPMI) between the 3-gram and the
+// feature instances observed at its occurrences; edges connect each vertex
+// to its K most cosine-similar vertices (a directed k-NN graph, K=10 in
+// the paper). Three vertex representations from the paper's Table III are
+// supported: all BANNER features, lexical window lemmas, and features
+// filtered by mutual information with the tagger's output.
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/corpus"
+)
+
+// Edge is a weighted directed edge to a vertex index.
+type Edge struct {
+	To     int32
+	Weight float64
+}
+
+// Graph is the directed k-NN similarity graph over 3-gram vertices.
+type Graph struct {
+	Vertices  []corpus.NGram
+	Index     map[corpus.NGram]int
+	Neighbors [][]Edge // Neighbors[v] has at most K entries
+	K         int
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Vertices) }
+
+// NumEdges returns the total directed edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, es := range g.Neighbors {
+		n += len(es)
+	}
+	return n
+}
+
+// Lookup returns the vertex index for a 3-gram, or -1.
+func (g *Graph) Lookup(v corpus.NGram) int {
+	if i, ok := g.Index[v]; ok {
+		return i
+	}
+	return -1
+}
+
+// InfluenceStats holds the per-vertex influence measures of the paper's
+// §III-D: Influencees(v) is the set of vertices that have v among their
+// nearest neighbours, and Influence(v) is the sum of the weights of the
+// edges arriving at v.
+type InfluenceStats struct {
+	Influencees []int     // |Influencees(v)| per vertex
+	Influence   []float64 // Influence(v) per vertex
+}
+
+// Influences computes both influence measures for every vertex.
+func (g *Graph) Influences() InfluenceStats {
+	st := InfluenceStats{
+		Influencees: make([]int, len(g.Vertices)),
+		Influence:   make([]float64, len(g.Vertices)),
+	}
+	for _, es := range g.Neighbors {
+		for _, e := range es {
+			st.Influencees[e.To]++
+			st.Influence[e.To] += e.Weight
+		}
+	}
+	return st
+}
+
+// WeaklyConnected reports whether the graph is weakly connected (treating
+// edges as undirected). The empty graph is vacuously connected.
+func (g *Graph) WeaklyConnected() bool {
+	n := len(g.Vertices)
+	if n == 0 {
+		return true
+	}
+	adj := make([][]int32, n)
+	for v, es := range g.Neighbors {
+		for _, e := range es {
+			adj[v] = append(adj[v], e.To)
+			adj[e.To] = append(adj[e.To], int32(v))
+		}
+	}
+	seen := make([]bool, n)
+	stack := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// WriteTo serializes the graph in a line-oriented text format:
+//
+//	K <k>
+//	V <count>
+//	<ngram-escaped> then per line "E <to> <weight>" groups
+//
+// The byte count returned estimates the paper's §III-C memory-footprint
+// measure (graph description file size).
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	fmt.Fprintf(bw, "K %d\nV %d\n", g.K, len(g.Vertices))
+	for i, v := range g.Vertices {
+		fmt.Fprintf(bw, "N %s\n", escape(string(v)))
+		for _, e := range g.Neighbors[i] {
+			fmt.Fprintf(bw, "E %d %.6g\n", e.To, e.Weight)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFrom deserializes a graph written by WriteTo.
+func ReadFrom(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	g := &Graph{Index: make(map[corpus.NGram]int)}
+	line := 0
+	read := func() (string, bool) {
+		if !sc.Scan() {
+			return "", false
+		}
+		line++
+		return sc.Text(), true
+	}
+	hdr, ok := read()
+	if !ok || !strings.HasPrefix(hdr, "K ") {
+		return nil, fmt.Errorf("graph: missing K header")
+	}
+	k, err := strconv.Atoi(hdr[2:])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad K header: %w", err)
+	}
+	g.K = k
+	vh, ok := read()
+	if !ok || !strings.HasPrefix(vh, "V ") {
+		return nil, fmt.Errorf("graph: missing V header")
+	}
+	n, err := strconv.Atoi(vh[2:])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("graph: bad V header %q", vh)
+	}
+	g.Vertices = make([]corpus.NGram, 0, n)
+	g.Neighbors = make([][]Edge, 0, n)
+	for {
+		l, ok := read()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(l, "N "):
+			v := corpus.NGram(unescape(l[2:]))
+			g.Index[v] = len(g.Vertices)
+			g.Vertices = append(g.Vertices, v)
+			g.Neighbors = append(g.Neighbors, nil)
+		case strings.HasPrefix(l, "E "):
+			if len(g.Vertices) == 0 {
+				return nil, fmt.Errorf("graph: line %d: edge before vertex", line)
+			}
+			var to int32
+			var wgt float64
+			if _, err := fmt.Sscanf(l, "E %d %g", &to, &wgt); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", line, err)
+			}
+			if int(to) >= n || to < 0 {
+				return nil, fmt.Errorf("graph: line %d: edge target %d out of range", line, to)
+			}
+			last := len(g.Neighbors) - 1
+			g.Neighbors[last] = append(g.Neighbors[last], Edge{To: to, Weight: wgt})
+		default:
+			return nil, fmt.Errorf("graph: line %d: unrecognized %q", line, l)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(g.Vertices) != n {
+		return nil, fmt.Errorf("graph: header promised %d vertices, got %d", n, len(g.Vertices))
+	}
+	return g, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// escape protects the NUL separators inside NGram keys for the text format.
+func escape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\x00", `\0`)
+}
+
+func unescape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			if s[i] == '0' {
+				b.WriteByte(0)
+			} else {
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// Histogram buckets non-negative values into log-spaced bins for the
+// influence plots of Figure 3.
+type Histogram struct {
+	Edges  []float64 // len = len(Counts)+1
+	Counts []int
+}
+
+// LogHistogram builds a histogram with log-spaced buckets between the
+// minimum positive value and the maximum. Zero values land in the first
+// bucket.
+func LogHistogram(values []float64, buckets int) Histogram {
+	if buckets <= 0 {
+		buckets = 10
+	}
+	maxV := 0.0
+	minPos := math.Inf(1)
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if v > 0 && v < minPos {
+			minPos = v
+		}
+	}
+	if maxV == 0 || math.IsInf(minPos, 1) {
+		return Histogram{Edges: []float64{0, 1}, Counts: []int{len(values)}}
+	}
+	if minPos == maxV {
+		minPos = maxV / 2
+	}
+	h := Histogram{
+		Edges:  make([]float64, buckets+1),
+		Counts: make([]int, buckets),
+	}
+	lo, hi := math.Log(minPos), math.Log(maxV)
+	for i := 0; i <= buckets; i++ {
+		h.Edges[i] = math.Exp(lo + (hi-lo)*float64(i)/float64(buckets))
+	}
+	for _, v := range values {
+		if v <= h.Edges[0] {
+			h.Counts[0]++
+			continue
+		}
+		idx := sort.SearchFloat64s(h.Edges, v) - 1
+		if idx >= buckets {
+			idx = buckets - 1
+		}
+		h.Counts[idx]++
+	}
+	return h
+}
+
+// String renders the histogram as aligned text rows.
+func (h Histogram) String() string {
+	var b strings.Builder
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := ""
+		if maxC > 0 {
+			bar = strings.Repeat("#", c*40/maxC)
+		}
+		fmt.Fprintf(&b, "[%10.4g, %10.4g) %8d %s\n", h.Edges[i], h.Edges[i+1], c, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/tokenize"
+)
+
+// clusteredVecs builds sparse vectors in c latent clusters: members of a
+// cluster share most feature mass, so true nearest neighbours are
+// cluster-mates.
+func clusteredVecs(rng *rand.Rand, n, clusters, featPerCluster int) []sparseVec {
+	vecs := make([]sparseVec, n)
+	for i := range vecs {
+		cl := i % clusters
+		base := int32(cl * featPerCluster)
+		ids := make([]int32, 0, featPerCluster+2)
+		vals := make([]float64, 0, featPerCluster+2)
+		for f := 0; f < featPerCluster; f++ {
+			ids = append(ids, base+int32(f))
+			vals = append(vals, 1+rng.Float64()*0.2)
+		}
+		// A couple of noise features.
+		noise := int32(clusters*featPerCluster) + int32(rng.Intn(50))
+		ids = append(ids, noise)
+		vals = append(vals, 0.3)
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		var norm float64
+		for _, v := range vals {
+			norm += v * v
+		}
+		vecs[i] = sparseVec{ids: ids, vals: vals, norm: math.Sqrt(norm)}
+	}
+	return vecs
+}
+
+func TestLSHRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vecs := clusteredVecs(rng, 300, 10, 6)
+	cfg := BuilderConfig{K: 5, Workers: 4}
+	exact := knn(vecs, cfg)
+	approx := knnLSH(vecs, cfg, LSHConfig{Bits: 10, Tables: 12, Seed: 3})
+	r := Recall(exact, approx)
+	if r < 0.8 {
+		t.Errorf("LSH recall %.2f, want ≥ 0.8", r)
+	}
+	// Every returned list respects K and has descending weights.
+	for vi, es := range approx {
+		if len(es) > cfg.K {
+			t.Fatalf("vertex %d has %d edges", vi, len(es))
+		}
+		for i := 1; i < len(es); i++ {
+			if es[i-1].Weight < es[i].Weight {
+				t.Fatal("not sorted")
+			}
+		}
+	}
+}
+
+func TestLSHMoreTablesMoreRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vecs := clusteredVecs(rng, 200, 8, 5)
+	cfg := BuilderConfig{K: 5, Workers: 2}
+	exact := knn(vecs, cfg)
+	r1 := Recall(exact, knnLSH(vecs, cfg, LSHConfig{Bits: 14, Tables: 1, Seed: 5}))
+	r8 := Recall(exact, knnLSH(vecs, cfg, LSHConfig{Bits: 14, Tables: 16, Seed: 5}))
+	if r8 < r1 {
+		t.Errorf("recall with 16 tables (%.2f) below 1 table (%.2f)", r8, r1)
+	}
+}
+
+func TestBuildWithLSH(t *testing.T) {
+	c := figure1Corpus()
+	g, err := Build(c, BuilderConfig{K: 3, UseLSH: true, LSH: LSHConfig{Bits: 6, Tables: 10, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != len(c.UniqueTrigrams()) {
+		t.Error("vertex count mismatch")
+	}
+	if g.NumEdges() == 0 {
+		t.Error("LSH build produced no edges")
+	}
+	// The strong similarity of the figure's example should survive LSH.
+	v1 := g.Lookup(corpus.Trigram([]string{"tumor", "-", "1"}, 1))
+	if v1 < 0 || len(g.Neighbors[v1]) == 0 {
+		t.Error("key vertex lost its neighbours under LSH")
+	}
+}
+
+func TestRecallEdgeCases(t *testing.T) {
+	if r := Recall(nil, nil); r != 1 {
+		t.Errorf("empty recall = %v, want 1", r)
+	}
+	exact := [][]Edge{{{To: 1}}, {{To: 0}}}
+	if r := Recall(exact, [][]Edge{nil, nil}); r != 0 {
+		t.Errorf("zero-overlap recall = %v", r)
+	}
+	if r := Recall(exact, exact); r != 1 {
+		t.Errorf("self recall = %v", r)
+	}
+}
+
+func TestInsertTopK(t *testing.T) {
+	var edges []Edge
+	for _, w := range []float64{0.3, 0.9, 0.1, 0.7, 0.5} {
+		edges = insertTopK(edges, Edge{To: int32(w * 10), Weight: w}, 3)
+	}
+	if len(edges) != 3 {
+		t.Fatalf("len = %d", len(edges))
+	}
+	want := []float64{0.9, 0.7, 0.5}
+	for i, w := range want {
+		if edges[i].Weight != w {
+			t.Errorf("edges[%d].Weight = %v, want %v", i, edges[i].Weight, w)
+		}
+	}
+}
+
+func BenchmarkLSHvsExact(b *testing.B) {
+	// A mid-size corpus: the crossover where LSH wins grows with V.
+	texts := make([]string, 0, 400)
+	rng := rand.New(rand.NewSource(1))
+	words := []string{"gene", "mutation", "expression", "patient", "tumor", "kinase",
+		"pathway", "variant", "binding", "promoter", "receptor", "sample"}
+	for i := 0; i < 400; i++ {
+		n := 6 + rng.Intn(6)
+		s := make([]string, n)
+		for j := range s {
+			s[j] = words[rng.Intn(len(words))] + fmt.Sprint(rng.Intn(30))
+		}
+		texts = append(texts, joinWords(s))
+	}
+	c := corpus.New()
+	for i, t := range texts {
+		c.Sentences = append(c.Sentences, &corpus.Sentence{
+			ID: fmt.Sprint(i), Text: t, Tokens: tokenize.Sentence(t),
+		})
+	}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Build(c, BuilderConfig{K: 10}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lsh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Build(c, BuilderConfig{K: 10, UseLSH: true, LSH: LSHConfig{Seed: 1}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func joinWords(ws []string) string {
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}

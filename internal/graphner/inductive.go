@@ -1,0 +1,77 @@
+package graphner
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+)
+
+// InductiveResult reports one round of the inductive variant.
+type InductiveResult struct {
+	Round int
+	// Changed counts how many unlabelled tokens changed label relative to
+	// the previous round (all of them on round 0).
+	Changed int
+	Output  *Output
+}
+
+// Inductive runs the Subramanya et al. (2010) iterative variant that the
+// paper contrasts with its transductive single pass (§II): after each TEST
+// pass, the Viterbi labels of the unlabelled data are treated as correct,
+// the CRF is retrained on the expanded labelled set, reference
+// distributions are recomputed, and the procedure repeats until the labels
+// stop changing or maxRounds is reached (the original work caps at 10).
+// The returned slice holds one entry per executed round; the last entry's
+// Output carries the final labels.
+func Inductive(train, unlabelled *corpus.Corpus, cfg Config, maxRounds int) ([]InductiveResult, error) {
+	if maxRounds <= 0 {
+		maxRounds = 10
+	}
+	if len(unlabelled.Sentences) == 0 {
+		return nil, fmt.Errorf("graphner: inductive: empty unlabelled corpus")
+	}
+
+	var results []InductiveResult
+	var prev [][]corpus.Tag
+	current := train
+
+	for round := 0; round < maxRounds; round++ {
+		sys, err := Train(current, cfg)
+		if err != nil {
+			return results, fmt.Errorf("graphner: inductive round %d: %w", round, err)
+		}
+		out, err := sys.Test(unlabelled)
+		if err != nil {
+			return results, fmt.Errorf("graphner: inductive round %d: %w", round, err)
+		}
+		changed := 0
+		if prev == nil {
+			for _, tags := range out.Tags {
+				changed += len(tags)
+			}
+		} else {
+			for i, tags := range out.Tags {
+				for j := range tags {
+					if tags[j] != prev[i][j] {
+						changed++
+					}
+				}
+			}
+		}
+		results = append(results, InductiveResult{Round: round, Changed: changed, Output: out})
+		if changed == 0 {
+			break
+		}
+		prev = out.Tags
+
+		// Expand the labelled set with the self-labelled data.
+		next := corpus.New()
+		next.Sentences = append(next.Sentences, train.Sentences...)
+		for i, s := range unlabelled.Sentences {
+			cp := &corpus.Sentence{ID: s.ID, Text: s.Text, Tokens: s.Tokens, Tags: out.Tags[i]}
+			next.Sentences = append(next.Sentences, cp)
+		}
+		current = next
+	}
+	return results, nil
+}

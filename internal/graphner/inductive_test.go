@@ -1,0 +1,56 @@
+package graphner
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/corpus/synth"
+	"repro/internal/crf"
+)
+
+func TestInductiveRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := synth.DefaultConfig(synth.BC2GM, 13)
+	cfg.Sentences = 300
+	train, test := synth.GenerateSplit(cfg)
+
+	gc := Default()
+	gc.Order = crf.Order1
+	gc.CRFIterations = 20
+	gc.K = 5
+	rounds, err := Inductive(train, test.StripLabels(), gc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) == 0 {
+		t.Fatal("no rounds executed")
+	}
+	for i, r := range rounds {
+		if r.Round != i {
+			t.Errorf("round numbering: %d at index %d", r.Round, i)
+		}
+		if r.Output == nil || len(r.Output.Tags) != len(test.Sentences) {
+			t.Fatalf("round %d has malformed output", i)
+		}
+	}
+	// Round 0 reports every token as changed.
+	want := 0
+	for _, s := range test.Sentences {
+		want += len(s.Tokens)
+	}
+	if rounds[0].Changed != want {
+		t.Errorf("round 0 changed %d, want %d", rounds[0].Changed, want)
+	}
+	// Later rounds change fewer labels than "everything".
+	if len(rounds) > 1 && rounds[1].Changed >= want {
+		t.Errorf("round 1 changed %d, want < %d", rounds[1].Changed, want)
+	}
+}
+
+func TestInductiveValidation(t *testing.T) {
+	if _, err := Inductive(corpus.New(), corpus.New(), Default(), 2); err == nil {
+		t.Error("want error for empty unlabelled corpus")
+	}
+}

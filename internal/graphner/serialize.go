@@ -1,0 +1,115 @@
+package graphner
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/corpus"
+	"repro/internal/crf"
+	"repro/internal/features"
+	"repro/internal/graph"
+	"repro/internal/tokenize"
+)
+
+// snapshot is the gob-encoded persistent form of a trained System. The
+// training corpus travels with the model because GraphNER's transductive
+// TEST procedure needs the labelled sentences at test time (posterior
+// averaging over D_l ∪ D_u, graph construction, gold transitions).
+// Function-valued and interface-valued configuration (the feature
+// extractor and its distributional classers) is not serializable; Load
+// takes the reconstructed extractor as an argument.
+type snapshot struct {
+	Alpha, Mu, Nu   float64
+	Iterations      int
+	K               int
+	Mode            int
+	MIThreshold     float64
+	Order           int
+	L2              float64
+	CRFIterations   int
+	MaxDF           int
+	TransitionPower float64
+
+	Model         *crf.Model
+	AlphabetNames []string
+	Xref          map[corpus.NGram][]float64
+	Train         []savedSentence
+}
+
+type savedSentence struct {
+	ID   string
+	Text string
+	Tags []corpus.Tag
+}
+
+// Save serializes the trained system (model, feature alphabet, reference
+// distributions, hyper-parameters, and training corpus) to w.
+func (s *System) Save(w io.Writer) error {
+	snap := snapshot{
+		Alpha: s.cfg.Alpha, Mu: s.cfg.Mu, Nu: s.cfg.Nu,
+		Iterations: s.cfg.Iterations, K: s.cfg.K,
+		Mode: int(s.cfg.Mode), MIThreshold: s.cfg.MIThreshold,
+		Order: int(s.cfg.Order), L2: s.cfg.L2,
+		CRFIterations: s.cfg.CRFIterations, MaxDF: s.cfg.MaxDF,
+		TransitionPower: s.cfg.TransitionPower,
+		Model:           s.model,
+		AlphabetNames:   s.compiler.Alphabet.Names(),
+		Xref:            s.xref,
+	}
+	for _, sent := range s.train.Sentences {
+		snap.Train = append(snap.Train, savedSentence{ID: sent.ID, Text: sent.Text, Tags: sent.Tags})
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("graphner: save: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a trained system from a Save stream. extractor must be
+// configured identically to the one used at training time (including any
+// distributional WordClasser — see brown.ReadFrom and word2vec.ReadFrom
+// for persisting those); pass nil for the plain BANNER-style extractor.
+func Load(r io.Reader, extractor *features.Extractor) (*System, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("graphner: load: %w", err)
+	}
+	if snap.Model == nil {
+		return nil, fmt.Errorf("graphner: load: snapshot has no model")
+	}
+	if extractor == nil {
+		extractor = features.NewExtractor(nil)
+	}
+	cfg := Config{
+		Alpha: snap.Alpha, Mu: snap.Mu, Nu: snap.Nu,
+		Iterations: snap.Iterations, K: snap.K,
+		Mode: graph.FeatureMode(snap.Mode), MIThreshold: snap.MIThreshold,
+		Order: crf.Order(snap.Order), L2: snap.L2,
+		CRFIterations: snap.CRFIterations, MaxDF: snap.MaxDF,
+		TransitionPower: snap.TransitionPower,
+		Extractor:       extractor,
+	}
+	cfg.defaults()
+
+	train := corpus.New()
+	for _, sv := range snap.Train {
+		sent := &corpus.Sentence{ID: sv.ID, Text: sv.Text, Tokens: tokenize.Sentence(sv.Text), Tags: sv.Tags}
+		if sv.Tags != nil && len(sv.Tags) != len(sent.Tokens) {
+			return nil, fmt.Errorf("graphner: load: sentence %s has %d tags for %d tokens", sv.ID, len(sv.Tags), len(sent.Tokens))
+		}
+		train.Sentences = append(train.Sentences, sent)
+	}
+
+	comp := &crf.Compiler{
+		Extractor: extractor,
+		Alphabet:  features.NewAlphabetFromNames(snap.AlphabetNames),
+	}
+	return &System{
+		cfg:      cfg,
+		compiler: comp,
+		model:    snap.Model,
+		train:    train,
+		xref:     snap.Xref,
+	}, nil
+}

@@ -1,0 +1,68 @@
+package graphner
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus/synth"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := synth.DefaultConfig(synth.AML, 31)
+	cfg.Sentences = 250
+	train, test := synth.GenerateSplit(cfg)
+
+	gcfg := fastConfig()
+	gcfg.CRFIterations = 20
+	sys, err := Train(train, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The loaded system must decode identically.
+	orig := sys.BaselineTags(test)
+	got := loaded.BaselineTags(test)
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatal("loaded system decodes differently from the original")
+	}
+
+	// And the full Algorithm-1 pipeline must produce identical labels.
+	o1, err := sys.Test(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := loaded.Test(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(o1.Tags, o2.Tags) {
+		t.Fatal("loaded GraphNER output differs")
+	}
+
+	// Config round trip.
+	if loaded.Config().Alpha != sys.Config().Alpha ||
+		loaded.Config().K != sys.Config().K ||
+		loaded.Config().Order != sys.Config().Order {
+		t.Error("config fields lost in round trip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream"), nil); err == nil {
+		t.Error("want error for malformed stream")
+	}
+	if _, err := Load(bytes.NewReader(nil), nil); err == nil {
+		t.Error("want error for empty stream")
+	}
+}

@@ -1,0 +1,172 @@
+package neural
+
+import (
+	"math"
+
+	"repro/internal/corpus"
+)
+
+// crfLayer is the linear-chain CRF output layer of the neural taggers:
+// learned transition weights over the three BIO tags plus start weights.
+// Its Loss method returns the negative conditional log-likelihood of a
+// gold tag sequence given per-position emission scores, accumulating
+// gradients with respect to both the transitions and the emissions.
+type crfLayer struct {
+	trans view // Y×Y
+	start view // Y
+}
+
+const numTags = corpus.NumTags
+
+func newCRFLayer(s *store) *crfLayer {
+	return &crfLayer{
+		trans: s.alloc(numTags, numTags, zeros),
+		start: s.alloc(1, numTags, zeros),
+	}
+}
+
+// Loss computes NLL and writes ∂NLL/∂emissions into dEmit (same shape as
+// emit), accumulating transition/start gradients in the store.
+func (l *crfLayer) Loss(emit [][]float64, tags []corpus.Tag, dEmit [][]float64) float64 {
+	n := len(emit)
+	if n == 0 {
+		return 0
+	}
+	Y := numTags
+	// Forward (log-space alphas).
+	alpha := make([][]float64, n)
+	for t := range alpha {
+		alpha[t] = make([]float64, Y)
+	}
+	for y := 0; y < Y; y++ {
+		alpha[0][y] = l.start.w[y] + emit[0][y]
+	}
+	for t := 1; t < n; t++ {
+		for y := 0; y < Y; y++ {
+			m := math.Inf(-1)
+			for p := 0; p < Y; p++ {
+				if v := alpha[t-1][p] + l.trans.w[p*Y+y]; v > m {
+					m = v
+				}
+			}
+			var s float64
+			for p := 0; p < Y; p++ {
+				s += math.Exp(alpha[t-1][p] + l.trans.w[p*Y+y] - m)
+			}
+			alpha[t][y] = m + math.Log(s) + emit[t][y]
+		}
+	}
+	logZ := logSumExpSlice(alpha[n-1])
+
+	// Backward (betas) for marginals.
+	beta := make([][]float64, n)
+	for t := range beta {
+		beta[t] = make([]float64, Y)
+	}
+	for t := n - 2; t >= 0; t-- {
+		for p := 0; p < Y; p++ {
+			m := math.Inf(-1)
+			for y := 0; y < Y; y++ {
+				if v := l.trans.w[p*Y+y] + emit[t+1][y] + beta[t+1][y]; v > m {
+					m = v
+				}
+			}
+			var s float64
+			for y := 0; y < Y; y++ {
+				s += math.Exp(l.trans.w[p*Y+y] + emit[t+1][y] + beta[t+1][y] - m)
+			}
+			beta[t][p] = m + math.Log(s)
+		}
+	}
+
+	// Emission gradients: marginal − gold.
+	for t := 0; t < n; t++ {
+		for y := 0; y < Y; y++ {
+			dEmit[t][y] = math.Exp(alpha[t][y] + beta[t][y] - logZ)
+		}
+		dEmit[t][tags[t]]--
+	}
+	// Transition and start gradients.
+	for y := 0; y < Y; y++ {
+		l.start.g[y] += math.Exp(alpha[0][y]+beta[0][y]-logZ) - bToF(tags[0] == corpus.Tag(y))
+	}
+	for t := 1; t < n; t++ {
+		for p := 0; p < Y; p++ {
+			for y := 0; y < Y; y++ {
+				m := math.Exp(alpha[t-1][p] + l.trans.w[p*Y+y] + emit[t][y] + beta[t][y] - logZ)
+				l.trans.g[p*Y+y] += m
+			}
+		}
+		l.trans.g[int(tags[t-1])*Y+int(tags[t])]--
+	}
+
+	// NLL = logZ − gold score.
+	gold := l.start.w[tags[0]] + emit[0][tags[0]]
+	for t := 1; t < n; t++ {
+		gold += l.trans.w[int(tags[t-1])*Y+int(tags[t])] + emit[t][tags[t]]
+	}
+	return logZ - gold
+}
+
+// Decode returns the Viterbi-optimal tags for emission scores.
+func (l *crfLayer) Decode(emit [][]float64) []corpus.Tag {
+	n := len(emit)
+	if n == 0 {
+		return nil
+	}
+	Y := numTags
+	delta := make([][]float64, n)
+	back := make([][]int, n)
+	for t := range delta {
+		delta[t] = make([]float64, Y)
+		back[t] = make([]int, Y)
+	}
+	for y := 0; y < Y; y++ {
+		delta[0][y] = l.start.w[y] + emit[0][y]
+	}
+	for t := 1; t < n; t++ {
+		for y := 0; y < Y; y++ {
+			best, arg := math.Inf(-1), 0
+			for p := 0; p < Y; p++ {
+				if v := delta[t-1][p] + l.trans.w[p*Y+y]; v > best {
+					best, arg = v, p
+				}
+			}
+			delta[t][y] = best + emit[t][y]
+			back[t][y] = arg
+		}
+	}
+	best, arg := math.Inf(-1), 0
+	for y := 0; y < Y; y++ {
+		if delta[n-1][y] > best {
+			best, arg = delta[n-1][y], y
+		}
+	}
+	tags := make([]corpus.Tag, n)
+	for t := n - 1; t >= 0; t-- {
+		tags[t] = corpus.Tag(arg)
+		arg = back[t][arg]
+	}
+	return tags
+}
+
+func logSumExpSlice(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}
+
+func bToF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

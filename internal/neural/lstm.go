@@ -1,0 +1,148 @@
+package neural
+
+import "math"
+
+// lstm is one directional LSTM layer with hand-derived backpropagation.
+// Parameters are a single weight matrix W of shape (4H)×(D+H) applied to
+// the concatenation [x_t; h_{t-1}] plus a bias of 4H. The forget-gate
+// bias quarter is initialized to 1, the usual trick to ease gradient flow.
+type lstm struct {
+	in, hidden int
+	w          view // (4H)×(D+H)
+	b          view // 4H
+}
+
+func newLSTM(s *store, rng interface{ Float64() float64 }, in, hidden int) *lstm {
+	l := &lstm{in: in, hidden: hidden}
+	limit := 0.08
+	l.w = s.alloc(4*hidden, in+hidden, func(int) float64 {
+		return (rng.Float64()*2 - 1) * limit
+	})
+	l.b = s.alloc(1, 4*hidden, func(i int) float64 {
+		if i >= hidden && i < 2*hidden {
+			return 1 // forget gate bias
+		}
+		return 0
+	})
+	return l
+}
+
+// lstmTrace stores per-step activations needed for backward.
+type lstmTrace struct {
+	xs          [][]float64 // inputs
+	zs          [][]float64 // concatenated [x; hPrev]
+	i, f, g, o  [][]float64 // post-nonlinearity gate activations
+	c, h, tanhc [][]float64
+}
+
+// Forward runs the LSTM over xs (each of length in) and returns the hidden
+// state sequence plus the trace for backward. Initial h and c are zero.
+func (l *lstm) Forward(xs [][]float64) ([][]float64, *lstmTrace) {
+	H, D := l.hidden, l.in
+	n := len(xs)
+	tr := &lstmTrace{
+		xs: xs,
+		zs: make([][]float64, n), i: make([][]float64, n),
+		f: make([][]float64, n), g: make([][]float64, n),
+		o: make([][]float64, n), c: make([][]float64, n),
+		h: make([][]float64, n), tanhc: make([][]float64, n),
+	}
+	hPrev := make([]float64, H)
+	cPrev := make([]float64, H)
+	for t := 0; t < n; t++ {
+		z := make([]float64, D+H)
+		copy(z, xs[t])
+		copy(z[D:], hPrev)
+		tr.zs[t] = z
+
+		pre := make([]float64, 4*H)
+		for r := 0; r < 4*H; r++ {
+			wRow, _ := l.w.row(r)
+			sum := l.b.w[r]
+			for k, zv := range z {
+				sum += wRow[k] * zv
+			}
+			pre[r] = sum
+		}
+		it := make([]float64, H)
+		ft := make([]float64, H)
+		gt := make([]float64, H)
+		ot := make([]float64, H)
+		ct := make([]float64, H)
+		ht := make([]float64, H)
+		tc := make([]float64, H)
+		for j := 0; j < H; j++ {
+			it[j] = sigmoid(pre[j])
+			ft[j] = sigmoid(pre[H+j])
+			gt[j] = tanh(pre[2*H+j])
+			ot[j] = sigmoid(pre[3*H+j])
+			ct[j] = ft[j]*cPrev[j] + it[j]*gt[j]
+			tc[j] = tanh(ct[j])
+			ht[j] = ot[j] * tc[j]
+		}
+		tr.i[t], tr.f[t], tr.g[t], tr.o[t] = it, ft, gt, ot
+		tr.c[t], tr.h[t], tr.tanhc[t] = ct, ht, tc
+		hPrev, cPrev = ht, ct
+	}
+	return tr.h, tr
+}
+
+// Backward consumes per-step gradients dh (same shape as the hidden
+// sequence), accumulates parameter gradients, and returns gradients with
+// respect to the inputs xs.
+func (l *lstm) Backward(tr *lstmTrace, dh [][]float64) [][]float64 {
+	H, D := l.hidden, l.in
+	n := len(tr.xs)
+	dxs := make([][]float64, n)
+	dhNext := make([]float64, H)
+	dcNext := make([]float64, H)
+	gatePre := make([]float64, 4*H)
+	for t := n - 1; t >= 0; t-- {
+		var cPrev []float64
+		if t > 0 {
+			cPrev = tr.c[t-1]
+		} else {
+			cPrev = make([]float64, H)
+		}
+		dhT := make([]float64, H)
+		copy(dhT, dh[t])
+		for j := 0; j < H; j++ {
+			dhT[j] += dhNext[j]
+		}
+		for j := 0; j < H; j++ {
+			o := tr.o[t][j]
+			tc := tr.tanhc[t][j]
+			dO := dhT[j] * tc
+			dC := dhT[j]*o*(1-tc*tc) + dcNext[j]
+			i, f, g := tr.i[t][j], tr.f[t][j], tr.g[t][j]
+			dI := dC * g
+			dF := dC * cPrev[j]
+			dG := dC * i
+			dcNext[j] = dC * f
+			gatePre[j] = dI * i * (1 - i)
+			gatePre[H+j] = dF * f * (1 - f)
+			gatePre[2*H+j] = dG * (1 - g*g)
+			gatePre[3*H+j] = dO * o * (1 - o)
+		}
+		// Parameter gradients and dz.
+		dz := make([]float64, D+H)
+		z := tr.zs[t]
+		for r := 0; r < 4*H; r++ {
+			gp := gatePre[r]
+			if gp == 0 {
+				continue
+			}
+			wRow, gRow := l.w.row(r)
+			for k := range z {
+				gRow[k] += gp * z[k]
+				dz[k] += gp * wRow[k]
+			}
+			l.b.g[r] += gp
+		}
+		dxs[t] = dz[:D:D]
+		copy(dhNext, dz[D:])
+	}
+	return dxs
+}
+
+func tanh(x float64) float64 { return math.Tanh(x) }

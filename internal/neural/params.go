@@ -1,0 +1,93 @@
+// Package neural implements the neural sequence taggers the GraphNER paper
+// compares against: a bi-directional LSTM with a CRF output layer
+// (LSTM-CRF, Lample et al. 2016) and a character-aware variant with an
+// attention gate between word- and character-level representations in the
+// spirit of Rei et al. (2016). Everything — LSTM cells, the neural CRF
+// loss, and training — is implemented from scratch with hand-derived
+// backpropagation over flat parameter vectors, so the stdlib-only
+// constraint of this repository holds.
+package neural
+
+import (
+	"math"
+)
+
+// store owns a flat parameter vector and its gradient, and hands out
+// aligned views to layers. Keeping everything in two slices lets a single
+// optimizer update the whole model.
+type store struct {
+	params []float64
+	grads  []float64
+}
+
+// view is a parameter matrix or vector slice with its gradient. off is the
+// view's starting index in the store's flat vectors, used for sparse
+// optimizer updates.
+type view struct {
+	w, g       []float64
+	rows, cols int
+	off        int
+}
+
+// reserve pre-allocates capacity for n parameters. Views returned by alloc
+// alias the store's backing arrays, so the store MUST be reserved to its
+// final size before the first alloc: growing by reallocation would leave
+// earlier views pointing at stale arrays.
+func (s *store) reserve(n int) {
+	s.params = make([]float64, 0, n)
+	s.grads = make([]float64, 0, n)
+}
+
+// alloc reserves rows×cols parameters initialized by init. It panics if
+// the allocation would overflow the reserved capacity, which would
+// silently detach previously returned views.
+func (s *store) alloc(rows, cols int, init func(i int) float64) view {
+	n := rows * cols
+	off := len(s.params)
+	if cap(s.params) == 0 && off == 0 {
+		// Single-layer convenience (tests): implicitly size the store for
+		// this one allocation. A second allocation still panics below.
+		s.reserve(n)
+	}
+	if off+n > cap(s.params) {
+		panic("neural: store allocation exceeds reserve; call reserve with the full parameter count first")
+	}
+	for i := 0; i < n; i++ {
+		s.params = append(s.params, init(i))
+		s.grads = append(s.grads, 0)
+	}
+	return view{
+		w: s.params[off : off+n], g: s.grads[off : off+n],
+		rows: rows, cols: cols, off: off,
+	}
+}
+
+// glorot returns a Glorot-uniform initializer for fanIn+fanOut.
+func glorot(rng interface{ Float64() float64 }, fanIn, fanOut int) func(int) float64 {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return func(int) float64 { return (rng.Float64()*2 - 1) * limit }
+}
+
+func zeros(int) float64 { return 0 }
+
+// row returns the i-th row of a matrix view (weights and grads).
+func (v view) row(i int) ([]float64, []float64) {
+	return v.w[i*v.cols : (i+1)*v.cols], v.g[i*v.cols : (i+1)*v.cols]
+}
+
+// zeroGrads clears the gradient buffer.
+func (s *store) zeroGrads() {
+	for i := range s.grads {
+		s.grads[i] = 0
+	}
+}
+
+func sigmoid(x float64) float64 {
+	switch {
+	case x > 30:
+		return 1
+	case x < -30:
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}

@@ -1,0 +1,134 @@
+package neural
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// taggerSnapshot is the gob form of a trained Tagger: configuration
+// scalars, vocabularies, and the flat parameter vector. Gradients and
+// optimizer state are training-only and not persisted.
+type taggerSnapshot struct {
+	Arch        int
+	WordDim     int
+	Hidden      int
+	CharHidden  int
+	MinCount    int
+	WordDropout float64
+
+	Vocab  map[string]int
+	Chars  map[rune]int
+	Params []float64
+}
+
+// Save serializes the trained tagger to w.
+func (t *Tagger) Save(w io.Writer) error {
+	snap := taggerSnapshot{
+		Arch:        int(t.cfg.Arch),
+		WordDim:     t.cfg.WordDim,
+		Hidden:      t.cfg.Hidden,
+		CharHidden:  t.cfg.CharHidden,
+		MinCount:    t.cfg.MinCount,
+		WordDropout: t.cfg.WordDropout,
+		Vocab:       t.vocab,
+		Chars:       t.chars,
+		Params:      t.st.params,
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("neural: save: %w", err)
+	}
+	return nil
+}
+
+// LoadTagger reconstructs a trained tagger from a Save stream.
+func LoadTagger(r io.Reader) (*Tagger, error) {
+	var snap taggerSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("neural: load: %w", err)
+	}
+	if snap.WordDim <= 0 || snap.Hidden <= 0 || len(snap.Vocab) == 0 {
+		return nil, fmt.Errorf("neural: load: malformed snapshot")
+	}
+	cfg := TaggerConfig{
+		Arch:        Arch(snap.Arch),
+		WordDim:     snap.WordDim,
+		Hidden:      snap.Hidden,
+		CharHidden:  snap.CharHidden,
+		MinCount:    snap.MinCount,
+		WordDropout: snap.WordDropout,
+	}
+	// Rebuild the layer structure with the persisted sizes, then overwrite
+	// the parameter vector. rebuild uses the same allocation order as
+	// TrainTagger, so the views align.
+	t := &Tagger{cfg: cfg, vocab: snap.Vocab, chars: snap.Chars, st: &store{}}
+	if err := t.allocLayers(len(snap.Vocab), len(snap.Chars), zeroRNG{}, false); err != nil {
+		return nil, err
+	}
+	if len(t.st.params) != len(snap.Params) {
+		return nil, fmt.Errorf("neural: load: parameter count %d does not match architecture (%d)",
+			len(snap.Params), len(t.st.params))
+	}
+	copy(t.st.params, snap.Params)
+	return t, nil
+}
+
+// zeroRNG satisfies the initializer interface with zeros; Load overwrites
+// every parameter anyway.
+type zeroRNG struct{}
+
+func (zeroRNG) Float64() float64 { return 0 }
+
+// lstmParams is the parameter count of one LSTM layer: the (4H)×(D+H)
+// weight matrix plus 4H biases.
+func lstmParams(in, hidden int) int { return 4*hidden*(in+hidden) + 4*hidden }
+
+// paramCount returns the total trainable parameter count of the
+// architecture, used to reserve the store before allocation (views alias
+// the store's arrays and must never be detached by reallocation).
+func (t *Tagger) paramCount(vocabSize, charCount int) int {
+	cfg := t.cfg
+	D, H := cfg.WordDim, cfg.Hidden
+	n := vocabSize * D
+	if cfg.Arch == CharAttention {
+		n += (charCount + 1) * cfg.CharHidden
+		n += 2 * lstmParams(cfg.CharHidden, cfg.CharHidden)
+		n += D*2*D + D
+	}
+	n += 2 * lstmParams(D, H)
+	n += numTags*2*H + numTags // output projection + bias
+	n += numTags*numTags + numTags
+	return n
+}
+
+// allocLayers builds the parameter layout for the configured architecture
+// and the given vocabulary sizes. It must mirror TrainTagger's allocation
+// order exactly.
+func (t *Tagger) allocLayers(vocabSize, charCount int, rng interface{ Float64() float64 }, glorotScaled bool) error {
+	cfg := t.cfg
+	D, H := cfg.WordDim, cfg.Hidden
+	t.st.reserve(t.paramCount(vocabSize, charCount))
+	initFor := func(fanIn, fanOut int) func(int) float64 {
+		if glorotScaled {
+			return glorot(rng, fanIn, fanOut)
+		}
+		return func(int) float64 { return rng.Float64() }
+	}
+	t.wordEmb = t.st.alloc(vocabSize, D, initFor(vocabSize, D))
+	if cfg.Arch == CharAttention {
+		if 2*cfg.CharHidden != D {
+			return fmt.Errorf("neural: CharHidden must be WordDim/2 (got %d for word dim %d)", cfg.CharHidden, D)
+		}
+		t.charEmb = t.st.alloc(charCount+1, cfg.CharHidden, initFor(charCount+1, cfg.CharHidden))
+		t.charFwd = newLSTM(t.st, rng, cfg.CharHidden, cfg.CharHidden)
+		t.charBwd = newLSTM(t.st, rng, cfg.CharHidden, cfg.CharHidden)
+		t.gate = t.st.alloc(D, 2*D, initFor(2*D, D))
+		t.gateB = t.st.alloc(1, D, zeros)
+	}
+	t.fwd = newLSTM(t.st, rng, D, H)
+	t.bwd = newLSTM(t.st, rng, D, H)
+	t.out = t.st.alloc(numTags, 2*H, initFor(2*H, numTags))
+	t.outB = t.st.alloc(1, numTags, zeros)
+	t.crf = newCRFLayer(t.st)
+	return nil
+}

@@ -1,0 +1,52 @@
+package neural
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTaggerSaveLoadRoundTrip(t *testing.T) {
+	for _, arch := range []Arch{LSTMCRF, CharAttention} {
+		cfg := tinyConfig(arch)
+		cfg.Epochs = 15
+		tg, err := TrainTagger(toyCorpus(), nil, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		var buf bytes.Buffer
+		if err := tg.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadTagger(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.NumParameters() != tg.NumParameters() {
+			t.Fatalf("%v: parameter count %d vs %d", arch, loaded.NumParameters(), tg.NumParameters())
+		}
+		// Identical tagging on several inputs, including OOV surfaces.
+		for _, text := range []string{
+			"the GENEA gene",
+			"mutation of GENEB was found",
+			"mutation of NOVELX was found",
+		} {
+			s := toySentence(text, nil)
+			a, b := tg.Tag(s), loaded.Tag(s)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v: %q decodes differently after round trip", arch, text)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadTaggerRejectsGarbage(t *testing.T) {
+	if _, err := LoadTagger(strings.NewReader("junk")); err == nil {
+		t.Error("want error for malformed stream")
+	}
+	if _, err := LoadTagger(bytes.NewReader(nil)); err == nil {
+		t.Error("want error for empty stream")
+	}
+}

@@ -1,0 +1,274 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quadratic is f(x) = Σ c_i (x_i − t_i)² with minimum at t.
+type quadratic struct {
+	c, t []float64
+}
+
+func (q quadratic) Eval(x, grad []float64) float64 {
+	var f float64
+	for i := range x {
+		d := x[i] - q.t[i]
+		f += q.c[i] * d * d
+		grad[i] = 2 * q.c[i] * d
+	}
+	return f
+}
+
+func TestLBFGSQuadratic(t *testing.T) {
+	q := quadratic{c: []float64{1, 10, 0.5}, t: []float64{3, -2, 7}}
+	x := []float64{0, 0, 0}
+	f, err := LBFGS(q, x, LBFGSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f > 1e-8 {
+		t.Errorf("final f = %g", f)
+	}
+	for i := range x {
+		if math.Abs(x[i]-q.t[i]) > 1e-4 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], q.t[i])
+		}
+	}
+}
+
+// rosenbrock is the classic banana function, a harder nonconvex test.
+type rosenbrock struct{}
+
+func (rosenbrock) Eval(x, grad []float64) float64 {
+	a, b := x[0], x[1]
+	f := (1-a)*(1-a) + 100*(b-a*a)*(b-a*a)
+	grad[0] = -2*(1-a) - 400*a*(b-a*a)
+	grad[1] = 200 * (b - a*a)
+	return f
+}
+
+func TestLBFGSRosenbrock(t *testing.T) {
+	x := []float64{-1.2, 1}
+	f, err := LBFGS(rosenbrock{}, x, LBFGSOptions{MaxIterations: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f > 1e-6 {
+		t.Errorf("final f = %g at %v", f, x)
+	}
+	if math.Abs(x[0]-1) > 1e-3 || math.Abs(x[1]-1) > 1e-3 {
+		t.Errorf("x = %v, want (1,1)", x)
+	}
+}
+
+func TestLBFGSRandomQuadratics(t *testing.T) {
+	// Property: from any start, LBFGS recovers the minimizer of a strictly
+	// convex separable quadratic.
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		q := quadratic{c: make([]float64, n), t: make([]float64, n)}
+		x := make([]float64, n)
+		for i := 0; i < n; i++ {
+			q.c[i] = 0.1 + 10*r.Float64()
+			q.t[i] = r.NormFloat64() * 5
+			x[i] = rng.NormFloat64() * 5
+		}
+		if _, err := LBFGS(q, x, LBFGSOptions{MaxIterations: 200}); err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-q.t[i]) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLBFGSCallbackStops(t *testing.T) {
+	q := quadratic{c: []float64{1}, t: []float64{100}}
+	x := []float64{0}
+	iters := 0
+	_, err := LBFGS(q, x, LBFGSOptions{Callback: func(i int, f float64) bool {
+		iters++
+		return false // stop immediately
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters != 1 {
+		t.Errorf("callback called %d times, want 1", iters)
+	}
+}
+
+func TestLBFGSNaNStart(t *testing.T) {
+	q := quadratic{c: []float64{math.NaN()}, t: []float64{0}}
+	if _, err := LBFGS(q, []float64{1}, LBFGSOptions{}); err == nil {
+		t.Error("want error for NaN objective")
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	// Minimize (x-5)² by SGD with exact gradients.
+	x := []float64{0}
+	g := []float64{0}
+	s := NewSGD(SGDOptions{LearningRate: 0.3}, 200)
+	for i := 0; i < 200; i++ {
+		g[0] = 2 * (x[0] - 5)
+		s.Update(x, g)
+	}
+	if math.Abs(x[0]-5) > 0.05 {
+		t.Errorf("x = %g, want 5", x[0])
+	}
+}
+
+func TestSGDRateDecays(t *testing.T) {
+	s := NewSGD(SGDOptions{LearningRate: 1, FinalRate: 0.01}, 100)
+	r0 := s.Rate()
+	s.Update([]float64{0}, []float64{0})
+	for i := 0; i < 99; i++ {
+		s.Update([]float64{0}, []float64{0})
+	}
+	r1 := s.Rate()
+	if r0 != 1 {
+		t.Errorf("initial rate %g", r0)
+	}
+	if math.Abs(r1-0.01) > 1e-9 {
+		t.Errorf("final rate %g, want 0.01", r1)
+	}
+}
+
+func TestSGDClipping(t *testing.T) {
+	s := NewSGD(SGDOptions{LearningRate: 1, ClipNorm: 1}, 10)
+	x := []float64{0, 0}
+	g := []float64{30, 40} // norm 50 -> clipped to 1
+	s.Update(x, g)
+	// After clipping, g = (0.6, 0.8); x = -rate*g = (-0.6, -0.8) with rate 1.
+	if math.Abs(x[0]+0.6) > 1e-9 || math.Abs(x[1]+0.8) > 1e-9 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	x := []float64{0, 0}
+	g := []float64{0, 0}
+	a := NewAdam(2, 0.05)
+	for i := 0; i < 2000; i++ {
+		g[0] = 2 * (x[0] - 3)
+		g[1] = 2 * (x[1] + 4)
+		a.Update(x, g)
+	}
+	if math.Abs(x[0]-3) > 0.01 || math.Abs(x[1]+4) > 0.01 {
+		t.Errorf("x = %v, want (3,-4)", x)
+	}
+}
+
+func TestAdamUpdateAtMatchesDenseOnFullIndexSet(t *testing.T) {
+	// UpdateAt over all indices must equal Update exactly.
+	n := 8
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	g := make([]float64, n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+		x1[i] = float64(i)
+		x2[i] = float64(i)
+		g[i] = 0.1 * float64(i+1)
+	}
+	a1 := NewAdam(n, 0.01)
+	a2 := NewAdam(n, 0.01)
+	for step := 0; step < 5; step++ {
+		g1 := append([]float64(nil), g...)
+		g2 := append([]float64(nil), g...)
+		a1.Update(x1, g1)
+		a2.UpdateAt(x2, g2, idx)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-15 {
+			t.Fatalf("x[%d]: dense %g vs sparse %g", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestAdamUpdateAtOnlyTouchesIndices(t *testing.T) {
+	n := 6
+	x := []float64{1, 2, 3, 4, 5, 6}
+	g := []float64{1, 1, 1, 1, 1, 1}
+	a := NewAdam(n, 0.1)
+	a.UpdateAt(x, g, []int{1, 3})
+	for i, orig := range []float64{1, 2, 3, 4, 5, 6} {
+		changed := x[i] != orig
+		want := i == 1 || i == 3
+		if changed != want {
+			t.Errorf("x[%d] changed=%v, want %v", i, changed, want)
+		}
+	}
+}
+
+func TestAdamUpdateAtClipsOverIndexSet(t *testing.T) {
+	a := NewAdam(4, 1)
+	a.Clip = 1
+	x := make([]float64, 4)
+	g := []float64{30, 40, 999, 999} // indices 0,1 only: norm 50 -> scale 0.02
+	a.UpdateAt(x, g, []int{0, 1})
+	if math.Abs(g[0]-0.6) > 1e-12 || math.Abs(g[1]-0.8) > 1e-12 {
+		t.Errorf("clipped grads = %v", g[:2])
+	}
+	if g[2] != 999 {
+		t.Error("untouched gradient was modified")
+	}
+}
+
+func TestAdamDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewAdam(2, 0.1).Update([]float64{1}, []float64{1})
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if dot(a, b) != 32 {
+		t.Error("dot")
+	}
+	y := []float64{1, 1, 1}
+	axpy(2, a, y)
+	if y[0] != 3 || y[1] != 5 || y[2] != 7 {
+		t.Errorf("axpy: %v", y)
+	}
+	if maxNorm([]float64{-5, 3}) != 5 {
+		t.Error("maxNorm")
+	}
+	if math.Abs(l2Norm([]float64{3, 4})-5) > 1e-12 {
+		t.Error("l2Norm")
+	}
+}
+
+func BenchmarkLBFGSQuadratic100(b *testing.B) {
+	n := 100
+	q := quadratic{c: make([]float64, n), t: make([]float64, n)}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		q.c[i] = 0.5 + rng.Float64()
+		q.t[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, n)
+		if _, err := LBFGS(q, x, LBFGSOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

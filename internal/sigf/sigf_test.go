@@ -1,0 +1,151 @@
+package sigf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+func TestIdenticalSystemsNotSignificant(t *testing.T) {
+	a := make([]eval.Counts, 50)
+	for i := range a {
+		a[i] = eval.Counts{TP: 2, FP: 1, FN: 1}
+	}
+	b := append([]eval.Counts(nil), a...)
+	r, err := Test(a, b, FScore, Options{Repetitions: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Observed != 0 {
+		t.Errorf("observed difference %g for identical systems", r.Observed)
+	}
+	if r.PValue < 0.99 {
+		t.Errorf("p = %g, want ~1 for identical systems", r.PValue)
+	}
+}
+
+func TestClearlyBetterSystemIsSignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 300
+	a := make([]eval.Counts, n)
+	b := make([]eval.Counts, n)
+	for i := range a {
+		// System A is right on ~95% of sentences, B on ~70%.
+		if rng.Float64() < 0.95 {
+			a[i] = eval.Counts{TP: 1}
+		} else {
+			a[i] = eval.Counts{FP: 1, FN: 1}
+		}
+		if rng.Float64() < 0.70 {
+			b[i] = eval.Counts{TP: 1}
+		} else {
+			b[i] = eval.Counts{FP: 1, FN: 1}
+		}
+	}
+	r, err := Test(a, b, FScore, Options{Repetitions: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PValue > 0.01 {
+		t.Errorf("p = %g, want < 0.01 for a clearly better system", r.PValue)
+	}
+	if r.Observed <= 0 {
+		t.Error("no observed difference")
+	}
+}
+
+func TestNearIdenticalSystemsNotSignificant(t *testing.T) {
+	// Two systems differing on a single sentence out of many: the
+	// difference should not be significant.
+	n := 200
+	a := make([]eval.Counts, n)
+	b := make([]eval.Counts, n)
+	for i := range a {
+		a[i] = eval.Counts{TP: 1}
+		b[i] = eval.Counts{TP: 1}
+	}
+	b[0] = eval.Counts{FP: 1, FN: 1}
+	r, err := Test(a, b, FScore, Options{Repetitions: 2000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PValue < 0.05 {
+		t.Errorf("p = %g, want not significant for a one-sentence difference", r.PValue)
+	}
+}
+
+func TestPValueBounds(t *testing.T) {
+	// Property: p is always within (0, 1].
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(50)
+		a := make([]eval.Counts, n)
+		b := make([]eval.Counts, n)
+		for i := range a {
+			a[i] = eval.Counts{TP: rng.Intn(3), FP: rng.Intn(2), FN: rng.Intn(2)}
+			b[i] = eval.Counts{TP: rng.Intn(3), FP: rng.Intn(2), FN: rng.Intn(2)}
+		}
+		for _, m := range []Metric{FScore, Precision, Recall} {
+			r, err := Test(a, b, m, Options{Repetitions: 200, Seed: int64(trial)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.PValue <= 0 || r.PValue > 1 {
+				t.Fatalf("p = %g out of bounds", r.PValue)
+			}
+		}
+	}
+}
+
+func TestMetricSelection(t *testing.T) {
+	c := eval.Counts{TP: 6, FP: 2, FN: 6}
+	if v := Precision.value(c); v != 0.75 {
+		t.Errorf("precision = %g", v)
+	}
+	if v := Recall.value(c); v != 0.5 {
+		t.Errorf("recall = %g", v)
+	}
+	if v := FScore.value(c); v != 0.6 {
+		t.Errorf("f = %g", v)
+	}
+	if FScore.String() != "F-score" || Precision.String() != "Precision" || Recall.String() != "Recall" {
+		t.Error("metric names")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Test(nil, nil, FScore, Options{}); err == nil {
+		t.Error("want error for empty input")
+	}
+	if _, err := Test(make([]eval.Counts, 2), make([]eval.Counts, 3), FScore, Options{}); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+}
+
+func TestFromResults(t *testing.T) {
+	r := &eval.Result{PerSentence: []eval.SentenceResult{
+		{ID: "a", Counts: eval.Counts{TP: 1}},
+		{ID: "b", Counts: eval.Counts{FP: 2}},
+	}}
+	cs := FromResults(r)
+	if len(cs) != 2 || cs[0].TP != 1 || cs[1].FP != 2 {
+		t.Errorf("FromResults = %+v", cs)
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 50
+	a := make([]eval.Counts, n)
+	b := make([]eval.Counts, n)
+	for i := range a {
+		a[i] = eval.Counts{TP: rng.Intn(3), FP: rng.Intn(2)}
+		b[i] = eval.Counts{TP: rng.Intn(3), FN: rng.Intn(2)}
+	}
+	r1, _ := Test(a, b, FScore, Options{Repetitions: 300, Seed: 7})
+	r2, _ := Test(a, b, FScore, Options{Repetitions: 300, Seed: 7})
+	if r1.PValue != r2.PValue {
+		t.Error("same seed produced different p-values")
+	}
+}

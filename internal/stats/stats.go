@@ -1,0 +1,179 @@
+// Package stats provides the statistical utilities used by the paper's
+// qualitative analysis (§III-E): the chi-square two-sample test for
+// equality of proportions with Yates continuity correction (R's
+// prop.test), the chi-square distribution tail via the regularized
+// incomplete gamma function, and simple timing summaries for the
+// train/test cost measurements of Figure 2.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ChiSquareProportions performs the two-sample test for equality of
+// proportions x1/n1 vs x2/n2 with continuity correction, returning the
+// chi-square statistic (df = 1) and its p-value. It mirrors R's
+// prop.test(c(x1,x2), c(n1,n2)).
+func ChiSquareProportions(x1, n1, x2, n2 int) (chi2, p float64, err error) {
+	if n1 <= 0 || n2 <= 0 {
+		return 0, 0, fmt.Errorf("stats: empty sample (n1=%d, n2=%d)", n1, n2)
+	}
+	if x1 < 0 || x1 > n1 || x2 < 0 || x2 > n2 {
+		return 0, 0, fmt.Errorf("stats: counts out of range")
+	}
+	// 2x2 table: rows = samples, cols = success/failure.
+	o := [2][2]float64{
+		{float64(x1), float64(n1 - x1)},
+		{float64(x2), float64(n2 - x2)},
+	}
+	rowSum := [2]float64{o[0][0] + o[0][1], o[1][0] + o[1][1]}
+	colSum := [2]float64{o[0][0] + o[1][0], o[0][1] + o[1][1]}
+	total := rowSum[0] + rowSum[1]
+	if colSum[0] == 0 || colSum[1] == 0 {
+		// Degenerate: all successes or all failures; no evidence of a
+		// difference.
+		return 0, 1, nil
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			e := rowSum[i] * colSum[j] / total
+			d := math.Abs(o[i][j]-e) - 0.5 // Yates continuity correction
+			if d < 0 {
+				d = 0
+			}
+			chi2 += d * d / e
+		}
+	}
+	return chi2, ChiSquareTail(chi2, 1), nil
+}
+
+// ChiSquareTail returns P(X ≥ x) for a chi-square distribution with df
+// degrees of freedom.
+func ChiSquareTail(x float64, df int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return 1 - gammaIncReg(float64(df)/2, x/2)
+}
+
+// gammaIncReg is the regularized lower incomplete gamma function P(a, x),
+// computed by series expansion for x < a+1 and by continued fraction
+// otherwise (Numerical Recipes gammp).
+func gammaIncReg(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		// Series: P(a,x) = e^{-x} x^a / Γ(a) Σ x^n / (a(a+1)...(a+n)).
+		ap := a
+		sum := 1 / a
+		del := sum
+		for n := 0; n < 500; n++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		lg, _ := math.Lgamma(a)
+		return sum * math.Exp(-x+a*math.Log(x)-lg)
+	default:
+		// Continued fraction for Q(a,x) = 1 − P(a,x).
+		const tiny = 1e-300
+		b := x + 1 - a
+		c := 1 / tiny
+		d := 1 / b
+		h := d
+		for i := 1; i < 500; i++ {
+			an := -float64(i) * (float64(i) - a)
+			b += 2
+			d = an*d + b
+			if math.Abs(d) < tiny {
+				d = tiny
+			}
+			c = b + an/c
+			if math.Abs(c) < tiny {
+				c = tiny
+			}
+			d = 1 / d
+			del := d * c
+			h *= del
+			if math.Abs(del-1) < 1e-15 {
+				break
+			}
+		}
+		lg, _ := math.Lgamma(a)
+		q := math.Exp(-x+a*math.Log(x)-lg) * h
+		return 1 - q
+	}
+}
+
+// Timing summarizes repeated duration measurements.
+type Timing struct {
+	N                  int
+	Mean, Min, Max, SD time.Duration
+}
+
+// Summarize computes a Timing from samples. It panics on empty input.
+func Summarize(samples []time.Duration) Timing {
+	if len(samples) == 0 {
+		panic("stats: no samples")
+	}
+	t := Timing{N: len(samples), Min: samples[0], Max: samples[0]}
+	var sum, sumSq float64
+	for _, s := range samples {
+		if s < t.Min {
+			t.Min = s
+		}
+		if s > t.Max {
+			t.Max = s
+		}
+		f := float64(s)
+		sum += f
+		sumSq += f * f
+	}
+	mean := sum / float64(len(samples))
+	t.Mean = time.Duration(mean)
+	if len(samples) > 1 {
+		v := (sumSq - sum*mean) / float64(len(samples)-1)
+		if v > 0 {
+			t.SD = time.Duration(math.Sqrt(v))
+		}
+	}
+	return t
+}
+
+// String renders a Timing compactly.
+func (t Timing) String() string {
+	return fmt.Sprintf("n=%d mean=%v sd=%v min=%v max=%v", t.N, t.Mean.Round(time.Millisecond),
+		t.SD.Round(time.Millisecond), t.Min.Round(time.Millisecond), t.Max.Round(time.Millisecond))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of values by linear
+// interpolation. It panics on empty input.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		panic("stats: no values")
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

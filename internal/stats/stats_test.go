@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestChiSquareProportions(t *testing.T) {
+	// R: prop.test(c(80, 60), c(100, 100)) gives X² ≈ 8.6027, p ≈ 0.00335.
+	chi2, p, err := ChiSquareProportions(80, 100, 60, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(chi2-8.6027) > 0.01 {
+		t.Errorf("chi2 = %g, want ≈ 8.6027", chi2)
+	}
+	if math.Abs(p-0.00335) > 0.0005 {
+		t.Errorf("p = %g, want ≈ 0.00335", p)
+	}
+}
+
+func TestChiSquareEqualProportionsNotSignificant(t *testing.T) {
+	_, p, err := ChiSquareProportions(50, 100, 52, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.5 {
+		t.Errorf("p = %g for nearly equal proportions", p)
+	}
+}
+
+func TestChiSquareDegenerate(t *testing.T) {
+	// All successes in both samples: p = 1.
+	_, p, err := ChiSquareProportions(10, 10, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("p = %g, want 1", p)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, err := ChiSquareProportions(1, 0, 1, 10); err == nil {
+		t.Error("want error for empty sample")
+	}
+	if _, _, err := ChiSquareProportions(11, 10, 1, 10); err == nil {
+		t.Error("want error for count > n")
+	}
+	if _, _, err := ChiSquareProportions(-1, 10, 1, 10); err == nil {
+		t.Error("want error for negative count")
+	}
+}
+
+func TestChiSquareTail(t *testing.T) {
+	// Known values: P(X ≥ 3.841 | df=1) ≈ 0.05, P(X ≥ 6.635 | df=1) ≈ 0.01.
+	if p := ChiSquareTail(3.841, 1); math.Abs(p-0.05) > 0.001 {
+		t.Errorf("tail(3.841, 1) = %g", p)
+	}
+	if p := ChiSquareTail(6.635, 1); math.Abs(p-0.01) > 0.001 {
+		t.Errorf("tail(6.635, 1) = %g", p)
+	}
+	// df=2: P(X ≥ 5.991) ≈ 0.05.
+	if p := ChiSquareTail(5.991, 2); math.Abs(p-0.05) > 0.001 {
+		t.Errorf("tail(5.991, 2) = %g", p)
+	}
+	if p := ChiSquareTail(0, 1); p != 1 {
+		t.Errorf("tail(0) = %g", p)
+	}
+	if p := ChiSquareTail(-1, 1); p != 1 {
+		t.Errorf("tail(-1) = %g", p)
+	}
+	// Large x: tail approaches 0.
+	if p := ChiSquareTail(100, 1); p > 1e-20 {
+		t.Errorf("tail(100,1) = %g", p)
+	}
+}
+
+func TestGammaIncRegIdentities(t *testing.T) {
+	// P(1, x) = 1 − e^{-x} (exponential distribution CDF).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := gammaIncReg(1, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(1,%g) = %g, want %g", x, got, want)
+		}
+	}
+	if got := gammaIncReg(2, 0); got != 0 {
+		t.Errorf("P(2,0) = %g", got)
+	}
+	if !math.IsNaN(gammaIncReg(-1, 1)) || !math.IsNaN(gammaIncReg(1, -1)) {
+		t.Error("invalid arguments should give NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]time.Duration{time.Second, 3 * time.Second})
+	if s.N != 2 || s.Mean != 2*time.Second || s.Min != time.Second || s.Max != 3*time.Second {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.SD == 0 {
+		t.Error("SD should be nonzero")
+	}
+	if s.String() == "" {
+		t.Error("empty render")
+	}
+	one := Summarize([]time.Duration{5 * time.Second})
+	if one.SD != 0 {
+		t.Error("single sample should have zero SD")
+	}
+}
+
+func TestSummarizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(vals, 0.5); q != 3 {
+		t.Errorf("median = %g", q)
+	}
+	if q := Quantile(vals, 0); q != 1 {
+		t.Errorf("q0 = %g", q)
+	}
+	if q := Quantile(vals, 1); q != 5 {
+		t.Errorf("q1 = %g", q)
+	}
+	if q := Quantile(vals, 0.25); q != 2 {
+		t.Errorf("q25 = %g", q)
+	}
+	// Input must not be mutated (sorted copy).
+	unsorted := []float64{3, 1, 2}
+	Quantile(unsorted, 0.5)
+	if unsorted[0] != 3 {
+		t.Error("input mutated")
+	}
+}

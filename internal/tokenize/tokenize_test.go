@@ -1,0 +1,207 @@
+package tokenize
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestSentenceBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"the LNK gene", []string{"the", "LNK", "gene"}},
+		{"SH2B3", []string{"SH", "2", "B", "3"}},
+		{"tumor-1", []string{"tumor", "-", "1"}},
+		{"wilms tumor - 1", []string{"wilms", "tumor", "-", "1"}},
+		{"(LNK)", []string{"(", "LNK", ")"}},
+		{"p53-mediated", []string{"p", "53", "-", "mediated"}},
+		{"", nil},
+		{"   ", nil},
+		{"a", []string{"a"}},
+		{"...", []string{".", ".", "."}},
+		{"IL-2R alpha", []string{"IL", "-", "2", "R", "alpha"}},
+	}
+	for _, c := range cases {
+		if got := Words(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Words(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSentenceOffsets(t *testing.T) {
+	s := "the LNK gene"
+	toks := Sentence(s)
+	for _, tok := range toks {
+		if s[tok.Start:tok.End] != tok.Text {
+			t.Errorf("offset mismatch: %q vs %q", s[tok.Start:tok.End], tok.Text)
+		}
+	}
+}
+
+func TestSpaceFreeOffsets(t *testing.T) {
+	// "the LNK gene": space-free string is "theLNKgene".
+	// LNK occupies space-free positions 3..5 (inclusive).
+	toks := Sentence("the LNK gene")
+	if len(toks) != 3 {
+		t.Fatalf("want 3 tokens, got %d", len(toks))
+	}
+	lnk := toks[1]
+	if lnk.SFStart != 3 || lnk.SFEnd != 5 {
+		t.Errorf("LNK space-free offsets = (%d,%d), want (3,5)", lnk.SFStart, lnk.SFEnd)
+	}
+	gene := toks[2]
+	if gene.SFStart != 6 || gene.SFEnd != 9 {
+		t.Errorf("gene space-free offsets = (%d,%d), want (6,9)", gene.SFStart, gene.SFEnd)
+	}
+}
+
+func TestSpaceFreeOffsetsProperty(t *testing.T) {
+	// For any printable ASCII string, the space-free offsets must index the
+	// right characters of the space-collapsed string.
+	f := func(raw string) bool {
+		s := sanitize(raw)
+		collapsed := strings.Map(func(r rune) rune {
+			if unicode.IsSpace(r) {
+				return -1
+			}
+			return r
+		}, s)
+		cr := []rune(collapsed)
+		for _, tok := range Sentence(s) {
+			if tok.SFStart < 0 || tok.SFEnd >= len(cr) || tok.SFStart > tok.SFEnd {
+				return false
+			}
+			if string(cr[tok.SFStart:tok.SFEnd+1]) != tok.Text {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokensCoverNonSpace(t *testing.T) {
+	// Property: concatenating all token texts equals the input with spaces
+	// removed (for space-separated ASCII input).
+	f := func(raw string) bool {
+		s := sanitize(raw)
+		var b strings.Builder
+		for _, tok := range Sentence(s) {
+			b.WriteString(tok.Text)
+		}
+		want := strings.Map(func(r rune) rune {
+			if unicode.IsSpace(r) {
+				return -1
+			}
+			return r
+		}, s)
+		return b.String() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize maps an arbitrary string to printable ASCII so property tests
+// exercise realistic corpus text.
+func sanitize(raw string) string {
+	var b strings.Builder
+	for _, r := range raw {
+		c := byte(r%95) + 32
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+func TestShape(t *testing.T) {
+	cases := []struct{ in, shape, brief string }{
+		{"LNK", "AAA", "A"},
+		{"Abeta42", "Aaaaa00", "Aa0"},
+		{"p53", "a00", "a0"},
+		{"IL-2", "AA-0", "A-0"},
+		{"", "", ""},
+	}
+	for _, c := range cases {
+		if got := Shape(c.in); got != c.shape {
+			t.Errorf("Shape(%q) = %q, want %q", c.in, got, c.shape)
+		}
+		if got := BriefShape(c.in); got != c.brief {
+			t.Errorf("BriefShape(%q) = %q, want %q", c.in, got, c.brief)
+		}
+	}
+}
+
+func TestLemma(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"mutations", "mutation"},
+		{"Genes", "gene"},
+		{"expressed", "express"},
+		{"binding", "bind"},
+		{"studies", "study"},
+		{"locus", "locus"},
+		{"analysis", "analysis"},
+		{"class", "class"},
+		{"was", "was"},
+		{"LNK", "lnk"},
+	}
+	for _, c := range cases {
+		if got := Lemma(c.in); got != c.want {
+			t.Errorf("Lemma(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	text := "The LNK gene was mutated. We observed this in Fig. 3 of the study. Expression was high."
+	got := SplitSentences(text)
+	want := []string{
+		"The LNK gene was mutated.",
+		"We observed this in Fig. 3 of the study.",
+		"Expression was high.",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SplitSentences = %#v, want %#v", got, want)
+	}
+}
+
+func TestSplitSentencesAbbrev(t *testing.T) {
+	text := "Sheikhshab et al. Reported improvements. S. cerevisiae was used."
+	got := SplitSentences(text)
+	// "et al." should not split despite being followed by an uppercase word.
+	if len(got) != 2 {
+		t.Fatalf("got %d sentences %v, want 2", len(got), got)
+	}
+}
+
+func TestSplitSentencesEmpty(t *testing.T) {
+	if got := SplitSentences(""); got != nil {
+		t.Errorf("SplitSentences(\"\") = %v, want nil", got)
+	}
+	if got := SplitSentences("no terminal punctuation"); len(got) != 1 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestDetokenize(t *testing.T) {
+	toks := Sentence("wilms tumor - 1")
+	if got := Detokenize(toks); got != "wilms tumor - 1" {
+		t.Errorf("Detokenize = %q", got)
+	}
+	if got := Detokenize(nil); got != "" {
+		t.Errorf("Detokenize(nil) = %q", got)
+	}
+}
+
+func BenchmarkSentence(b *testing.B) {
+	s := "Recently , the mutation of lymphocyte adaptor protein ( LNK or SH2B3 ) was detected in MPN patients with p53-mediated responses ."
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sentence(s)
+	}
+}
