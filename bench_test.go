@@ -165,6 +165,7 @@ func BenchmarkScaling_GraphConstruction(b *testing.B) {
 			cfg := synth.DefaultConfig(synth.BC2GM, 5)
 			cfg.Sentences = n
 			c := synth.NewGenerator(cfg).Generate()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				g, err := graph.Build(c, graph.BuilderConfig{K: 10})
@@ -196,6 +197,7 @@ func BenchmarkScaling_Propagation(b *testing.B) {
 	}
 	for _, iters := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("iterations=%d", iters), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				X := make([][]float64, g.NumVertices())
 				if _, err := propagate.Run(g, X, xref, labelled, propagate.Config{
@@ -216,6 +218,7 @@ func BenchmarkScaling_ReferenceDistributions(b *testing.B) {
 			cfg := synth.DefaultConfig(synth.BC2GM, 5)
 			cfg.Sentences = n
 			c := synth.NewGenerator(cfg).Generate()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				graphner.ReferenceDistributions(c)

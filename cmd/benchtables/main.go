@@ -39,6 +39,8 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	statsFlag := flag.Bool("stats", false, "print §III-D graph statistics")
 	statsOnly := flag.Bool("stats-only", false, "print §III-D graph statistics without training CRFs (fast path for -scale full)")
+	hotpaths := flag.Bool("hotpaths", false, "benchmark the allocation-sensitive kernels (graph build, propagation, references) and write a JSON report")
+	hotpathsOut := flag.String("hotpaths-out", "BENCH_hotpaths.json", "output path for -hotpaths (\"-\" for stdout)")
 	seed := flag.Int64("seed", 1, "corpus seed")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Var(&tables, "table", "table number to regenerate (repeatable: 1-5)")
@@ -62,7 +64,7 @@ func main() {
 		figs = intList{2, 3, 4, 5}
 		*statsFlag = true
 	}
-	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly {
+	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly && !*hotpaths {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -71,12 +73,22 @@ func main() {
 	if !*quiet {
 		log = os.Stderr
 	}
-	env := experiments.NewEnv(scale, *seed, log)
 
 	fail := func(what string, err error) {
 		fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", what, err)
 		os.Exit(1)
 	}
+
+	if *hotpaths {
+		if err := runHotpaths(*hotpathsOut, log); err != nil {
+			fail("hotpaths", err)
+		}
+	}
+	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly {
+		return
+	}
+
+	env := experiments.NewEnv(scale, *seed, log)
 
 	for _, t := range tables {
 		switch t {

@@ -1,6 +1,8 @@
 package crf
 
 import (
+	"sync"
+
 	"repro/internal/corpus"
 	"repro/internal/features"
 )
@@ -10,10 +12,23 @@ import (
 // training corpus first, then Freeze the alphabet (directly or via
 // FreezeAlphabet) before compiling test data, so unseen feature instances
 // map to no-ops rather than growing the parameter space.
+//
+// CompileSentence on a frozen alphabet is safe for concurrent use: the
+// alphabet is read-only and the per-call scratch buffers come from a pool.
 type Compiler struct {
 	Extractor *features.Extractor
 	Alphabet  *features.Alphabet
 }
+
+// compileScratch holds the per-worker buffers CompileSentence reuses: the
+// feature-string buffer of one position and the per-position id counts of
+// one sentence.
+type compileScratch struct {
+	feats []string
+	lens  []int
+}
+
+var compileScratchPool = sync.Pool{New: func() any { return new(compileScratch) }}
 
 // NewCompiler creates a compiler with a fresh alphabet.
 func NewCompiler(ex *features.Extractor) *Compiler {
@@ -21,23 +36,40 @@ func NewCompiler(ex *features.Extractor) *Compiler {
 }
 
 // CompileSentence compiles one sentence. Unknown features on a frozen
-// alphabet are dropped.
+// alphabet are dropped. The feature ids of all positions share one flat
+// backing array: two allocations per sentence (plus the Instance itself)
+// instead of one per position.
 func (c *Compiler) CompileSentence(s *corpus.Sentence) *Instance {
 	words := s.Words()
 	in := &Instance{
 		Features: make([][]int32, len(words)),
 		Tags:     s.Tags,
 	}
+	sc := compileScratchPool.Get().(*compileScratch)
+	if cap(sc.lens) < len(words) {
+		sc.lens = make([]int, len(words))
+	}
+	lens := sc.lens[:len(words)]
+	flat := make([]int32, 0, 48*len(words))
 	for i := range words {
-		fs := c.Extractor.Position(words, i)
-		ids := make([]int32, 0, len(fs))
-		for _, f := range fs {
+		sc.feats = c.Extractor.AppendPosition(sc.feats[:0], words, i)
+		n := 0
+		for _, f := range sc.feats {
 			if id := c.Alphabet.Lookup(f); id >= 0 {
-				ids = append(ids, int32(id))
+				flat = append(flat, int32(id))
+				n++
 			}
 		}
-		in.Features[i] = ids
+		lens[i] = n
 	}
+	// Slice the per-position views only after the flat buffer has stopped
+	// growing (append may reallocate the backing array).
+	pos := 0
+	for i, n := range lens {
+		in.Features[i] = flat[pos : pos+n : pos+n]
+		pos += n
+	}
+	compileScratchPool.Put(sc)
 	return in
 }
 

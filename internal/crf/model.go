@@ -12,6 +12,7 @@ package crf
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/corpus"
 )
@@ -129,15 +130,101 @@ func (m *Model) emissionScores(feats []int32, scores []float64) {
 	}
 }
 
-// lattice computes per-position emission scores for an instance.
+// latticeScratch pools the per-sentence score lattices of inference and
+// training: capacity for three n×S float matrices (emission plus
+// forward/backward or Viterbi), two length-S staging vectors, and one n×S
+// int32 backpointer matrix. Per-sentence inference borrows one from
+// latticePool instead of allocating O(n·S) matrices per call.
+type latticeScratch struct {
+	flat  []float64
+	rows  [][]float64
+	ints  []int32
+	irows [][]int32
+}
+
+var latticePool = sync.Pool{New: func() any { return new(latticeScratch) }}
+
+// acquireScratch returns a scratch resized for n positions × S states.
+func acquireScratch(n, S int) *latticeScratch {
+	sc := latticePool.Get().(*latticeScratch)
+	need := 3*n*S + 2*S
+	if cap(sc.flat) < need {
+		sc.flat = make([]float64, need)
+	}
+	sc.flat = sc.flat[:need]
+	if cap(sc.rows) < 3*n {
+		sc.rows = make([][]float64, 3*n)
+	}
+	sc.rows = sc.rows[:3*n]
+	return sc
+}
+
+func (sc *latticeScratch) release() { latticePool.Put(sc) }
+
+// mat returns the idx-th (0..2) n×S matrix view over the scratch backing.
+// Contents are stale; callers overwrite (emission) or negInf-fill (DP).
+func (sc *latticeScratch) mat(idx, n, S int) [][]float64 {
+	rows := sc.rows[idx*n : (idx+1)*n]
+	base := idx * n * S
+	for i := range rows {
+		rows[i] = sc.flat[base+i*S : base+(i+1)*S : base+(i+1)*S]
+	}
+	return rows
+}
+
+// bufs returns the two length-S staging vectors following the matrices.
+func (sc *latticeScratch) bufs(n, S int) ([]float64, []float64) {
+	b := sc.flat[3*n*S:]
+	return b[:S:S], b[S : 2*S : 2*S]
+}
+
+// intMat returns a zeroed n×S int32 matrix (Viterbi backpointers).
+func (sc *latticeScratch) intMat(n, S int) [][]int32 {
+	need := n * S
+	if cap(sc.ints) < need {
+		sc.ints = make([]int32, need)
+	} else {
+		sc.ints = sc.ints[:need]
+		clear(sc.ints)
+	}
+	if cap(sc.irows) < n {
+		sc.irows = make([][]int32, n)
+	}
+	rows := sc.irows[:n]
+	for i := range rows {
+		rows[i] = sc.ints[i*S : (i+1)*S : (i+1)*S]
+	}
+	return rows
+}
+
+// fillNegInf resets a DP matrix to the log-space additive identity.
+func fillNegInf(m [][]float64) {
+	for _, row := range m {
+		for i := range row {
+			row[i] = negInf
+		}
+	}
+}
+
+// latticeInto fills emit (n rows of length S) with per-position emission
+// scores for the instance.
+func (m *Model) latticeInto(in *Instance, emit [][]float64) {
+	for i := range emit {
+		m.emissionScores(in.Features[i], emit[i])
+	}
+}
+
+// lattice computes per-position emission scores for an instance,
+// allocating the matrix (compatibility path; hot paths use latticeInto
+// over pooled storage).
 func (m *Model) lattice(in *Instance) [][]float64 {
 	n := in.Len()
 	flat := make([]float64, n*m.S)
 	out := make([][]float64, n)
 	for i := 0; i < n; i++ {
 		out[i] = flat[i*m.S : (i+1)*m.S]
-		m.emissionScores(in.Features[i], out[i])
 	}
+	m.latticeInto(in, out)
 	return out
 }
 
@@ -160,19 +247,32 @@ func logSumExp(xs []float64) float64 {
 }
 
 // forwardBackward runs log-space forward-backward on the emission lattice.
-// It returns alpha, beta ([n][S] log values) and logZ.
+// It returns alpha, beta ([n][S] log values) and logZ (compatibility path;
+// hot paths use forwardBackwardInto over pooled storage).
 func (m *Model) forwardBackward(emit [][]float64) (alpha, beta [][]float64, logZ float64) {
 	n := len(emit)
 	S := m.S
 	alpha = logMatrix(n, S)
 	beta = logMatrix(n, S)
+	logZ = m.forwardBackwardInto(emit, alpha, beta, make([]float64, S))
+	return alpha, beta, logZ
+}
+
+// forwardBackwardInto runs log-space forward-backward on the emission
+// lattice, overwriting alpha and beta (any prior contents, including pool
+// residue, are reset to -Inf first) and staging logSumExp terms in buf
+// (length S). It returns logZ.
+func (m *Model) forwardBackwardInto(emit, alpha, beta [][]float64, buf []float64) (logZ float64) {
+	n := len(emit)
+	S := m.S
+	fillNegInf(alpha)
+	fillNegInf(beta)
 
 	for s := 0; s < S; s++ {
 		if m.startOK(s) {
 			alpha[0][s] = m.Start[s] + emit[0][s]
 		}
 	}
-	buf := make([]float64, S)
 	for i := 1; i < n; i++ {
 		for cur := 0; cur < S; cur++ {
 			k := 0
@@ -206,8 +306,7 @@ func (m *Model) forwardBackward(emit [][]float64) (alpha, beta [][]float64, logZ
 			}
 		}
 	}
-	logZ = logSumExp(alpha[n-1])
-	return alpha, beta, logZ
+	return logSumExp(alpha[n-1])
 }
 
 func logMatrix(n, s int) [][]float64 {
@@ -223,17 +322,24 @@ func logMatrix(n, s int) [][]float64 {
 }
 
 // Posteriors returns the per-position marginal distribution over BIO tags,
-// P(t_i = y | x), for the instance. Each row sums to 1.
+// P(t_i = y | x), for the instance. Each row sums to 1. The returned rows
+// share one flat backing array; the DP lattices come from the pool.
 func (m *Model) Posteriors(in *Instance) [][]float64 {
-	if in.Len() == 0 {
+	n := in.Len()
+	if n == 0 {
 		return nil
 	}
-	emit := m.lattice(in)
-	alpha, beta, logZ := m.forwardBackward(emit)
-	n := in.Len()
+	sc := acquireScratch(n, m.S)
+	emit := sc.mat(0, n, m.S)
+	alpha := sc.mat(1, n, m.S)
+	beta := sc.mat(2, n, m.S)
+	buf, _ := sc.bufs(n, m.S)
+	m.latticeInto(in, emit)
+	logZ := m.forwardBackwardInto(emit, alpha, beta, buf)
 	out := make([][]float64, n)
+	backing := make([]float64, n*corpus.NumTags)
 	for i := 0; i < n; i++ {
-		row := make([]float64, corpus.NumTags)
+		row := backing[i*corpus.NumTags : (i+1)*corpus.NumTags : (i+1)*corpus.NumTags]
 		for s := 0; s < m.S; s++ {
 			lp := alpha[i][s] + beta[i][s] - logZ
 			if !math.IsInf(lp, -1) {
@@ -243,6 +349,7 @@ func (m *Model) Posteriors(in *Instance) [][]float64 {
 		normalize(row)
 		out[i] = row
 	}
+	sc.release()
 	return out
 }
 
@@ -273,9 +380,17 @@ func (m *Model) LogLikelihood(in *Instance) float64 {
 	if in.Tags == nil {
 		panic("crf: LogLikelihood on unlabelled instance")
 	}
-	emit := m.lattice(in)
-	_, _, logZ := m.forwardBackward(emit)
-	return m.pathScore(in, emit) - logZ
+	n := in.Len()
+	sc := acquireScratch(n, m.S)
+	emit := sc.mat(0, n, m.S)
+	alpha := sc.mat(1, n, m.S)
+	beta := sc.mat(2, n, m.S)
+	buf, _ := sc.bufs(n, m.S)
+	m.latticeInto(in, emit)
+	logZ := m.forwardBackwardInto(emit, alpha, beta, buf)
+	ll := m.pathScore(in, emit) - logZ
+	sc.release()
+	return ll
 }
 
 // pathScore returns the unnormalized log score of the gold path.
@@ -352,14 +467,14 @@ func (m *Model) Decode(in *Instance) []corpus.Tag {
 	if in.Len() == 0 {
 		return nil
 	}
-	emit := m.lattice(in)
 	n := in.Len()
 	S := m.S
-	delta := logMatrix(n, S)
-	back := make([][]int32, n)
-	for i := range back {
-		back[i] = make([]int32, S)
-	}
+	sc := acquireScratch(n, S)
+	emit := sc.mat(0, n, S)
+	delta := sc.mat(1, n, S)
+	back := sc.intMat(n, S)
+	m.latticeInto(in, emit)
+	fillNegInf(delta)
 	for s := 0; s < S; s++ {
 		if m.startOK(s) {
 			delta[0][s] = m.Start[s] + emit[0][s]
@@ -393,6 +508,7 @@ func (m *Model) Decode(in *Instance) []corpus.Tag {
 		tags[i] = m.stateTag(arg)
 		arg = int(back[i][arg])
 	}
+	sc.release()
 	return tags
 }
 
@@ -441,11 +557,10 @@ func DecodeWithPotentialsT(potentials [][]float64, trans [][]float64, bio bool, 
 		return math.Log(p)
 	}
 	lt := func(p float64) float64 { return power * lp(p) }
-	delta := logMatrix(n, S)
-	back := make([][]int32, n)
-	for i := range back {
-		back[i] = make([]int32, S)
-	}
+	sc := acquireScratch(n, S)
+	delta := sc.mat(0, n, S)
+	back := sc.intMat(n, S)
+	fillNegInf(delta)
 	for s := 0; s < S; s++ {
 		if bio && corpus.Tag(s) == corpus.I {
 			continue
@@ -483,5 +598,6 @@ func DecodeWithPotentialsT(potentials [][]float64, trans [][]float64, bio bool, 
 		tags[i] = corpus.Tag(arg)
 		arg = int(back[i][arg])
 	}
+	sc.release()
 	return tags, nil
 }

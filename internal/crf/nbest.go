@@ -23,10 +23,14 @@ func (m *Model) NBest(in *Instance, n int) []ScoredPath {
 	if in.Len() == 0 || n <= 0 {
 		return nil
 	}
-	emit := m.lattice(in)
-	_, _, logZ := m.forwardBackward(emit)
 	T := in.Len()
 	S := m.S
+	sc := acquireScratch(T, S)
+	defer sc.release()
+	emit := sc.mat(0, T, S)
+	buf, _ := sc.bufs(T, S)
+	m.latticeInto(in, emit)
+	logZ := m.forwardBackwardInto(emit, sc.mat(1, T, S), sc.mat(2, T, S), buf)
 
 	// cand[s] holds up to n best partial paths ending in state s.
 	type partial struct {

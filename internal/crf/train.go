@@ -176,13 +176,14 @@ func sentenceGradient(m *Model, in *Instance, gW, gT, gStart []float64) float64 
 	if n == 0 {
 		return 0
 	}
-	emit := m.lattice(in)
-	alpha, beta, logZ := m.forwardBackward(emit)
+	sc := acquireScratch(n, m.S)
+	emit := sc.mat(0, n, m.S)
+	alpha := sc.mat(1, n, m.S)
+	beta := sc.mat(2, n, m.S)
+	buf, nodeMarg := sc.bufs(n, m.S)
+	m.latticeInto(in, emit)
+	logZ := m.forwardBackwardInto(emit, alpha, beta, buf)
 	S := m.S
-
-	// Model expectations: node marginals feed emission (and start)
-	// gradients; edge marginals feed transition gradients.
-	nodeMarg := make([]float64, S)
 	for i := 0; i < n; i++ {
 		for s := 0; s < S; s++ {
 			lp := alpha[i][s] + beta[i][s] - logZ
@@ -244,5 +245,6 @@ func sentenceGradient(m *Model, in *Instance, gW, gT, gStart []float64) float64 
 		goldScore += emit[i][s]
 		prevState = s
 	}
+	sc.release()
 	return logZ - goldScore
 }

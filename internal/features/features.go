@@ -103,16 +103,38 @@ func NewExtractor(classer WordClasser) *Extractor {
 	return &Extractor{Classer: classer, WindowSize: 2, CharNGrams: true}
 }
 
+// offsetLabels caches the "%+d" renderings of small window offsets so the
+// window features below are built by string concatenation (one allocation
+// per feature) instead of fmt.Sprintf.
+var offsetLabels = [...]string{"-8", "-7", "-6", "-5", "-4", "-3", "-2", "-1", "+0", "+1", "+2", "+3", "+4", "+5", "+6", "+7", "+8"}
+
+// offsetLabel renders a relative window offset as in fmt.Sprintf("%+d", d).
+func offsetLabel(d int) string {
+	if d >= -8 && d <= 8 {
+		return offsetLabels[d+8]
+	}
+	return fmt.Sprintf("%+d", d)
+}
+
 // Position computes the feature instances for token index i of words.
 // The returned strings are unique per instance kind (prefixed) and stable
 // across calls.
 func (e *Extractor) Position(words []string, i int) []string {
+	return e.AppendPosition(make([]string, 0, 48), words, i)
+}
+
+// AppendPosition appends the feature instances for token index i of words
+// to dst and returns the extended slice — the allocation-aware variant of
+// Position for callers that extract features in a loop and can reuse one
+// buffer (compilation, graph construction). The appended strings are
+// identical, in content and order, to Position's.
+func (e *Extractor) AppendPosition(dst []string, words []string, i int) []string {
 	w := words[i]
 	window := e.WindowSize
 	if window == 0 {
 		window = 2
 	}
-	feats := make([]string, 0, 32)
+	feats := dst
 	add := func(f string) { feats = append(feats, f) }
 
 	lower := strings.ToLower(w)
@@ -129,9 +151,7 @@ func (e *Extractor) Position(words []string, i int) []string {
 	}
 
 	// Orthographic predicates.
-	for _, p := range orthoPredicates(w) {
-		add(p)
-	}
+	feats = appendOrthoPredicates(feats, w)
 
 	// Character n-grams (2 and 3) over the lowercased word.
 	if e.CharNGrams {
@@ -156,10 +176,11 @@ func (e *Extractor) Position(words []string, i int) []string {
 		} else {
 			wj = strings.ToLower(words[j])
 		}
-		add(fmt.Sprintf("w%+d=%s", d, wj))
+		off := offsetLabel(d)
+		add("w" + off + "=" + wj)
 		if j >= 0 && j < len(words) {
-			add(fmt.Sprintf("lem%+d=%s", d, tokenize.Lemma(words[j])))
-			add(fmt.Sprintf("shape%+d=%s", d, tokenize.BriefShape(words[j])))
+			add("lem" + off + "=" + tokenize.Lemma(words[j]))
+			add("shape" + off + "=" + tokenize.BriefShape(words[j]))
 		}
 	}
 
@@ -199,8 +220,9 @@ func (e *Extractor) Sentence(words []string) [][]string {
 	return out
 }
 
-// orthoPredicates returns the boolean orthographic features that hold for w.
-func orthoPredicates(w string) []string {
+// appendOrthoPredicates appends the boolean orthographic features that
+// hold for w.
+func appendOrthoPredicates(out []string, w string) []string {
 	var (
 		hasUpper, hasLower, hasDigit, hasPunct, hasGreek bool
 		allUpper, allDigit                               = true, true
@@ -224,7 +246,6 @@ func orthoPredicates(w string) []string {
 	if isGreekName(w) {
 		hasGreek = true
 	}
-	var out []string
 	if hasUpper && allUpper && len(w) > 1 {
 		out = append(out, "ALLCAPS")
 	}

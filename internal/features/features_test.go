@@ -60,7 +60,7 @@ func TestOrthoPredicates(t *testing.T) {
 		{"X", []string{"SINGLEUPPER", "ROMAN"}, []string{"ALLCAPS"}},
 	}
 	for _, c := range cases {
-		got := orthoPredicates(c.word)
+		got := appendOrthoPredicates(nil, c.word)
 		for _, w := range c.want {
 			if !contains(got, w) {
 				t.Errorf("%q: missing %q in %v", c.word, w, got)
@@ -244,5 +244,39 @@ func BenchmarkPosition(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e.Position(words, 5)
+	}
+}
+
+func TestAppendPositionMatchesPosition(t *testing.T) {
+	e := NewExtractor(fakeClasser{})
+	words := strings.Fields("Recently the mutation of LNK was detected in MPN patients")
+	for i := range words {
+		want := e.Position(words, i)
+		// Appending onto a non-empty buffer must leave the prefix intact
+		// and append exactly Position's features, in order.
+		dst := []string{"sentinel-a", "sentinel-b"}
+		got := e.AppendPosition(dst, words, i)
+		if got[0] != "sentinel-a" || got[1] != "sentinel-b" {
+			t.Fatalf("position %d: prefix clobbered: %v", i, got[:2])
+		}
+		tail := got[2:]
+		if len(tail) != len(want) {
+			t.Fatalf("position %d: appended %d features, Position yields %d", i, len(tail), len(want))
+		}
+		for j := range want {
+			if tail[j] != want[j] {
+				t.Fatalf("position %d feature %d: %q vs Position's %q", i, j, tail[j], want[j])
+			}
+		}
+		// Reusing the same buffer (the compile loop's pattern) is stable.
+		reused := e.AppendPosition(got[:0], words, i)
+		if len(reused) != len(want) {
+			t.Fatalf("position %d: reused buffer yields %d features, want %d", i, len(reused), len(want))
+		}
+		for j := range want {
+			if reused[j] != want[j] {
+				t.Fatalf("position %d reused feature %d: %q vs %q", i, j, reused[j], want[j])
+			}
+		}
 	}
 }

@@ -115,6 +115,7 @@ func Build(corp *corpus.Corpus, cfg BuilderConfig) (*Graph, error) {
 	for i, v := range verts {
 		g.Index[v] = i
 	}
+	g.BuildCSR()
 	return g, nil
 }
 
@@ -160,6 +161,7 @@ func vertexVectors(corp *corpus.Corpus, cfg BuilderConfig) ([]sparseVec, []corpu
 		grand++
 	}
 
+	featBuf := make([]string, 0, 64)
 	for si, s := range corp.Sentences {
 		words := s.Words()
 		for i := range words {
@@ -174,7 +176,8 @@ func vertexVectors(corp *corpus.Corpus, cfg BuilderConfig) ([]sparseVec, []corpu
 					addFeat(vi, fmt.Sprintf("lem%+d=%s", d, tokenize.Lemma(words[j])))
 				}
 			default:
-				for _, f := range cfg.Extractor.Position(words, i) {
+				featBuf = cfg.Extractor.AppendPosition(featBuf[:0], words, i)
+				for _, f := range featBuf {
 					if miKeep != nil && !miKeep[f] {
 						continue
 					}
@@ -233,9 +236,16 @@ func MIFeatureCount(corp *corpus.Corpus, cfg BuilderConfig) (int, error) {
 // and the BIO tag over all token positions, returning the features above
 // the threshold.
 func miSelect(corp *corpus.Corpus, cfg BuilderConfig) map[string]bool {
-	featTag := make(map[string]*[corpus.NumTags]float64)
+	// Rough pre-size: BANNER-style extraction yields tens of distinct
+	// features per token, heavily shared across tokens.
+	nTok := 0
+	for _, s := range corp.Sentences {
+		nTok += len(s.Tokens)
+	}
+	featTag := make(map[string]*[corpus.NumTags]float64, 8*nTok)
 	var tagCount [corpus.NumTags]float64
 	var n float64
+	featBuf := make([]string, 0, 64)
 	for si, s := range corp.Sentences {
 		words := s.Words()
 		tags := cfg.Tags[si]
@@ -246,7 +256,8 @@ func miSelect(corp *corpus.Corpus, cfg BuilderConfig) map[string]bool {
 			t := tags[i]
 			tagCount[t]++
 			n++
-			for _, f := range cfg.Extractor.Position(words, i) {
+			featBuf = cfg.Extractor.AppendPosition(featBuf[:0], words, i)
+			for _, f := range featBuf {
 				c := featTag[f]
 				if c == nil {
 					c = new([corpus.NumTags]float64)
@@ -256,7 +267,7 @@ func miSelect(corp *corpus.Corpus, cfg BuilderConfig) map[string]bool {
 			}
 		}
 	}
-	keep := make(map[string]bool)
+	keep := make(map[string]bool, 128)
 	if n == 0 {
 		return keep
 	}
@@ -289,12 +300,27 @@ func miSelect(corp *corpus.Corpus, cfg BuilderConfig) map[string]bool {
 	return keep
 }
 
+// posting is one inverted-index entry: a candidate vertex together with its
+// stored value for the feature, so the scoring loop accumulates partial dot
+// products by a straight postings merge instead of binary-searching back
+// into the candidate's vector per (feature, candidate) pair.
+type posting struct {
+	v   int32
+	val float64
+}
+
 // knn finds, for every vertex, its K most cosine-similar vertices, using an
 // inverted index for candidate generation and exact sparse dot products for
 // scoring. The search over query vertices runs in parallel.
+//
+// First-touch tracking uses a per-worker epoch array rather than a
+// scores[cand] == 0 sentinel: with mixed-sign vector values a partial dot
+// product can transiently cancel to exactly zero, which would re-append the
+// candidate and corrupt the top-K pass (PPMI values are strictly positive,
+// but knn is also exercised directly with arbitrary vectors).
 func knn(vecs []sparseVec, cfg BuilderConfig) [][]Edge {
 	n := len(vecs)
-	// Inverted index: feature id -> vertex postings.
+	// Inverted index: feature id -> postings carrying (vertex, value).
 	nf := 0
 	for i := range vecs {
 		for _, id := range vecs[i].ids {
@@ -303,10 +329,27 @@ func knn(vecs []sparseVec, cfg BuilderConfig) [][]Edge {
 			}
 		}
 	}
-	postings := make([][]int32, nf)
+	// Two passes: count postings per feature, then fill one flat backing —
+	// no per-list append growth.
+	counts := make([]int32, nf)
+	total := 0
+	for i := range vecs {
+		for _, id := range vecs[i].ids {
+			counts[id]++
+		}
+		total += len(vecs[i].ids)
+	}
+	flat := make([]posting, total)
+	postings := make([][]posting, nf)
+	pos := 0
+	for f := range postings {
+		postings[f] = flat[pos : pos : pos+int(counts[f])]
+		pos += int(counts[f])
+	}
 	for vi := range vecs {
-		for _, id := range vecs[vi].ids {
-			postings[id] = append(postings[id], int32(vi))
+		v32 := int32(vi)
+		for k, id := range vecs[vi].ids {
+			postings[id] = append(postings[id], posting{v: v32, val: vecs[vi].vals[k]})
 		}
 	}
 
@@ -318,12 +361,16 @@ func knn(vecs []sparseVec, cfg BuilderConfig) [][]Edge {
 		go func(w int) {
 			defer wg.Done()
 			scores := make([]float64, n)
+			seen := make([]int32, n) // epoch at which scores[c] became valid
+			epoch := int32(0)
 			touched := make([]int32, 0, 1024)
 			for vi := w; vi < n; vi += workers {
 				q := &vecs[vi]
 				if q.norm == 0 {
 					continue
 				}
+				epoch++
+				qv32 := int32(vi)
 				touched = touched[:0]
 				for k, id := range q.ids {
 					pl := postings[id]
@@ -331,23 +378,22 @@ func knn(vecs []sparseVec, cfg BuilderConfig) [][]Edge {
 						continue
 					}
 					qv := q.vals[k]
-					for _, cand := range pl {
-						if cand == int32(vi) {
+					for _, p := range pl {
+						if p.v == qv32 {
 							continue
 						}
-						if scores[cand] == 0 {
-							touched = append(touched, cand)
+						if seen[p.v] != epoch {
+							seen[p.v] = epoch
+							scores[p.v] = 0
+							touched = append(touched, p.v)
 						}
 						// Sparse partial dot: accumulate q_f · c_f.
-						scores[cand] += qv * valueOf(&vecs[cand], id)
+						scores[p.v] += qv * p.val
 					}
 				}
-				// Select top K by cosine.
-				edges := topK(scores, touched, q.norm, vecs, cfg.K)
-				for _, c := range touched {
-					scores[c] = 0
-				}
-				out[vi] = edges
+				// Select top K by cosine. Stale scores need no reset pass:
+				// the next query's epoch invalidates them wholesale.
+				out[vi] = topK(scores, touched, q.norm, vecs, cfg.K)
 			}
 		}(w)
 	}

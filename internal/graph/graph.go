@@ -28,15 +28,88 @@ type Edge struct {
 }
 
 // Graph is the directed k-NN similarity graph over 3-gram vertices.
+//
+// The adjacency is held twice: Neighbors is the slice-of-slices view the
+// construction and serialization code produces, and EdgeOffsets / EdgeTo /
+// EdgeWeight mirror it in CSR (compressed sparse row) layout — three flat
+// arrays with the out-edges of vertex v occupying the half-open index
+// range [EdgeOffsets[v], EdgeOffsets[v+1]). The CSR view is what the
+// propagation hot loop reads: it removes one pointer indirection and one
+// slice header per vertex and keeps edge targets and weights contiguous.
+// Build and ReadFrom populate it; hand-assembled graphs get it lazily via
+// EnsureCSR.
 type Graph struct {
 	Vertices  []corpus.NGram
 	Index     map[corpus.NGram]int
 	Neighbors [][]Edge // Neighbors[v] has at most K entries
 	K         int
+
+	// CSR mirror of Neighbors (see type comment). len(EdgeOffsets) is
+	// NumVertices()+1 when built; edge order matches Neighbors exactly.
+	EdgeOffsets []int32
+	EdgeTo      []int32
+	EdgeWeight  []float64
 }
 
 // NumVertices returns the vertex count.
 func (g *Graph) NumVertices() int { return len(g.Vertices) }
+
+// BuildCSR (re)derives the flat CSR adjacency from Neighbors. Call it
+// after mutating Neighbors on a graph whose CSR view is already in use.
+// Vertices beyond len(Neighbors) (possible on hand-assembled graphs) get
+// empty edge ranges.
+func (g *Graph) BuildCSR() {
+	g.EdgeOffsets, g.EdgeTo, g.EdgeWeight = csrFromLists(g.Neighbors, g.csrRows())
+}
+
+// EnsureCSR builds the CSR adjacency if it is absent or stale (offset
+// table inconsistent with Neighbors). It returns the graph for chaining.
+func (g *Graph) EnsureCSR() *Graph {
+	rows := g.csrRows()
+	if len(g.EdgeOffsets) != rows+1 || int(g.EdgeOffsets[rows]) != g.NumEdges() {
+		g.BuildCSR()
+	}
+	return g
+}
+
+// csrRows is the row count of the CSR table: every vertex gets a row even
+// when Neighbors is shorter than Vertices.
+func (g *Graph) csrRows() int {
+	rows := len(g.Neighbors)
+	if len(g.Vertices) > rows {
+		rows = len(g.Vertices)
+	}
+	return rows
+}
+
+// csrFromLists flattens slice-of-slices adjacency into CSR arrays,
+// preserving edge order within each vertex. rows ≥ len(lists) pads the
+// offset table with empty trailing ranges.
+func csrFromLists(lists [][]Edge, rows int) (offsets, to []int32, weight []float64) {
+	if rows < len(lists) {
+		rows = len(lists)
+	}
+	total := 0
+	for _, es := range lists {
+		total += len(es)
+	}
+	offsets = make([]int32, rows+1)
+	to = make([]int32, total)
+	weight = make([]float64, total)
+	pos := int32(0)
+	for v, es := range lists {
+		offsets[v] = pos
+		for _, e := range es {
+			to[pos] = e.To
+			weight[pos] = e.Weight
+			pos++
+		}
+	}
+	for v := len(lists); v <= rows; v++ {
+		offsets[v] = pos
+	}
+	return offsets, to, weight
+}
 
 // NumEdges returns the total directed edge count.
 func (g *Graph) NumEdges() int {
@@ -202,6 +275,7 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 	if len(g.Vertices) != n {
 		return nil, fmt.Errorf("graph: header promised %d vertices, got %d", n, len(g.Vertices))
 	}
+	g.BuildCSR()
 	return g, nil
 }
 

@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestKNNMixedSignNoDuplicate is a regression test for the first-touch
+// sentinel bug: the scoring loop used scores[cand] == 0 to detect a
+// candidate's first contribution, so a mixed-sign partial dot product that
+// transiently cancelled to exactly zero re-appended the candidate to the
+// touched list and duplicated its edge in the top-K output. The epoch-based
+// tracking must report each neighbour exactly once.
+func TestKNNMixedSignNoDuplicate(t *testing.T) {
+	// Vertex 1 shares features 0,1,2 with the query vertex 0. Accumulating
+	// in feature order, its partial dot is 1, then 1 + (-1) = 0 — exactly
+	// zero midway — then 1 again via feature 2.
+	vecs := []sparseVec{
+		{ids: []int32{0, 1, 2}, vals: []float64{1, 1, 1}, norm: math.Sqrt(3)},
+		{ids: []int32{0, 1, 2}, vals: []float64{1, -1, 1}, norm: math.Sqrt(3)},
+	}
+	out := knn(vecs, BuilderConfig{K: 4, Workers: 1})
+	if len(out[0]) != 1 {
+		t.Fatalf("query vertex has %d edges %v, want exactly 1", len(out[0]), out[0])
+	}
+	e := out[0][0]
+	if e.To != 1 {
+		t.Fatalf("edge goes to %d, want 1", e.To)
+	}
+	// dot = 1 - 1 + 1 = 1, cosine = 1/(√3·√3) = 1/3.
+	if want := 1.0 / 3.0; math.Abs(e.Weight-want) > 1e-15 {
+		t.Errorf("edge weight = %v, want %v", e.Weight, want)
+	}
+}
+
+// TestKNNNoDuplicateNeighborsRandom sweeps random mixed-sign vectors and
+// asserts the invariant the sentinel bug violated: no neighbour list may
+// mention the same vertex twice, and self-edges never appear.
+func TestKNNNoDuplicateNeighborsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(40)
+		nf := 4 + rng.Intn(8)
+		vecs := make([]sparseVec, n)
+		for v := range vecs {
+			var norm float64
+			for f := 0; f < nf; f++ {
+				if rng.Float64() < 0.5 {
+					continue
+				}
+				// Small integer values make exact cancellation common.
+				val := float64(rng.Intn(5) - 2)
+				if val == 0 {
+					continue
+				}
+				vecs[v].ids = append(vecs[v].ids, int32(f))
+				vecs[v].vals = append(vecs[v].vals, val)
+				norm += val * val
+			}
+			vecs[v].norm = math.Sqrt(norm)
+		}
+		out := knn(vecs, BuilderConfig{K: 5, Workers: 1 + rng.Intn(4)})
+		for v, edges := range out {
+			seen := make(map[int32]bool)
+			for _, e := range edges {
+				if int(e.To) == v {
+					t.Fatalf("trial %d: self-edge at vertex %d", trial, v)
+				}
+				if seen[e.To] {
+					t.Fatalf("trial %d: duplicate neighbour %d at vertex %d: %v", trial, e.To, v, edges)
+				}
+				seen[e.To] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package graphner
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/corpus/synth"
+	"repro/internal/crf"
+	"repro/internal/graph"
+	"repro/internal/propagate"
+)
+
+// referenceTest is a verbatim copy of the seed TEST procedure, which
+// re-compiled every sentence in each pass (graph construction, posterior
+// extraction, baseline decoding). The golden test below runs it against
+// the instance-cached pipeline and demands bit-identical output: caching
+// compiled instances must be a pure optimization.
+func referenceTest(s *System, test *corpus.Corpus) (*Output, error) {
+	g, err := s.BuildGraph(test)
+	if err != nil {
+		return nil, err
+	}
+	if len(test.Sentences) == 0 {
+		return nil, fmt.Errorf("graphner: empty test corpus")
+	}
+	union := unionCorpus(s.train, test.StripLabels())
+
+	posteriors := s.Posteriors(union)
+	trans := GoldTransitions(s.train)
+
+	X := AveragePosteriors(g, union, posteriors)
+
+	xref := make([][]float64, g.NumVertices())
+	labelled := make([]bool, g.NumVertices())
+	nLabelled, nPositive := 0, 0
+	for v, ng := range g.Vertices {
+		if d, ok := s.xref[ng]; ok {
+			xref[v] = d
+			labelled[v] = true
+			nLabelled++
+			if d[corpus.B]+d[corpus.I] > 0 {
+				nPositive++
+			}
+		}
+	}
+
+	prop, err := propagate.Run(g, X, xref, labelled, propagate.Config{
+		Mu:         s.cfg.Mu,
+		Nu:         s.cfg.Nu,
+		Iterations: s.cfg.Iterations,
+		Workers:    s.cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("graphner: propagation: %w", err)
+	}
+
+	offset := len(s.train.Sentences)
+	out := &Output{
+		Graph:         g,
+		Propagation:   prop,
+		VertexBeliefs: X,
+		Tags:          make([][]corpus.Tag, len(test.Sentences)),
+	}
+	if n := g.NumVertices(); n > 0 {
+		out.LabelledVertexFraction = float64(nLabelled) / float64(n)
+		out.PositiveVertexFraction = float64(nPositive) / float64(n)
+	}
+
+	var decodeErr error
+	var mu sync.Mutex
+	s.parallel(len(test.Sentences), func(i int) {
+		sent := test.Sentences[i]
+		words := sent.Words()
+		ps := posteriors[offset+i]
+		combined := make([][]float64, len(words))
+		for j := range words {
+			row := make([]float64, corpus.NumTags)
+			var gb []float64
+			if vi := g.Lookup(corpus.Trigram(words, j)); vi >= 0 {
+				gb = X[vi]
+			}
+			for y := 0; y < corpus.NumTags; y++ {
+				if gb != nil {
+					row[y] = s.cfg.Alpha*ps[j][y] + (1-s.cfg.Alpha)*gb[y]
+				} else {
+					row[y] = ps[j][y]
+				}
+			}
+			combined[j] = row
+		}
+		tags, err := crf.DecodeWithPotentialsT(combined, trans, s.model.BIO, s.cfg.TransitionPower)
+		if err != nil {
+			mu.Lock()
+			decodeErr = err
+			mu.Unlock()
+			return
+		}
+		out.Tags[i] = tags
+	})
+	if decodeErr != nil {
+		return nil, fmt.Errorf("graphner: decoding: %w", decodeErr)
+	}
+
+	out.BaselineTags = s.BaselineTags(test)
+	return out, nil
+}
+
+func tagsEqual(t *testing.T, what string, got, want [][]corpus.Tag) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d sentences, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: sentence %d has %d tags, want %d", what, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s: sentence %d tag %d = %v, want %v", what, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestCachedPipelineMatchesSeed(t *testing.T) {
+	train, test := smallCorpora(t, synth.AML, 120)
+	sys, err := Train(train, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	miCfg := sys.Config()
+	miCfg.Mode = graph.MIFeatures
+	miCfg.MIThreshold = 0.0005
+
+	for _, tc := range []struct {
+		name string
+		s    *System
+	}{
+		{"all-features", sys},
+		{"mi-features", sys.WithConfig(miCfg)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := referenceTest(tc.s, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tc.s.Test(test)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tagsEqual(t, "Tags", got.Tags, want.Tags)
+			tagsEqual(t, "BaselineTags", got.BaselineTags, want.BaselineTags)
+
+			if len(got.Propagation.Loss) != len(want.Propagation.Loss) {
+				t.Fatalf("loss history length %d vs %d", len(got.Propagation.Loss), len(want.Propagation.Loss))
+			}
+			for i := range want.Propagation.Loss {
+				if got.Propagation.Loss[i] != want.Propagation.Loss[i] {
+					t.Errorf("Loss[%d] = %v, seed %v", i, got.Propagation.Loss[i], want.Propagation.Loss[i])
+				}
+			}
+			if got.Propagation.MaxDelta != want.Propagation.MaxDelta {
+				t.Errorf("MaxDelta = %v, seed %v", got.Propagation.MaxDelta, want.Propagation.MaxDelta)
+			}
+
+			if len(got.VertexBeliefs) != len(want.VertexBeliefs) {
+				t.Fatalf("%d vertex beliefs, want %d", len(got.VertexBeliefs), len(want.VertexBeliefs))
+			}
+			for v := range want.VertexBeliefs {
+				for y := range want.VertexBeliefs[v] {
+					if got.VertexBeliefs[v][y] != want.VertexBeliefs[v][y] {
+						t.Fatalf("VertexBeliefs[%d][%d] = %v, seed %v",
+							v, y, got.VertexBeliefs[v][y], want.VertexBeliefs[v][y])
+					}
+				}
+			}
+
+			if got.LabelledVertexFraction != want.LabelledVertexFraction ||
+				got.PositiveVertexFraction != want.PositiveVertexFraction {
+				t.Errorf("graph statistics (%v, %v) vs seed (%v, %v)",
+					got.LabelledVertexFraction, got.PositiveVertexFraction,
+					want.LabelledVertexFraction, want.PositiveVertexFraction)
+			}
+		})
+	}
+}

@@ -250,25 +250,41 @@ func (s *System) WithConfig(cfg Config) *System {
 	return &cp
 }
 
+// compileCorpus compiles every sentence once, in parallel — safe because
+// the system's alphabet is frozen after training. The returned instances
+// are the cache the TEST procedure threads through its passes (posteriors,
+// MI tag decoding, baseline decoding) so no sentence is re-compiled.
+func (s *System) compileCorpus(c *corpus.Corpus) []*crf.Instance {
+	ins := make([]*crf.Instance, len(c.Sentences))
+	s.parallel(len(c.Sentences), func(i int) {
+		ins[i] = s.compiler.CompileSentence(c.Sentences[i])
+	})
+	return ins
+}
+
+// posteriorsOf runs the CRF forward-backward over compiled instances.
+func (s *System) posteriorsOf(ins []*crf.Instance) [][][]float64 {
+	out := make([][][]float64, len(ins))
+	s.parallel(len(ins), func(i int) {
+		out[i] = s.model.Posteriors(ins[i])
+	})
+	return out
+}
+
 // BaselineTags decodes the test corpus with the base CRF alone (the
 // BANNER / BANNER-ChemDNER baseline rows of Tables I and II).
 func (s *System) BaselineTags(test *corpus.Corpus) [][]corpus.Tag {
-	out := make([][]corpus.Tag, len(test.Sentences))
-	s.parallel(len(test.Sentences), func(i int) {
-		in := s.compiler.CompileSentence(test.Sentences[i])
-		out[i] = s.model.Decode(in)
+	ins := s.compileCorpus(test)
+	out := make([][]corpus.Tag, len(ins))
+	s.parallel(len(ins), func(i int) {
+		out[i] = s.model.Decode(ins[i])
 	})
 	return out
 }
 
 // Posteriors runs the CRF forward-backward over a corpus, in parallel.
 func (s *System) Posteriors(c *corpus.Corpus) [][][]float64 {
-	out := make([][][]float64, len(c.Sentences))
-	s.parallel(len(c.Sentences), func(i int) {
-		in := s.compiler.CompileSentence(c.Sentences[i])
-		out[i] = s.model.Posteriors(in)
-	})
-	return out
+	return s.posteriorsOf(s.compileCorpus(c))
 }
 
 // BuildGraph constructs the 3-gram similarity graph over the union of the
@@ -283,10 +299,23 @@ func (s *System) BuildGraph(test *corpus.Corpus) (*graph.Graph, error) {
 // abundant-unlabelled-data setting the paper's conclusion anticipates.
 // extra may be nil.
 func (s *System) BuildGraphExtra(test, extra *corpus.Corpus) (*graph.Graph, error) {
-	union := unionCorpus(s.train, test.StripLabels())
+	return s.buildGraphUnion(s.union(test, extra), nil)
+}
+
+// union assembles train ∪ test ∪ extra (train first, labels stripped from
+// the rest); extra may be nil.
+func (s *System) union(test, extra *corpus.Corpus) *corpus.Corpus {
+	u := unionCorpus(s.train, test.StripLabels())
 	if extra != nil {
-		union.Sentences = append(union.Sentences, extra.StripLabels().Sentences...)
+		u.Sentences = append(u.Sentences, extra.StripLabels().Sentences...)
 	}
+	return u
+}
+
+// buildGraphUnion builds the similarity graph over an assembled union
+// corpus. ins, when non-nil, supplies pre-compiled instances parallel to
+// union.Sentences so MIFeatures-mode tag decoding skips re-compilation.
+func (s *System) buildGraphUnion(union *corpus.Corpus, ins []*crf.Instance) (*graph.Graph, error) {
 	bc := graph.BuilderConfig{
 		K:           s.cfg.K,
 		Mode:        s.cfg.Mode,
@@ -303,7 +332,12 @@ func (s *System) BuildGraphExtra(test, extra *corpus.Corpus) (*graph.Graph, erro
 				tags[i] = sent.Tags
 				return
 			}
-			in := s.compiler.CompileSentence(sent)
+			var in *crf.Instance
+			if ins != nil {
+				in = ins[i]
+			} else {
+				in = s.compiler.CompileSentence(sent)
+			}
 			tags[i] = s.model.Decode(in)
 		})
 		bc.Tags = tags
@@ -331,12 +365,19 @@ type Output struct {
 }
 
 // Test runs Algorithm 1's TEST procedure, building the graph internally.
+// The union corpus is compiled exactly once; graph construction, posterior
+// extraction and final decoding all share the cached instances.
 func (s *System) Test(test *corpus.Corpus) (*Output, error) {
-	g, err := s.BuildGraph(test)
+	if len(test.Sentences) == 0 {
+		return nil, fmt.Errorf("graphner: empty test corpus")
+	}
+	union := s.union(test, nil)
+	ins := s.compileCorpus(union)
+	g, err := s.buildGraphUnion(union, ins)
 	if err != nil {
 		return nil, err
 	}
-	return s.TestWithGraph(test, g)
+	return s.testOnUnion(test, union, ins, g)
 }
 
 // TestWithExtra is Test with additional unlabelled sentences participating
@@ -344,31 +385,33 @@ func (s *System) Test(test *corpus.Corpus) (*Output, error) {
 // setting with abundant unlabelled data that the paper's conclusion
 // expects to raise performance further. Only test sentences are decoded.
 func (s *System) TestWithExtra(test, extra *corpus.Corpus) (*Output, error) {
-	g, err := s.BuildGraphExtra(test, extra)
+	if len(test.Sentences) == 0 {
+		return nil, fmt.Errorf("graphner: empty test corpus")
+	}
+	union := s.union(test, extra)
+	ins := s.compileCorpus(union)
+	g, err := s.buildGraphUnion(union, ins)
 	if err != nil {
 		return nil, err
 	}
-	return s.testOnGraph(test, extra, g)
+	return s.testOnUnion(test, union, ins, g)
 }
 
 // TestWithGraph runs the TEST procedure over a prebuilt graph (so ablation
 // sweeps can reuse one CRF across graph variants).
 func (s *System) TestWithGraph(test *corpus.Corpus, g *graph.Graph) (*Output, error) {
-	return s.testOnGraph(test, nil, g)
-}
-
-// testOnGraph is the shared TEST implementation; extra may be nil.
-func (s *System) testOnGraph(test, extra *corpus.Corpus, g *graph.Graph) (*Output, error) {
 	if len(test.Sentences) == 0 {
 		return nil, fmt.Errorf("graphner: empty test corpus")
 	}
-	union := unionCorpus(s.train, test.StripLabels())
-	if extra != nil {
-		union.Sentences = append(union.Sentences, extra.StripLabels().Sentences...)
-	}
+	union := s.union(test, nil)
+	return s.testOnUnion(test, union, s.compileCorpus(union), g)
+}
 
+// testOnUnion is the shared TEST implementation over an assembled union
+// corpus and its compiled instances (parallel to union.Sentences).
+func (s *System) testOnUnion(test, union *corpus.Corpus, ins []*crf.Instance, g *graph.Graph) (*Output, error) {
 	// Line 5: CRF posteriors over D_l ∪ D_u and transition probabilities.
-	posteriors := s.Posteriors(union)
+	posteriors := s.posteriorsOf(ins)
 	trans := GoldTransitions(s.train)
 
 	// Line 6: average posteriors per unique 3-gram.
@@ -450,7 +493,12 @@ func (s *System) testOnGraph(test, extra *corpus.Corpus, g *graph.Graph) (*Outpu
 		return nil, fmt.Errorf("graphner: decoding: %w", decodeErr)
 	}
 
-	out.BaselineTags = s.BaselineTags(test)
+	// Baseline decode reuses the cached union instances: features depend
+	// only on the words, which label stripping leaves untouched.
+	out.BaselineTags = make([][]corpus.Tag, len(test.Sentences))
+	s.parallel(len(test.Sentences), func(i int) {
+		out.BaselineTags[i] = s.model.Decode(ins[offset+i])
+	})
 	return out, nil
 }
 

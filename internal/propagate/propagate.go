@@ -5,6 +5,12 @@
 // neighbours weighted by edge similarity (coefficient μ), and (c) the
 // uniform distribution (coefficient ν), by iterating the closed-form
 // coordinate update that zeroes the gradient of the loss in Equation 1.
+//
+// The hot path is allocation-free: beliefs live in one flat row-major
+// matrix (n × corpus.NumTags), the adjacency is walked in the graph's CSR
+// layout (graph.Graph.EdgeOffsets / EdgeTo / EdgeWeight), and the two
+// sweep buffers ping-pong instead of being copied. The slice-of-rows Run
+// entry point is a thin adapter over RunFlat kept for existing callers.
 package propagate
 
 import (
@@ -44,15 +50,68 @@ type Result struct {
 	MaxDelta float64
 }
 
+// adjacency is a CSR view of the propagation graph: the out-edges of
+// vertex v are to[off[v]:off[v+1]] with weights w over the same range.
+type adjacency struct {
+	off []int32
+	to  []int32
+	w   []float64
+}
+
+// adjacencyOf returns the CSR adjacency to propagate over, honouring
+// cfg.Symmetrize. It never mutates g (so concurrent Runs over a shared
+// graph stay race-free): graphs built by graph.Build or graph.ReadFrom
+// already carry CSR arrays; hand-assembled graphs get a local flattening.
+func adjacencyOf(g *graph.Graph, n int, symmetrize bool) adjacency {
+	if symmetrize {
+		return csrOfLists(symmetrized(g), n)
+	}
+	if len(g.EdgeOffsets) == n+1 && int(g.EdgeOffsets[n]) == len(g.EdgeTo) {
+		return adjacency{off: g.EdgeOffsets, to: g.EdgeTo, w: g.EdgeWeight}
+	}
+	return csrOfLists(g.Neighbors, n)
+}
+
+// csrOfLists flattens slice-of-slices adjacency into a CSR view with n
+// rows (rows beyond len(lists) are empty), preserving edge order.
+func csrOfLists(lists [][]graph.Edge, n int) adjacency {
+	if n < len(lists) {
+		n = len(lists)
+	}
+	total := 0
+	for _, es := range lists {
+		total += len(es)
+	}
+	a := adjacency{
+		off: make([]int32, n+1),
+		to:  make([]int32, total),
+		w:   make([]float64, total),
+	}
+	pos := int32(0)
+	for v, es := range lists {
+		a.off[v] = pos
+		for _, e := range es {
+			a.to[pos] = e.To
+			a.w[pos] = e.Weight
+			pos++
+		}
+	}
+	for v := len(lists); v <= n; v++ {
+		a.off[v] = pos
+	}
+	return a
+}
+
 // Run performs propagation in place on X. X[v] is the current label
 // distribution of vertex v (length corpus.NumTags); xref[v] is its
 // reference distribution, consulted only where labelled[v] is true. All
 // three slices must be indexed like g.Vertices. Vertices whose X row is
 // nil are treated as uniform and materialized.
 //
-// Each sweep is a Jacobi update: every vertex's new distribution is
-// computed from the previous sweep's values, which makes the result
-// deterministic and the sweep parallelizable.
+// Run is an adapter over RunFlat: it copies the rows into a flat working
+// matrix, runs the CSR kernel, and copies the result back into the
+// caller's rows, so callers holding [][]float64 beliefs are untouched by
+// the flat-layout refactor.
 func Run(g *graph.Graph, X, xref [][]float64, labelled []bool, cfg Config) (Result, error) {
 	n := g.NumVertices()
 	if len(X) != n || len(xref) != n || len(labelled) != n {
@@ -65,36 +124,92 @@ func Run(g *graph.Graph, X, xref [][]float64, labelled []bool, cfg Config) (Resu
 	if cfg.Mu < 0 || cfg.Nu < 0 {
 		return Result{}, fmt.Errorf("propagate: negative hyper-parameter (mu=%g nu=%g)", cfg.Mu, cfg.Nu)
 	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
 	const Y = corpus.NumTags
 	uniform := 1.0 / Y
 
+	// Materialize nil rows out of one shared backing array (one
+	// allocation instead of one per vertex).
+	nilRows := 0
 	for v := range X {
 		if X[v] == nil {
-			X[v] = []float64{uniform, uniform, uniform}
+			nilRows++
+		}
+	}
+	if nilRows > 0 {
+		backing := make([]float64, nilRows*Y)
+		bi := 0
+		for v := range X {
+			if X[v] != nil {
+				continue
+			}
+			row := backing[bi : bi+Y : bi+Y]
+			for y := 0; y < Y; y++ {
+				row[y] = uniform
+			}
+			X[v] = row
+			bi += Y
 		}
 	}
 
-	neigh := g.Neighbors
-	if cfg.Symmetrize {
-		neigh = symmetrized(g)
+	flat := make([]float64, n*Y)
+	for v := range X {
+		copy(flat[v*Y:(v+1)*Y], X[v])
 	}
+	res, err := RunFlat(g, flat, xref, labelled, cfg)
+	if err != nil {
+		return res, err
+	}
+	for v := range X {
+		copy(X[v], flat[v*Y:(v+1)*Y])
+	}
+	return res, nil
+}
+
+// RunFlat performs propagation in place on the flat row-major belief
+// matrix X, where X[v*corpus.NumTags+y] is vertex v's probability of tag
+// y and len(X) must be g.NumVertices()·corpus.NumTags. xref and labelled
+// are as in Run. This is the allocation-free entry point: besides the
+// ping-pong sweep buffer and the loss history it allocates nothing per
+// sweep.
+func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg Config) (Result, error) {
+	const Y = corpus.NumTags
+	n := g.NumVertices()
+	if len(X) != n*Y {
+		return Result{}, fmt.Errorf("propagate: flat matrix length %d != %d vertices × %d tags", len(X), n, Y)
+	}
+	if len(xref) != n || len(labelled) != n {
+		return Result{}, fmt.Errorf("propagate: slice lengths (%d,%d) != vertex count %d",
+			len(xref), len(labelled), n)
+	}
+	if cfg.Iterations < 0 {
+		return Result{}, fmt.Errorf("propagate: negative iterations")
+	}
+	if cfg.Mu < 0 || cfg.Nu < 0 {
+		return Result{}, fmt.Errorf("propagate: negative hyper-parameter (mu=%g nu=%g)", cfg.Mu, cfg.Nu)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > n && n > 0 {
+		cfg.Workers = n
+	}
+	uniform := 1.0 / Y
+
+	adj := adjacencyOf(g, n, cfg.Symmetrize)
 
 	res := Result{Loss: make([]float64, 0, cfg.Iterations+1)}
-	res.Loss = append(res.Loss, Loss(g, X, xref, labelled, cfg))
+	res.Loss = append(res.Loss, lossFlat(adj, X, xref, labelled, n, cfg.Mu, cfg.Nu))
+	if cfg.Iterations == 0 {
+		return res, nil
+	}
 
 	cur := X
-	next := make([][]float64, n)
-	flat := make([]float64, n*Y)
-	for v := range next {
-		next[v] = flat[v*Y : (v+1)*Y]
-	}
+	next := make([]float64, n*Y)
+	inX := true // whether cur aliases the caller's X
+	deltas := make([]float64, cfg.Workers)
 
 	for it := 0; it < cfg.Iterations; it++ {
 		var wg sync.WaitGroup
-		deltas := make([]float64, cfg.Workers)
 		for w := 0; w < cfg.Workers; w++ {
 			wg.Add(1)
 			go func(w int) {
@@ -112,24 +227,26 @@ func Run(g *graph.Graph, X, xref [][]float64, labelled []bool, cfg Config) (Resu
 							gamma[y] += xref[v][y]
 						}
 					}
-					for _, e := range neigh[v] {
-						kappa += cfg.Mu * e.Weight
-						xe := cur[e.To]
+					for e, end := adj.off[v], adj.off[v+1]; e < end; e++ {
+						mw := cfg.Mu * adj.w[e]
+						kappa += mw
+						xe := cur[int(adj.to[e])*Y : int(adj.to[e])*Y+Y]
 						for y := 0; y < Y; y++ {
-							gamma[y] += cfg.Mu * e.Weight * xe[y]
+							gamma[y] += mw * xe[y]
 						}
 					}
+					row := v * Y
 					if kappa == 0 {
 						// Isolated unlabelled vertex with ν=0: keep as is.
-						copy(next[v], cur[v])
+						copy(next[row:row+Y], cur[row:row+Y])
 						continue
 					}
 					for y := 0; y < Y; y++ {
 						nv := gamma[y] / kappa
-						if d := math.Abs(nv - cur[v][y]); d > maxDelta {
+						if d := math.Abs(nv - cur[row+y]); d > maxDelta {
 							maxDelta = d
 						}
-						next[v][y] = nv
+						next[row+y] = nv
 					}
 				}
 				deltas[w] = maxDelta
@@ -142,12 +259,17 @@ func Run(g *graph.Graph, X, xref [][]float64, labelled []bool, cfg Config) (Resu
 				res.MaxDelta = d
 			}
 		}
-		// Swap buffers; copy next into X's rows on the final sweep so the
-		// caller's backing storage is updated.
-		for v := range cur {
-			copy(cur[v], next[v])
-		}
-		res.Loss = append(res.Loss, Loss(g, X, xref, labelled, cfg))
+		// Ping-pong instead of copying next back into cur: the swap makes
+		// each sweep read memory once (the update pass), with the loss
+		// evaluation below reading the freshly written buffer.
+		cur, next = next, cur
+		inX = !inX
+		res.Loss = append(res.Loss, lossFlat(adj, cur, xref, labelled, n, cfg.Mu, cfg.Nu))
+	}
+	// The final beliefs must land in the caller's X; after an odd number
+	// of swaps they live in the scratch buffer.
+	if !inX {
+		copy(X, cur)
 	}
 	return res, nil
 }
@@ -156,6 +278,9 @@ func Run(g *graph.Graph, X, xref [][]float64, labelled []bool, cfg Config) (Resu
 //
 //	C(X) = Σ_{u∈V_l} ‖X(u)−X_ref(u)‖² + μ Σ_u Σ_{k∈N(u)} w_{u,k}‖X(u)−X(k)‖²
 //	       + ν Σ_u ‖X(u)−U‖²
+//
+// over slice-of-rows beliefs (nil rows are skipped, matching Run's
+// pre-materialization semantics).
 func Loss(g *graph.Graph, X, xref [][]float64, labelled []bool, cfg Config) float64 {
 	const Y = corpus.NumTags
 	uniform := 1.0 / Y
@@ -174,20 +299,55 @@ func Loss(g *graph.Graph, X, xref [][]float64, labelled []bool, cfg Config) floa
 				c += d * d
 			}
 		}
-		for _, e := range neigh[v] {
-			if X[e.To] == nil {
-				continue
+		if v < len(neigh) {
+			for _, e := range neigh[v] {
+				if X[e.To] == nil {
+					continue
+				}
+				var s float64
+				for y := 0; y < Y; y++ {
+					d := X[v][y] - X[e.To][y]
+					s += d * d
+				}
+				c += cfg.Mu * e.Weight * s
 			}
-			var s float64
-			for y := 0; y < Y; y++ {
-				d := X[v][y] - X[e.To][y]
-				s += d * d
-			}
-			c += cfg.Mu * e.Weight * s
 		}
 		for y := 0; y < Y; y++ {
 			d := X[v][y] - uniform
 			c += cfg.Nu * d * d
+		}
+	}
+	return c
+}
+
+// lossFlat is Loss over the flat belief matrix and a CSR adjacency. The
+// accumulation order matches Loss term for term (sequential over vertices,
+// labelled → edges → uniform within each vertex), so losses reported by
+// RunFlat are bit-identical to the slice-of-rows implementation.
+func lossFlat(adj adjacency, X []float64, xref [][]float64, labelled []bool, n int, mu, nu float64) float64 {
+	const Y = corpus.NumTags
+	uniform := 1.0 / Y
+	var c float64
+	for v := 0; v < n; v++ {
+		row := v * Y
+		if labelled[v] {
+			for y := 0; y < Y; y++ {
+				d := X[row+y] - xref[v][y]
+				c += d * d
+			}
+		}
+		for e, end := adj.off[v], adj.off[v+1]; e < end; e++ {
+			other := int(adj.to[e]) * Y
+			var s float64
+			for y := 0; y < Y; y++ {
+				d := X[row+y] - X[other+y]
+				s += d * d
+			}
+			c += mu * adj.w[e] * s
+		}
+		for y := 0; y < Y; y++ {
+			d := X[row+y] - uniform
+			c += nu * d * d
 		}
 	}
 	return c
