@@ -1,0 +1,38 @@
+# Developer entry points. Everything is standard library + go toolchain;
+# `make tier1` is the gate every change must pass.
+
+GO ?= go
+
+RACE_PKGS = ./internal/propagate ./internal/graph ./internal/crf ./internal/graphner ./internal/features
+
+.PHONY: all build lint test race fuzz-smoke debug-test tier1
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+# The repo's own analyzer suite (internal/analysis): poolescape, maporder,
+# floatcmp, naninf, ctxloop. Exits non-zero on findings.
+lint: build
+	$(GO) vet ./...
+	$(GO) run ./cmd/graphnerlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# 10-second smoke of each fuzz target — catches shallow regressions
+# without a long fuzzing budget.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=10s ./internal/tokenize
+	$(GO) test -run='^$$' -fuzz=FuzzCompileSentence -fuzztime=10s ./internal/crf
+
+# Runtime assertions (internal/analysis/assert) compiled in: CSR shape,
+# row-stochastic beliefs per sweep, NaN scans before Viterbi.
+debug-test:
+	$(GO) test -tags graphner_debug ./internal/analysis/assert ./internal/propagate ./internal/graph ./internal/graphner
+
+tier1: build lint test race

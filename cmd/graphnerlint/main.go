@@ -1,0 +1,115 @@
+// Command graphnerlint runs the repository's analyzer suite (see
+// internal/analysis) over the module and exits non-zero on findings.
+//
+// Usage:
+//
+//	graphnerlint [packages]
+//
+// With no arguments or "./..." it checks every package in the module.
+// Individual package directories (relative or absolute) narrow the run,
+// but cross-package facts are still computed module-wide so pool
+// helpers are recognized regardless of the selection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: graphnerlint [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+
+	// "./..." (or nothing) means the whole module; otherwise the named
+	// directories. Facts want the full module either way, so selection
+	// only filters which packages' diagnostics are kept.
+	var only map[string]bool
+	for _, arg := range flag.Args() {
+		if arg == "./..." || arg == "..." || arg == "all" {
+			only = nil
+			break
+		}
+		abs, err := filepath.Abs(strings.TrimSuffix(arg, "/..."))
+		if err != nil {
+			fatal(err)
+		}
+		if only == nil {
+			only = make(map[string]bool)
+		}
+		only[abs] = true
+	}
+
+	pkgs, err := analysis.Load(root, nil)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		fatal(err)
+	}
+
+	cwd, _ := os.Getwd()
+	n := 0
+	for _, d := range diags {
+		if only != nil && !only[filepath.Dir(d.Pos.Filename)] {
+			continue
+		}
+		file := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "graphnerlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("graphnerlint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

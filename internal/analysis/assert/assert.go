@@ -1,0 +1,103 @@
+//go:build graphner_debug
+
+// Package assert is the runtime counterpart of the static analyzers: a
+// set of numeric invariant checks compiled in only under the
+// graphner_debug build tag. Default builds get the assert_off.go no-ops
+// (Enabled is a false constant, so callers' guard blocks dead-code
+// eliminate); debug builds panic at the first violated invariant with
+// enough context to locate it.
+package assert
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floats"
+)
+
+// Enabled reports whether assertions are compiled in.
+const Enabled = true
+
+// sumEps tolerates rounding drift accumulated over one row of adds.
+const sumEps = 1e-6
+
+// CSRMonotonic checks a CSR offset table: non-decreasing, starting at 0,
+// ending at the edge count.
+func CSRMonotonic(off []int32, nEdges int, name string) {
+	if len(off) == 0 {
+		if nEdges != 0 {
+			panic(fmt.Sprintf("assert: %s: empty offset table with %d edges", name, nEdges))
+		}
+		return
+	}
+	if off[0] != 0 {
+		panic(fmt.Sprintf("assert: %s: offsets start at %d, want 0", name, off[0]))
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			panic(fmt.Sprintf("assert: %s: offsets decrease at row %d (%d -> %d)", name, i, off[i-1], off[i]))
+		}
+	}
+	if int(off[len(off)-1]) != nEdges {
+		panic(fmt.Sprintf("assert: %s: offsets end at %d, want edge count %d", name, off[len(off)-1], nEdges))
+	}
+}
+
+// Stochastic reports whether every row of the flat row-major matrix sums
+// to 1 (within tolerance) with no NaNs — the precondition under which
+// RowsSumToOne is meaningful for the caller's data.
+func Stochastic(flat []float64, rowLen int) bool {
+	if rowLen <= 0 || len(flat)%rowLen != 0 {
+		return false
+	}
+	for r := 0; r < len(flat); r += rowLen {
+		var sum float64
+		for _, v := range flat[r : r+rowLen] {
+			if math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		if !floats.EpsEq(sum, 1, sumEps) {
+			return false
+		}
+	}
+	return true
+}
+
+// RowsSumToOne checks that every row of the flat row-major matrix sums
+// to 1 within tolerance.
+func RowsSumToOne(flat []float64, rowLen int, name string) {
+	if rowLen <= 0 {
+		panic(fmt.Sprintf("assert: %s: non-positive row length %d", name, rowLen))
+	}
+	for r := 0; r < len(flat); r += rowLen {
+		var sum float64
+		for _, v := range flat[r : r+rowLen] {
+			sum += v
+		}
+		if !floats.EpsEq(sum, 1, sumEps) {
+			panic(fmt.Sprintf("assert: %s: row %d sums to %g, want 1", name, r/rowLen, sum))
+		}
+	}
+}
+
+// NoNaN checks a flat vector for NaNs.
+func NoNaN(flat []float64, name string) {
+	for i, v := range flat {
+		if math.IsNaN(v) {
+			panic(fmt.Sprintf("assert: %s: NaN at index %d", name, i))
+		}
+	}
+}
+
+// NoNaNRows checks a slice-of-rows matrix for NaNs (nil rows allowed).
+func NoNaNRows(rows [][]float64, name string) {
+	for i, row := range rows {
+		for j, v := range row {
+			if math.IsNaN(v) {
+				panic(fmt.Sprintf("assert: %s: NaN at row %d col %d", name, i, j))
+			}
+		}
+	}
+}

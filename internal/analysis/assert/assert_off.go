@@ -1,0 +1,18 @@
+//go:build !graphner_debug
+
+// Default-build no-ops: Enabled is a false constant so guarded call
+// sites dead-code eliminate, and the empty bodies inline to nothing.
+package assert
+
+// Enabled reports whether assertions are compiled in.
+const Enabled = false
+
+func CSRMonotonic(off []int32, nEdges int, name string) {}
+
+func Stochastic(flat []float64, rowLen int) bool { return false }
+
+func RowsSumToOne(flat []float64, rowLen int, name string) {}
+
+func NoNaN(flat []float64, name string) {}
+
+func NoNaNRows(rows [][]float64, name string) {}

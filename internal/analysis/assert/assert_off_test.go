@@ -1,0 +1,23 @@
+//go:build !graphner_debug
+
+package assert
+
+import (
+	"math"
+	"testing"
+)
+
+// In default builds every check must be an inert no-op: Enabled is false
+// and violated invariants must not panic.
+func TestDisabledIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the graphner_debug tag")
+	}
+	CSRMonotonic([]int32{5, 3, 1}, 99, "violated")
+	RowsSumToOne([]float64{0.9, 0.9}, 2, "violated")
+	NoNaN([]float64{math.NaN()}, "violated")
+	NoNaNRows([][]float64{{math.NaN()}}, "violated")
+	if Stochastic([]float64{0.5, 0.5}, 2) {
+		t.Fatal("Stochastic must report false when disabled")
+	}
+}

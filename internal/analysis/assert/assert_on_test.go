@@ -1,0 +1,55 @@
+//go:build graphner_debug
+
+package assert
+
+import (
+	"math"
+	"testing"
+)
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic, got none", name)
+		}
+	}()
+	fn()
+}
+
+func TestCSRMonotonicDebug(t *testing.T) {
+	CSRMonotonic([]int32{0, 2, 2, 5}, 5, "ok")
+	CSRMonotonic(nil, 0, "empty")
+	mustPanic(t, "decreasing", func() { CSRMonotonic([]int32{0, 3, 2, 5}, 5, "bad") })
+	mustPanic(t, "bad start", func() { CSRMonotonic([]int32{1, 2, 5}, 5, "bad") })
+	mustPanic(t, "bad end", func() { CSRMonotonic([]int32{0, 2, 4}, 5, "bad") })
+	mustPanic(t, "empty with edges", func() { CSRMonotonic(nil, 3, "bad") })
+}
+
+func TestRowsSumToOneDebug(t *testing.T) {
+	RowsSumToOne([]float64{0.25, 0.75, 0.5, 0.5}, 2, "ok")
+	mustPanic(t, "bad row", func() { RowsSumToOne([]float64{0.25, 0.75, 0.6, 0.5}, 2, "bad") })
+	mustPanic(t, "bad rowlen", func() { RowsSumToOne([]float64{1}, 0, "bad") })
+}
+
+func TestStochasticDebug(t *testing.T) {
+	if !Stochastic([]float64{0.25, 0.75, 0.5, 0.5}, 2) {
+		t.Error("stochastic matrix not recognized")
+	}
+	if Stochastic([]float64{0.25, 0.7}, 2) {
+		t.Error("non-stochastic row accepted")
+	}
+	if Stochastic([]float64{math.NaN(), 1}, 2) {
+		t.Error("NaN row accepted")
+	}
+	if Stochastic([]float64{1, 1, 1}, 2) {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestNoNaNDebug(t *testing.T) {
+	NoNaN([]float64{0, 1, math.Inf(1)}, "ok") // Inf is not NaN
+	mustPanic(t, "nan", func() { NoNaN([]float64{0, math.NaN()}, "bad") })
+	NoNaNRows([][]float64{{0, 1}, nil, {2}}, "ok")
+	mustPanic(t, "nan rows", func() { NoNaNRows([][]float64{{0}, {math.NaN()}}, "bad") })
+}

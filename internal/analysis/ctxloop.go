@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoop flags loops that spawn goroutines with no lifecycle handle.
+// Every worker loop in this repository (graph build, k-NN search,
+// propagation sweeps, parallel decoding) must either join its goroutines
+// (sync.WaitGroup), bound them (a channel used as semaphore, done, or
+// error conduit), or make them cancellable (context.Context). A bare
+// `go f()` in a loop is an unbounded, unjoinable fan-out: under heavy
+// serving traffic it leaks goroutines, and in batch code it lets the
+// process exit before workers finish.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "goroutine-spawning loops need a WaitGroup, channel, or context",
+	Run:  runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) error {
+	walkFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var loopBody *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				loopBody = n.Body
+			case *ast.RangeStmt:
+				loopBody = n.Body
+			default:
+				return true
+			}
+			ast.Inspect(loopBody, func(m ast.Node) bool {
+				g, ok := m.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !hasLifecycleHandle(pass.Info, g) {
+					pass.Report(g.Pos(), "goroutine spawned in a loop without a WaitGroup, channel, or context to join or cancel it")
+				}
+				return false // nested go inside the spawned body is its own problem
+			})
+			return true
+		})
+	})
+	return nil
+}
+
+// hasLifecycleHandle reports whether the go statement references any value
+// that can join, bound, or cancel the goroutine: a sync.WaitGroup (or
+// pointer to one), any channel, or a context.Context.
+func hasLifecycleHandle(info *types.Info, g *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(g, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if isLifecycleType(obj.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isLifecycleType recognizes sync.WaitGroup, channels, and
+// context.Context (through one level of pointer).
+func isLifecycleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "sync.WaitGroup", "context.Context", "sync.Once":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expected-diagnostic substring from a
+// `// want "..."` marker in a testdata file.
+var wantRe = regexp.MustCompile(`want "([^"]*)"`)
+
+// runOnTestdata loads testdata/src/<analyzer-name>, runs the analyzer
+// (bypassing AppliesTo), and checks its diagnostics against the want
+// markers: every marker must be hit and every diagnostic must land on a
+// marked line.
+func runOnTestdata(t *testing.T, a *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", a.Name)
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	facts := NewFacts()
+	facts.AddPackage(pkg)
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		Facts:    facts,
+		suppress: buildSuppressions(pkg.Fset, pkg.Files),
+		report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s.Run: %v", a.Name, err)
+	}
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := make(map[lineKey][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := lineKey{filepath.Base(pos.Filename), pos.Line}
+				wants[k] = append(wants[k], m[1])
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("no want markers in %s: corpus would pass vacuously", dir)
+	}
+
+	hit := make(map[lineKey]int)
+	for _, d := range diags {
+		k := lineKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if strings.Contains(d.Message, w) {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", k.file, k.line, d.Message)
+			continue
+		}
+		hit[k]++
+	}
+	for k, ws := range wants {
+		if hit[k] == 0 {
+			t.Errorf("missing diagnostic at %s:%d: want %q", k.file, k.line, ws)
+		}
+	}
+}
+
+func TestPoolEscape(t *testing.T) { runOnTestdata(t, PoolEscape) }
+func TestMapOrder(t *testing.T)   { runOnTestdata(t, MapOrder) }
+func TestFloatCmp(t *testing.T)   { runOnTestdata(t, FloatCmp) }
+func TestNanInf(t *testing.T)     { runOnTestdata(t, NanInf) }
+func TestCtxLoop(t *testing.T)    { runOnTestdata(t, CtxLoop) }
+
+// TestRepoClean loads the whole module and requires the full analyzer
+// suite to come back empty — the linter is part of tier 1, so a new
+// finding (or a new false positive) fails `go test ./...`.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load is not short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, nil)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("Load found only %d packages; module discovery is broken", len(pkgs))
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

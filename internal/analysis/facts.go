@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Facts is the cross-package knowledge base the analyzers share. It is
+// built once over all loaded packages, in dependency order, before any
+// analyzer runs.
+//
+// Two fact kinds exist, both about sync.Pool plumbing:
+//
+//   - a function is a *pool source* if its return value originates from a
+//     (*sync.Pool).Get — directly or through another source (e.g. the
+//     crf.acquireScratch helper);
+//   - a function is a *releaser* of parameter i (receiver = -1) if it
+//     hands that parameter to (*sync.Pool).Put or to another releaser
+//     (e.g. the latticeScratch.release method).
+//
+// poolescape uses both to treat wrapped Get/Put helpers exactly like the
+// raw pool calls.
+type Facts struct {
+	sources   map[*types.Func]bool
+	releasers map[*types.Func]map[int]bool
+}
+
+// NewFacts returns an empty knowledge base.
+func NewFacts() *Facts {
+	return &Facts{
+		sources:   make(map[*types.Func]bool),
+		releasers: make(map[*types.Func]map[int]bool),
+	}
+}
+
+// IsSource reports whether fn returns a pool-derived value.
+func (fc *Facts) IsSource(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	return fn.FullName() == "(*sync.Pool).Get" || fc.sources[fn]
+}
+
+// ReleasedParams returns the parameter indices fn releases (-1 for the
+// receiver), or nil.
+func (fc *Facts) ReleasedParams(fn *types.Func) map[int]bool {
+	if fn == nil {
+		return nil
+	}
+	if fn.FullName() == "(*sync.Pool).Put" {
+		return map[int]bool{0: true}
+	}
+	return fc.releasers[fn]
+}
+
+// AddPackage scans a package's functions to a fixpoint, growing the fact
+// base. Packages must be added in dependency order so callee facts from
+// imported packages are already present.
+func (fc *Facts) AddPackage(pkg *Package) {
+	for changed := true; changed; {
+		changed = false
+		walkFuncs(pkg.Files, func(fd *ast.FuncDecl) {
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				return
+			}
+			if !fc.sources[obj] && fc.returnsPooled(pkg.Info, fd) {
+				fc.sources[obj] = true
+				changed = true
+			}
+			rel := fc.releasedOwnParams(pkg.Info, fd)
+			if len(rel) == 0 {
+				return
+			}
+			m := fc.releasers[obj]
+			if m == nil {
+				m = make(map[int]bool)
+				fc.releasers[obj] = m
+			}
+			for idx := range rel {
+				if !m[idx] {
+					m[idx] = true
+					changed = true
+				}
+			}
+		})
+	}
+}
+
+// returnsPooled reports whether some return statement of fd yields a
+// pool-derived value: a source call, or a local variable assigned from one.
+func (fc *Facts) returnsPooled(info *types.Info, fd *ast.FuncDecl) bool {
+	pooled := fc.pooledLocals(info, fd.Body)
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // returns inside nested literals are not fd's
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if fc.isSourceExpr(info, res) {
+				found = true
+				return false
+			}
+			if id, ok := unwrap(res).(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && pooled[v] {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// pooledLocals collects local variables bound (by := or =) to pool-derived
+// values anywhere in body, propagating through aliasing assignments.
+func (fc *Facts) pooledLocals(info *types.Info, body ast.Node) map[*types.Var]bool {
+	pooled := make(map[*types.Var]bool)
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v := localVarOf(info, id)
+				if v == nil || pooled[v] {
+					continue
+				}
+				isP := fc.isSourceExpr(info, rhs)
+				if !isP {
+					if rid, ok := unwrap(rhs).(*ast.Ident); ok {
+						if rv, ok := info.Uses[rid].(*types.Var); ok && pooled[rv] {
+							isP = true
+						}
+					}
+				}
+				if isP {
+					pooled[v] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return pooled
+}
+
+// isSourceExpr reports whether e (unwrapping parens and type assertions)
+// is a call to a pool source.
+func (fc *Facts) isSourceExpr(info *types.Info, e ast.Expr) bool {
+	call, ok := unwrap(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return fc.IsSource(calleeFunc(info, call))
+}
+
+// releasedOwnParams returns the indices of fd's receiver (-1) and
+// parameters that its body hands to a releaser outside any defer or
+// nested function literal (a deferred Put releases at return, so the
+// function still owns the value for its whole body).
+func (fc *Facts) releasedOwnParams(info *types.Info, fd *ast.FuncDecl) map[int]bool {
+	own := ownParams(info, fd)
+	if len(own) == 0 {
+		return nil
+	}
+	out := make(map[int]bool)
+	for _, rel := range fc.releaseCalls(info, fd.Body) {
+		if v, ok := info.Uses[rel.ident].(*types.Var); ok {
+			if idx, ok := own[v]; ok {
+				out[idx] = true
+			}
+		}
+	}
+	return out
+}
+
+// release is one Put-like event: the call and the identifier released.
+type release struct {
+	call     *ast.CallExpr
+	ident    *ast.Ident
+	deferred bool // inside a defer statement or nested function literal
+}
+
+// releaseCalls finds every release event in body: (*sync.Pool).Put(x) and
+// calls to fact releasers, including v.release()-style receiver releases.
+func (fc *Facts) releaseCalls(info *types.Info, body ast.Node) []release {
+	var out []release
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.DeferStmt:
+				walk(m.Call, true)
+				return false
+			case *ast.FuncLit:
+				if m != n {
+					walk(m.Body, true)
+					return false
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(info, m)
+				params := fc.ReleasedParams(fn)
+				if params == nil {
+					return true
+				}
+				idxs := make([]int, 0, len(params))
+				for idx := range params {
+					idxs = append(idxs, idx)
+				}
+				sort.Ints(idxs)
+				for _, idx := range idxs {
+					var arg ast.Expr
+					if idx == -1 {
+						if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok {
+							arg = sel.X
+						}
+					} else if idx < len(m.Args) {
+						arg = m.Args[idx]
+					}
+					if id, ok := unwrap(arg).(*ast.Ident); ok {
+						out = append(out, release{call: m, ident: id, deferred: deferred})
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return out
+}
+
+// ownParams maps fd's receiver and parameter variables to their indices
+// (receiver = -1).
+func ownParams(info *types.Info, fd *ast.FuncDecl) map[*types.Var]int {
+	out := make(map[*types.Var]int)
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					out[v] = -1
+				}
+			}
+		}
+	}
+	i := 0
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					out[v] = i
+				}
+				i++
+			}
+			if len(f.Names) == 0 {
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// calleeFunc resolves the called function object of a call expression
+// (method calls through Selections, plain and qualified calls through
+// Uses), or nil for builtins and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// localVarOf resolves id to the local variable it defines or uses.
+func localVarOf(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok && v.Parent() != v.Pkg().Scope() {
+		return v
+	}
+	return nil
+}
+
+// unwrap strips parentheses and type assertions.
+func unwrap(e ast.Expr) ast.Expr {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.TypeAssertExpr:
+			e = t.X
+		default:
+			return e
+		}
+	}
+}

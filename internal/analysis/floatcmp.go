@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between computed floating-point values outside
+// *_test.go files. Exact float equality is brittle under the exact
+// transformations this codebase performs on purpose — reassociated
+// accumulation, flat-buffer kernels, parallel sweeps — so production code
+// must compare through the floats.EpsEq / floats.Eq helpers.
+//
+// Deliberate exact comparisons stay expressible:
+//
+//   - comparisons where either side is a compile-time constant (zero
+//     guards like `kappa == 0`, sentinel checks) are exempt;
+//   - x != x (the NaN idiom) is exempt;
+//   - test files are exempt (golden comparisons demand bit identity);
+//   - anything else deliberate takes a // lint:checked annotation.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "==/!= on computed floats must use floats.EpsEq",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.Info.TypeOf(be.X), pass.Info.TypeOf(be.Y)
+			if xt == nil || yt == nil || (!isFloat(xt) && !isFloat(yt)) {
+				return true
+			}
+			if isConstExpr(pass.Info, be.X) || isConstExpr(pass.Info, be.Y) {
+				return true
+			}
+			if sameIdent(be.X, be.Y) {
+				return true // x != x: the NaN test idiom
+			}
+			pass.Report(be.OpPos, "exact %s on floating-point values; use floats.EpsEq (or annotate a deliberate bit-compare with // lint:checked)", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isConstExpr reports whether the type checker evaluated e to a constant.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// sameIdent reports whether both expressions are the same identifier.
+func sameIdent(x, y ast.Expr) bool {
+	xi, ok1 := ast.Unparen(x).(*ast.Ident)
+	yi, ok2 := ast.Unparen(y).(*ast.Ident)
+	return ok1 && ok2 && xi.Name == yi.Name
+}

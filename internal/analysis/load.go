@@ -1,0 +1,336 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module (test files
+// included: in-package tests join the primary unit, external _test
+// packages load as their own unit).
+type Package struct {
+	// Path is the import path ("_test"-suffixed for external test pkgs).
+	Path string
+	// Dir is the absolute directory.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// unit is a parse unit prior to type-checking.
+type unit struct {
+	path    string // import path used for resolution (primary) or display (xtest)
+	dir     string
+	files   []string
+	imports []string // module-internal import paths this unit depends on
+	xtest   bool
+}
+
+// Load parses and type-checks the packages of the module rooted at root.
+// dirs selects package directories (absolute or root-relative); empty
+// means every package under root. Packages are returned in dependency
+// order (imported before importer), which Run relies on for facts.
+//
+// Everything here is standard library: go/build selects files honouring
+// build constraints, go/parser + go/types check them, and stdlib imports
+// resolve through go/importer (gc export data, falling back to compiling
+// from GOROOT source). Module-internal imports resolve against the
+// packages loaded in the same call, so the module never needs installed
+// export data.
+func Load(root string, dirs []string) ([]*Package, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		dirs, err = packageDirs(root)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	buildCtx := build.Default
+	var units []*unit
+	for _, dir := range dirs {
+		abs := dir
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(root, dir)
+		}
+		bp, err := buildCtx.ImportDir(abs, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			return nil, fmt.Errorf("analysis: %s: %w", abs, err)
+		}
+		ip := importPathFor(root, modPath, abs)
+		primary := &unit{
+			path:    ip,
+			dir:     abs,
+			files:   append(append([]string(nil), bp.GoFiles...), bp.TestGoFiles...),
+			imports: internalImports(modPath, append(bp.Imports, bp.TestImports...)),
+		}
+		units = append(units, primary)
+		if len(bp.XTestGoFiles) > 0 {
+			units = append(units, &unit{
+				path:    ip + "_test",
+				dir:     abs,
+				files:   append([]string(nil), bp.XTestGoFiles...),
+				imports: internalImports(modPath, append(bp.XTestImports, ip)),
+				xtest:   true,
+			})
+		}
+	}
+
+	order, err := toposort(units)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := newStdImporter(fset)
+	checked := make(map[string]*types.Package)
+	var out []*Package
+	for _, u := range order {
+		pkg, err := checkUnit(fset, u, &moduleImporter{std: imp, pkgs: checked})
+		if err != nil {
+			return nil, err
+		}
+		if !u.xtest {
+			checked[u.path] = pkg.Types
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single package in dir (every .go
+// file, test or not, as one unit) with only standard-library imports —
+// the loader the analyzer testdata corpora use.
+func LoadDir(dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	u := &unit{path: filepath.Base(dir), dir: dir, files: files}
+	return checkUnit(fset, u, newStdImporter(fset))
+}
+
+// checkUnit parses and type-checks one unit.
+func checkUnit(fset *token.FileSet, u *unit, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range u.files {
+		f, err := parser.ParseFile(fset, filepath.Join(u.dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(u.path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", u.path, err)
+	}
+	return &Package{Path: u.path, Dir: u.dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", root)
+}
+
+// packageDirs walks root collecting every directory holding .go files,
+// skipping testdata, hidden directories, and vendored trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	// WalkDir visits files of one dir contiguously, but be safe: dedupe.
+	out := dirs[:0]
+	for i, d := range dirs {
+		if i == 0 || dirs[i-1] != d {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// importPathFor maps an absolute directory to its import path.
+func importPathFor(root, modPath, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
+// internalImports filters an import list down to module-internal paths.
+func internalImports(modPath string, imports []string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, ip := range imports {
+		if (ip == modPath || strings.HasPrefix(ip, modPath+"/")) && !seen[ip] {
+			seen[ip] = true
+			out = append(out, ip)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// toposort orders units so every unit follows the units it imports.
+func toposort(units []*unit) ([]*unit, error) {
+	byPath := make(map[string]*unit, len(units))
+	for _, u := range units {
+		if !u.xtest {
+			byPath[u.path] = u
+		}
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].path < units[j].path })
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[*unit]int)
+	var order []*unit
+	var visit func(u *unit, chain []string) error
+	visit = func(u *unit, chain []string) error {
+		switch color[u] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("analysis: import cycle through %s (%s)", u.path, strings.Join(chain, " -> "))
+		}
+		color[u] = grey
+		for _, ip := range u.imports {
+			dep, ok := byPath[ip]
+			if !ok || dep == u {
+				continue
+			}
+			if err := visit(dep, append(chain, u.path)); err != nil {
+				return err
+			}
+		}
+		color[u] = black
+		order = append(order, u)
+		return nil
+	}
+	for _, u := range units {
+		if err := visit(u, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-internal imports from already-checked
+// packages and delegates everything else to the standard importer.
+type moduleImporter struct {
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// stdImporter resolves standard-library packages: export data first (fast)
+// with a fallback that type-checks GOROOT source, so the driver works on
+// toolchains that ship no precompiled stdlib.
+type stdImporter struct {
+	gc    types.Importer
+	src   types.Importer
+	fset  *token.FileSet
+	cache map[string]*types.Package
+}
+
+func newStdImporter(fset *token.FileSet) *stdImporter {
+	return &stdImporter{
+		gc:    importer.ForCompiler(fset, "gc", nil),
+		fset:  fset,
+		cache: make(map[string]*types.Package),
+	}
+}
+
+func (s *stdImporter) Import(path string) (*types.Package, error) {
+	if p, ok := s.cache[path]; ok {
+		return p, nil
+	}
+	p, err := s.gc.Import(path)
+	if err != nil {
+		if s.src == nil {
+			s.src = importer.ForCompiler(s.fset, "source", nil)
+		}
+		p, err = s.src.Import(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.cache[path] = p
+	return p, nil
+}

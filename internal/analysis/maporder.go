@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body performs order-sensitive
+// work: appending to a slice, writing through an index not derived from
+// the range key, accumulating floats, or feeding fmt/encoding output. Map
+// iteration order is randomized per run, so any of these leaks
+// nondeterminism straight into k-NN candidate lists, CSR construction, or
+// results files — the corpus-level artifacts GraphNER's evaluation diffs
+// bit-for-bit.
+//
+// The accepted fix is to materialize and sort the keys first; a sort.* or
+// slices.Sort* call after the range in the same function is recognized as
+// the "collect then sort" idiom and silences the finding. Writes keyed by
+// the range key itself (set[k] = v, counters) are order-independent and
+// never flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration must not feed ordered output without a sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	walkFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if kind := orderedSideEffect(pass.Info, rs); kind != "" {
+				if !sortFollows(pass.Info, fd.Body, rs.End()) {
+					pass.Report(rs.Pos(), "map iteration order leaks into %s; sort the keys first (or sort the result before use)", kind)
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// orderedSideEffect classifies the first order-sensitive operation in the
+// body of a map range, or returns "".
+func orderedSideEffect(info *types.Info, rs *ast.RangeStmt) string {
+	keyVars := rangeVars(info, rs)
+	kind := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					// append into a slot indexed by exactly the range key
+					// (m2[k] = append(m2[k], x)) is per-key and safe; any
+					// other append accumulates in iteration order.
+					if !appendKeyedByExactKey(info, n, keyVars) {
+						kind = "a slice append"
+					}
+					return true
+				}
+			}
+			if isOutputCall(info, n) {
+				kind = "formatted or encoded output"
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if localToBody(info, ix.X, rs.Body) {
+						continue // per-iteration buffer: order cannot be observed
+					}
+					if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+						if !isExactKeyIndex(info, ix.Index, keyVars) {
+							kind = "an indexed write whose index is not the range key"
+						}
+					} else if isFloat(info.TypeOf(ix)) {
+						kind = "a floating-point accumulation (rounding depends on order)"
+					}
+				} else if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+					if isFloat(info.TypeOf(lhs)) && !localToBody(info, lhs, rs.Body) {
+						kind = "a floating-point accumulation (rounding depends on order)"
+					}
+				}
+			}
+		}
+		return true
+	})
+	return kind
+}
+
+// rangeVars collects the key variable of a range statement — only the
+// key is guaranteed distinct per iteration (values may repeat, so a
+// value-indexed write still collides).
+func rangeVars(info *types.Info, rs *ast.RangeStmt) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	if id, ok := rs.Key.(*ast.Ident); ok {
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			out[v] = true
+		} else if v, ok := info.Uses[id].(*types.Var); ok {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// isExactKeyIndex reports whether the index expression is exactly one of
+// the range variables. Only the unmodified key is guaranteed distinct per
+// iteration; a derived index (k.a, f(k), a value variable) can collide
+// across iterations, making last-writer-wins or append order observable.
+func isExactKeyIndex(info *types.Info, index ast.Expr, vars map[*types.Var]bool) bool {
+	id, ok := ast.Unparen(index).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		if v, ok = info.Defs[id].(*types.Var); !ok {
+			return false
+		}
+	}
+	return vars[v]
+}
+
+// localToBody reports whether e is an identifier whose variable is
+// declared inside body. A write into a per-iteration local (a fresh
+// buffer or accumulator made each pass) is order-free by construction.
+func localToBody(info *types.Info, e ast.Expr, body *ast.BlockStmt) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v := localVarOf(info, id)
+	return v != nil && v.Pos() >= body.Pos() && v.Pos() <= body.End()
+}
+
+// appendKeyedByExactKey reports whether the append call grows a map slot
+// indexed by exactly the range key (m2[k] = append(m2[k], ...)).
+func appendKeyedByExactKey(info *types.Info, call *ast.CallExpr, vars map[*types.Var]bool) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	ix, ok := ast.Unparen(call.Args[0]).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	if _, isMap := info.TypeOf(ix.X).Underlying().(*types.Map); !isMap {
+		return false
+	}
+	return isExactKeyIndex(info, ix.Index, vars)
+}
+
+// outputNames are method names whose invocation inside a map range means
+// iteration order reaches bytes.
+var outputNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Encode": true, "EncodeElement": true, "Marshal": true,
+}
+
+// isOutputCall reports whether the call writes formatted or encoded bytes
+// (fmt package functions or Write*/Encode methods).
+func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if !outputNames[sel.Sel.Name] {
+		return false
+	}
+	// Either a package-qualified fmt call or a method on a writer/encoder.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := info.Uses[id].(*types.PkgName); ok {
+			p := pkg.Imported().Path()
+			return p == "fmt" || p == "encoding/json" || p == "encoding/gob" || p == "encoding/xml"
+		}
+	}
+	return info.Selections[sel] != nil // method call: Write/Encode on some value
+}
+
+// sortFollows reports whether a sort.* / slices.Sort* call appears after
+// pos inside body — the collect-then-sort idiom.
+func sortFollows(info *types.Info, body ast.Node, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := info.Uses[id].(*types.PkgName); ok {
+				p := pkg.Imported().Path()
+				if p == "sort" || p == "slices" {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NanInf polices the numeric hot paths (internal/propagate and
+// internal/crf): a floating-point division, math.Log, or math.Exp whose
+// inputs are not visibly guarded can mint a NaN or Inf that the Jacobi
+// sweep then propagates to every reachable vertex — silently, because
+// IEEE arithmetic never traps. Each such site must either be dominated by
+// a guard that mentions the operand (a comparison, math.IsNaN/math.IsInf
+// check, or clamping branch in an enclosing or preceding if), or carry a
+// // lint:checked annotation stating why the value is finite.
+//
+// Constant denominators and constant arguments are exempt. The guard
+// recognition is syntactic and local by design: if the reason a value is
+// finite is too far away to see, the annotation documents it where the
+// risk is.
+var NanInf = &Analyzer{
+	Name: "naninf",
+	Doc:  "unguarded division/Log/Exp in numeric hot paths",
+	AppliesTo: func(pkgPath string) bool {
+		return strings.Contains(pkgPath, "internal/propagate") || strings.Contains(pkgPath, "internal/crf")
+	},
+	Run: runNanInf,
+}
+
+func runNanInf(pass *Pass) error {
+	files := pass.Files[:0:0]
+	for _, f := range pass.Files {
+		// Reference computations in tests fail loudly if they mint a NaN;
+		// the guard discipline is for the production hot paths.
+		if !isTestFile(pass.Fset, f.Pos()) {
+			files = append(files, f)
+		}
+	}
+	walkFuncs(files, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.QUO || !isFloat(pass.Info.TypeOf(n)) {
+					return true
+				}
+				if isConstExpr(pass.Info, n.Y) {
+					return true
+				}
+				if !guarded(pass.Info, fd.Body, n, n.Y) {
+					pass.Report(n.OpPos, "float division without a visible guard on the denominator (guard it, or annotate with // lint:checked)")
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.QUO_ASSIGN || len(n.Lhs) != 1 || !isFloat(pass.Info.TypeOf(n.Lhs[0])) {
+					return true
+				}
+				if isConstExpr(pass.Info, n.Rhs[0]) {
+					return true
+				}
+				if !guarded(pass.Info, fd.Body, n, n.Rhs[0]) {
+					pass.Report(n.TokPos, "float division without a visible guard on the denominator (guard it, or annotate with // lint:checked)")
+				}
+			case *ast.CallExpr:
+				name := mathCallName(pass.Info, n)
+				if name != "Log" && name != "Log2" && name != "Log10" && name != "Exp" {
+					return true
+				}
+				if len(n.Args) != 1 || isConstExpr(pass.Info, n.Args[0]) {
+					return true
+				}
+				if !guarded(pass.Info, fd.Body, n, n.Args[0]) {
+					pass.Report(n.Pos(), "math.%s on an unguarded argument can produce NaN/Inf (guard it, or annotate with // lint:checked)", name)
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// mathCallName returns the function name for calls into package math.
+func mathCallName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "math" {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// guarded reports whether some guard mentioning a variable of operand
+// dominates expr inside body: the condition of an enclosing if or for, or
+// the condition of an if statement preceding expr's statement in any
+// enclosing block. This catches the three idioms the hot paths use —
+//
+//	if kappa == 0 { continue }        // preceding early-exit
+//	if p < floor { p = floor }        // preceding clamp
+//	if !math.IsInf(lp, -1) { ... }    // enclosing branch
+//
+// — without attempting real dataflow.
+func guarded(info *types.Info, body ast.Node, expr ast.Node, operand ast.Expr) bool {
+	vars := make(map[*types.Var]bool)
+	for _, v := range exprIdents(info, operand) {
+		vars[v] = true
+	}
+	if len(vars) == 0 {
+		return false // a call result or fresh composite: nothing to guard on
+	}
+	mentions := func(e ast.Expr) bool {
+		for _, v := range exprIdents(info, e) {
+			if vars[v] {
+				return true
+			}
+		}
+		return false
+	}
+	path := nodePath(body, expr)
+	guarded := false
+	for i, n := range path {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if n.Cond != nil && mentions(n.Cond) {
+				guarded = true
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil && mentions(n.Cond) {
+				guarded = true
+			}
+		case *ast.BlockStmt:
+			// The next path element is the statement containing expr;
+			// scan its preceding siblings for guards.
+			if i+1 >= len(path) {
+				continue
+			}
+			for _, stmt := range n.List {
+				if stmt == path[i+1] {
+					break
+				}
+				ifs, ok := stmt.(*ast.IfStmt)
+				if ok && ifs.Cond != nil && mentions(ifs.Cond) {
+					guarded = true
+				}
+			}
+		}
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+// nodePath returns the chain of nodes from body down to target
+// (inclusive of enclosing statements, exclusive of body itself).
+func nodePath(body, target ast.Node) []ast.Node {
+	var path, best []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			path = path[:len(path)-1]
+			return true
+		}
+		path = append(path, n)
+		if n == target {
+			best = append([]ast.Node(nil), path...)
+			return false
+		}
+		return true
+	})
+	return best
+}

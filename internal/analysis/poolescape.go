@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolEscape flags lifetime violations of sync.Pool-derived values — the
+// bug class PR 1's pooled CRF lattices and compile scratch made possible.
+// A value obtained from a pool (directly via Get, or through a source
+// helper like crf.acquireScratch) must not be:
+//
+//   - used in any way after the corresponding Put/release call,
+//   - stored into a struct field, composite literal, or package-level
+//     variable (the store outlives the pool ownership window), or
+//   - captured by a goroutine when the enclosing function releases it
+//     (the goroutine may run after the Put).
+//
+// Returning a pooled value is the provider pattern, not a violation: the
+// returning function becomes a pool source itself (see Facts) and its
+// callers inherit the obligations.
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc:  "pooled values must not escape or be used after Put",
+	Run:  runPoolEscape,
+}
+
+func runPoolEscape(pass *Pass) error {
+	walkFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		checkPoolEscape(pass, fd)
+	})
+	return nil
+}
+
+func checkPoolEscape(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	pooled := pass.Facts.pooledLocals(info, fd.Body)
+	// Parameters of releaser functions are themselves pool-owned values:
+	// the body of latticeScratch.release handles a pooled receiver.
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		if params := pass.Facts.ReleasedParams(obj); params != nil {
+			for v, idx := range ownParams(info, fd) {
+				if params[idx] {
+					pooled[v] = true
+				}
+			}
+		}
+	}
+	if len(pooled) == 0 {
+		return
+	}
+
+	// Aliases (alias := sc) form one ownership class: releasing any member
+	// releases them all, so release tracking is keyed by representative.
+	reps := aliasClasses(info, fd.Body, pooled)
+
+	releases := pass.Facts.releaseCalls(info, fd.Body)
+	// firstRelease[rep] is the end of the earliest non-deferred release of
+	// any alias in the class.
+	firstRelease := make(map[*types.Var]token.Pos)
+	anyRelease := make(map[*types.Var][]release)
+	for _, r := range releases {
+		v, ok := info.Uses[r.ident].(*types.Var)
+		if !ok || !pooled[v] {
+			continue
+		}
+		rep := reps[v]
+		anyRelease[rep] = append(anyRelease[rep], r)
+		if r.deferred {
+			continue
+		}
+		if p, ok := firstRelease[rep]; !ok || r.call.End() < p {
+			firstRelease[rep] = r.call.End()
+		}
+	}
+
+	// Use after release: any mention of v past the earliest unconditional
+	// release point (source order; loops that re-acquire are on the
+	// annotation escape hatch).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || !pooled[v] {
+			return true
+		}
+		if end, ok := firstRelease[reps[v]]; ok && id.Pos() > end {
+			pass.Report(id.Pos(), "%s is used after being returned to its sync.Pool", id.Name)
+		}
+		return true
+	})
+
+	// Escaping stores: struct fields, composite literals, package-level
+	// variables.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				id, ok := unwrap(rhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := info.Uses[id].(*types.Var)
+				if !ok || !pooled[v] {
+					continue
+				}
+				if i >= len(n.Lhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					pass.Report(id.Pos(), "pooled value %s stored in a struct field outlives its pool ownership", id.Name)
+				case *ast.Ident:
+					if lv, ok := info.Uses[lhs].(*types.Var); ok && lv.Parent() == lv.Pkg().Scope() {
+						pass.Report(id.Pos(), "pooled value %s stored in package-level variable %s", id.Name, lhs.Name)
+					}
+				case *ast.IndexExpr:
+					pass.Report(id.Pos(), "pooled value %s stored in an indexed container outlives its pool ownership", id.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				val := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if id, ok := unwrap(val).(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok && pooled[v] {
+						pass.Report(id.Pos(), "pooled value %s stored in a composite literal outlives its pool ownership", id.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Goroutine capture: a go statement mentioning v while the function
+	// also releases v (anywhere, deferred included) races the Put.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(g, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok || !pooled[v] {
+				return true
+			}
+			for _, r := range anyRelease[reps[v]] {
+				if r.call.Pos() < g.Pos() || r.call.Pos() > g.End() {
+					pass.Report(id.Pos(), "pooled value %s captured by a goroutine may be used after Put", id.Name)
+					return false
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// aliasClasses unions pooled locals connected by direct assignment
+// (alias := sc) and maps every member to a canonical representative.
+func aliasClasses(info *types.Info, body ast.Node, pooled map[*types.Var]bool) map[*types.Var]*types.Var {
+	parent := make(map[*types.Var]*types.Var, len(pooled))
+	for v := range pooled {
+		parent[v] = v
+	}
+	var find func(v *types.Var) *types.Var
+	find = func(v *types.Var) *types.Var {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Rhs {
+			lid, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rid, ok := unwrap(as.Rhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lv, rv := localVarOf(info, lid), localVarOf(info, rid)
+			if lv == nil || rv == nil || !pooled[lv] || !pooled[rv] {
+				continue
+			}
+			parent[find(lv)] = find(rv)
+		}
+		return true
+	})
+	out := make(map[*types.Var]*types.Var, len(parent))
+	for v := range parent {
+		out[v] = find(v)
+	}
+	return out
+}

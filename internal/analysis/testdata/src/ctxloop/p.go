@@ -1,0 +1,65 @@
+// Test corpus for the ctxloop analyzer.
+package ctxloop
+
+import (
+	"context"
+	"sync"
+)
+
+func bareForLoop(n int) {
+	for i := 0; i < n; i++ {
+		go func() { _ = i }() // want "goroutine spawned in a loop"
+	}
+}
+
+func bareRangeLoop(items []int) {
+	for _, it := range items {
+		go process(it) // want "goroutine spawned in a loop"
+	}
+}
+
+func process(int) {}
+
+func withWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = i
+		}()
+	}
+	wg.Wait()
+}
+
+func withDoneChannel(items []int) {
+	done := make(chan struct{})
+	for range items {
+		go func() { done <- struct{}{} }()
+	}
+	for range items {
+		<-done
+	}
+}
+
+func withSemaphore(items []int, sem chan struct{}) {
+	for _, it := range items {
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			process(it)
+		}()
+	}
+}
+
+func withContext(ctx context.Context, items []int) {
+	for range items {
+		go func() {
+			<-ctx.Done()
+		}()
+	}
+}
+
+func notInALoop() {
+	go func() {}() // a single fire-and-forget goroutine is out of scope
+}

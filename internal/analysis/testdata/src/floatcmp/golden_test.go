@@ -1,0 +1,6 @@
+// Test files are exempt: golden comparisons demand bit identity.
+package floatcmp
+
+func goldenCompare(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,39 @@
+// Test corpus for the floatcmp analyzer.
+package floatcmp
+
+func exactEq(a, b float64) bool {
+	return a == b // want "exact =="
+}
+
+func exactNeq(a, b float64) bool {
+	return a != b // want "exact !="
+}
+
+func mixedExpr(a, b, c float64) bool {
+	return a+b == c // want "exact =="
+}
+
+func float32Too(a, b float32) bool {
+	return a == b // want "exact =="
+}
+
+func constGuard(x float64) bool {
+	return x == 0 // constant operand: a legitimate zero guard
+}
+
+func namedConstGuard(x float64) bool {
+	const floor = 1e-12
+	return x != floor // constant operand
+}
+
+func nanIdiom(x float64) bool {
+	return x != x // the NaN test idiom
+}
+
+func intsFine(a, b int) bool {
+	return a == b
+}
+
+func annotated(a, b float64) bool {
+	return a == b // lint:checked deliberate bit-compare of memoized values
+}

@@ -1,0 +1,117 @@
+// Test corpus for the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "slice append"
+		out = append(out, k)
+	}
+	return out
+}
+
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func printDirect(m map[string]int) {
+	for k, v := range m { // want "formatted or encoded output"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func keyedWritesFine(m map[string]int) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func keyedAppendFine(m map[string]int) map[string][]int {
+	out := make(map[string][]int)
+	for k, v := range m {
+		out[k] = append(out[k], v)
+	}
+	return out
+}
+
+func counterIndexedWrite(m map[string]float64, buf []float64) {
+	i := 0
+	for _, v := range m { // want "indexed write"
+		buf[i] = v
+		i++
+	}
+}
+
+func valueIndexedWrite(m map[string]int, buf []bool) {
+	for _, v := range m { // want "indexed write"
+		buf[v] = true
+	}
+}
+
+func floatAccumulation(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "floating-point accumulation"
+		sum += v
+	}
+	return sum
+}
+
+func intCountsFine(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func sliceRangeFine(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+func perIterationBuffer(m map[string][]float64) map[string][]float64 {
+	out := make(map[string][]float64, len(m))
+	for k, vs := range m {
+		d := make([]float64, len(vs))
+		for i, v := range vs {
+			d[i] = v * 2
+		}
+		out[k] = d
+	}
+	return out
+}
+
+func loopLocalAccumulator(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		var sum float64
+		for _, v := range vs {
+			sum += v
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func annotated(m map[string]float64) float64 {
+	var sum float64
+	// lint:checked consumer only thresholds the total; rounding drift is irrelevant
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

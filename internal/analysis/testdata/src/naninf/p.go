@@ -1,0 +1,64 @@
+// Test corpus for the naninf analyzer. The analyzer's AppliesTo filter is
+// bypassed in tests; this package stands in for internal/propagate and
+// internal/crf.
+package naninf
+
+import "math"
+
+func unguardedDiv(a, b float64) float64 {
+	return a / b // want "float division without a visible guard"
+}
+
+func guardedDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func guardedInLoopCond(gamma []float64, kappa float64) []float64 {
+	for i := 0; kappa > 0 && i < len(gamma); i++ {
+		gamma[i] /= kappa
+	}
+	return gamma
+}
+
+func unguardedCompoundDiv(gamma []float64, kappa float64) {
+	for i := range gamma {
+		gamma[i] /= kappa // want "float division without a visible guard"
+	}
+}
+
+func precedingClamp(p float64) float64 {
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return math.Log(p)
+}
+
+func enclosingIsInfGuard(x float64) float64 {
+	if !math.IsInf(x, -1) {
+		return math.Exp(x)
+	}
+	return 0
+}
+
+func unguardedLog(x float64) float64 {
+	return math.Log(x) // want "math.Log on an unguarded argument"
+}
+
+func unguardedExp(x float64) float64 {
+	return math.Exp(x) // want "math.Exp on an unguarded argument"
+}
+
+func constArgsFine() float64 {
+	return math.Log(2) / 2
+}
+
+func intDivFine(a, b int) int {
+	return a / b
+}
+
+func annotatedLog(x float64) float64 {
+	return math.Log(x) // lint:checked x is a sum of exponentials, always >= 1
+}

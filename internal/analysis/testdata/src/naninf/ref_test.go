@@ -1,0 +1,16 @@
+// Test files are exempt: reference computations fail loudly on NaN.
+package naninf
+
+import "math"
+
+func referenceSoftmax(xs []float64) []float64 {
+	var z float64
+	for _, x := range xs {
+		z += math.Exp(x)
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = math.Exp(x) / z
+	}
+	return out
+}

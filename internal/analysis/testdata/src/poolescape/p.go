@@ -1,0 +1,101 @@
+// Test corpus for the poolescape analyzer. Marked lines must produce a
+// diagnostic containing the quoted substring; unmarked lines must stay
+// silent.
+package poolescape
+
+import "sync"
+
+type scratch struct{ buf []float64 }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+type holder struct{ sc *scratch }
+
+var global *scratch
+
+// acquire is a provider: returning a pooled value marks it a pool source,
+// not a violation.
+func acquire() *scratch { return pool.Get().(*scratch) }
+
+// release is a releaser: its callers' arguments count as Put.
+func release(sc *scratch) { pool.Put(sc) }
+
+func useAfterDirectPut() int {
+	sc := pool.Get().(*scratch)
+	pool.Put(sc)
+	return len(sc.buf) // want "used after being returned"
+}
+
+func useAfterHelperRelease() {
+	sc := acquire()
+	release(sc)
+	sc.buf[0] = 1 // want "used after being returned"
+}
+
+func doublePut() {
+	sc := acquire()
+	release(sc)
+	release(sc) // want "used after being returned"
+}
+
+func deferredPutIsFine() int {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	return len(sc.buf)
+}
+
+func deferredHelperIsFine() int {
+	sc := acquire()
+	defer release(sc)
+	return len(sc.buf)
+}
+
+func useBeforePutIsFine() int {
+	sc := acquire()
+	n := len(sc.buf)
+	release(sc)
+	return n
+}
+
+func storeInField(h *holder) {
+	sc := acquire()
+	h.sc = sc // want "struct field"
+}
+
+func storeInGlobal() {
+	sc := acquire()
+	global = sc // want "package-level variable"
+}
+
+func storeInComposite() *holder {
+	sc := acquire()
+	return &holder{sc: sc} // want "composite literal"
+}
+
+func storeInSlice(dst []*scratch) {
+	sc := acquire()
+	dst[0] = sc // want "indexed container"
+}
+
+func goroutineCapture() {
+	sc := acquire()
+	go func() { _ = sc.buf }() // want "captured by a goroutine"
+	release(sc)
+}
+
+func goroutineOwnsValue(sc2 chan *scratch) {
+	sc := acquire()
+	// The goroutine releases the value itself; the enclosing function
+	// performs no Put, so the capture is an ownership transfer, not a race.
+	go func() {
+		sc.buf = sc.buf[:0]
+		release(sc)
+	}()
+}
+
+func aliasedUseAfterPut() int {
+	sc := acquire()
+	alias := sc
+	release(alias)
+	return len(sc.buf) // want "used after being returned"
+}

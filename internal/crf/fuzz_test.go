@@ -1,0 +1,55 @@
+package crf
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/features"
+	"repro/internal/tokenize"
+)
+
+// FuzzCompileSentence feeds arbitrary sentence text through the pooled
+// flat-backed compiler and the seed reference implementation on two
+// separate (identically fresh) compilers, demanding identical feature-id
+// sequences — both while the alphabet is growing and after freezing.
+func FuzzCompileSentence(f *testing.F) {
+	seeds := []string{
+		"Recently the mutation of lymphocyte adaptor protein LNK was detected",
+		"the FLT3 gene in AML patients",
+		"x",
+		"p53 regulates SH2 domain binding II",
+		"IL-2 (interleukin-2) activates NF-kappaB",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s := &corpus.Sentence{Text: text, Tokens: tokenize.Sentence(text)}
+		fast := NewCompiler(features.NewExtractor(nil))
+		ref := NewCompiler(features.NewExtractor(nil))
+		for round := 0; round < 2; round++ {
+			got := fast.CompileSentence(s)
+			want := referenceCompileSentence(ref, s)
+			if got.Len() != want.Len() {
+				t.Fatalf("round %d of %q: %d positions, want %d", round, text, got.Len(), want.Len())
+			}
+			for i := range want.Features {
+				if len(got.Features[i]) != len(want.Features[i]) {
+					t.Fatalf("round %d of %q pos %d: %d ids, want %d",
+						round, text, i, len(got.Features[i]), len(want.Features[i]))
+				}
+				for j := range want.Features[i] {
+					if got.Features[i][j] != want.Features[i][j] {
+						t.Fatalf("round %d of %q pos %d id %d: %d, want %d",
+							round, text, i, j, got.Features[i][j], want.Features[i][j])
+					}
+				}
+			}
+			if round == 0 {
+				fast.FreezeAlphabet()
+				ref.FreezeAlphabet()
+			}
+		}
+	})
+}

@@ -243,6 +243,7 @@ func logSumExp(xs []float64) float64 {
 	for _, x := range xs {
 		sum += math.Exp(x - max)
 	}
+	// lint:checked sum includes exp(max-max) = 1, so Log(sum) >= 0 and finite
 	return max + math.Log(sum)
 }
 
@@ -355,6 +356,9 @@ func (m *Model) Posteriors(in *Instance) [][]float64 {
 
 // normalize scales row to sum to 1; a zero row becomes uniform.
 func normalize(row []float64) {
+	if len(row) == 0 {
+		return
+	}
 	var sum float64
 	for _, v := range row {
 		sum += v

@@ -1,0 +1,35 @@
+// Package floats holds the tolerance-based float comparison helpers that
+// graphnerlint's floatcmp analyzer points code at: exact ==/!= on computed
+// floating-point values is flaky under reassociation and accumulation-order
+// changes, which is exactly what GraphNER's determinism guarantees cannot
+// tolerate going unnoticed. Comparisons against exact constants (sentinels,
+// zero guards) stay as ==; everything else goes through EpsEq.
+package floats
+
+import "math"
+
+// DefaultEps is the tolerance Eq uses: loose enough to absorb one or two
+// ulps of reassociation drift at magnitude 1, tight enough that genuinely
+// different probabilities or losses never compare equal.
+const DefaultEps = 1e-9
+
+// EpsEq reports whether a and b are equal within eps, absolutely for small
+// magnitudes and relatively for large ones. Infinities of the same sign
+// compare equal; NaN compares equal to nothing (including itself).
+func EpsEq(a, b, eps float64) bool {
+	if a == b { // lint:checked exact match short-circuits equal infinities
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // unequal infinities (or Inf vs finite) are never close
+	}
+	d := math.Abs(a - b)
+	if d <= eps {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return d <= eps*scale
+}
+
+// Eq is EpsEq at DefaultEps.
+func Eq(a, b float64) bool { return EpsEq(a, b, DefaultEps) }

@@ -1,0 +1,38 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEpsEq(t *testing.T) {
+	cases := []struct {
+		a, b, eps float64
+		want      bool
+	}{
+		{1, 1, 1e-9, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1 + 1e-6, 1e-9, false},
+		{0, 1e-10, 1e-9, true},
+		{0, 1e-8, 1e-9, false},
+		{1e12, 1e12 * (1 + 1e-12), 1e-9, true}, // relative tolerance at scale
+		{1e12, 1e12 * (1 + 1e-6), 1e-9, false},
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.Inf(1), 1e300, 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false},
+		{math.NaN(), 0, 1e-9, false},
+		{-2, -2, 0, true},
+	}
+	for _, c := range cases {
+		if got := EpsEq(c.a, c.b, c.eps); got != c.want {
+			t.Errorf("EpsEq(%g, %g, %g) = %v, want %v", c.a, c.b, c.eps, got, c.want)
+		}
+	}
+	if !Eq(0.1+0.2, 0.3) {
+		t.Error("Eq(0.1+0.2, 0.3) = false, want true")
+	}
+	if Eq(0.1, 0.2) {
+		t.Error("Eq(0.1, 0.2) = true, want false")
+	}
+}

@@ -423,7 +423,7 @@ func valueOf(v *sparseVec, id int32) float64 {
 func topK(scores []float64, touched []int32, qnorm float64, vecs []sparseVec, k int) []Edge {
 	edges := make([]Edge, 0, k)
 	less := func(a, b Edge) bool {
-		if a.Weight != b.Weight {
+		if a.Weight != b.Weight { // lint:checked exact tie-break keeps candidate order deterministic
 			return a.Weight > b.Weight
 		}
 		return a.To < b.To

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/analysis/assert"
 	"repro/internal/corpus"
 )
 
@@ -60,6 +61,9 @@ func (g *Graph) NumVertices() int { return len(g.Vertices) }
 // empty edge ranges.
 func (g *Graph) BuildCSR() {
 	g.EdgeOffsets, g.EdgeTo, g.EdgeWeight = csrFromLists(g.Neighbors, g.csrRows())
+	if assert.Enabled {
+		assert.CSRMonotonic(g.EdgeOffsets, len(g.EdgeTo), "graph CSR")
+	}
 }
 
 // EnsureCSR builds the CSR adjacency if it is absent or stale (offset
@@ -340,7 +344,7 @@ func LogHistogram(values []float64, buckets int) Histogram {
 	if maxV == 0 || math.IsInf(minPos, 1) {
 		return Histogram{Edges: []float64{0, 1}, Counts: []int{len(values)}}
 	}
-	if minPos == maxV {
+	if minPos == maxV { // lint:checked exact degenerate-range check; any spread at all makes real buckets
 		minPos = maxV / 2
 	}
 	h := Histogram{

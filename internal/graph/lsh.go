@@ -178,7 +178,7 @@ func knnLSH(vecs []sparseVec, cfg BuilderConfig, lsh LSHConfig) [][]Edge {
 // insertTopK inserts e into a descending-sorted edge buffer capped at k.
 func insertTopK(edges []Edge, e Edge, k int) []Edge {
 	less := func(a, b Edge) bool {
-		if a.Weight != b.Weight {
+		if a.Weight != b.Weight { // lint:checked exact tie-break keeps candidate order deterministic
 			return a.Weight > b.Weight
 		}
 		return a.To < b.To

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/analysis/assert"
 	"repro/internal/corpus"
 	"repro/internal/crf"
 	"repro/internal/features"
@@ -479,6 +480,9 @@ func (s *System) testOnUnion(test, union *corpus.Corpus, ins []*crf.Instance, g 
 				}
 			}
 			combined[j] = row
+		}
+		if assert.Enabled {
+			assert.NoNaNRows(combined, "combined potentials P'_s")
 		}
 		tags, err := crf.DecodeWithPotentialsT(combined, trans, s.model.BIO, s.cfg.TransitionPower)
 		if err != nil {

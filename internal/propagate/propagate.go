@@ -20,6 +20,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/analysis/assert"
 	"repro/internal/corpus"
 	"repro/internal/graph"
 )
@@ -197,6 +198,20 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 
 	adj := adjacencyOf(g, n, cfg.Symmetrize)
 
+	// Debug-build invariants (no-ops otherwise): the adjacency must be a
+	// well-formed CSR, and when the inputs are row-stochastic the Jacobi
+	// update keeps every belief row summing to 1, sweep after sweep.
+	checkRows := false
+	if assert.Enabled {
+		assert.CSRMonotonic(adj.off, len(adj.to), "propagate adjacency")
+		checkRows = assert.Stochastic(X, Y)
+		for v := 0; checkRows && v < n; v++ {
+			if labelled[v] && !assert.Stochastic(xref[v], Y) {
+				checkRows = false
+			}
+		}
+	}
+
 	res := Result{Loss: make([]float64, 0, cfg.Iterations+1)}
 	res.Loss = append(res.Loss, lossFlat(adj, X, xref, labelled, n, cfg.Mu, cfg.Nu))
 	if cfg.Iterations == 0 {
@@ -264,6 +279,12 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 		// evaluation below reading the freshly written buffer.
 		cur, next = next, cur
 		inX = !inX
+		if assert.Enabled {
+			assert.NoNaN(cur, "propagate beliefs after sweep")
+			if checkRows {
+				assert.RowsSumToOne(cur, Y, "propagate beliefs after sweep")
+			}
+		}
 		res.Loss = append(res.Loss, lossFlat(adj, cur, xref, labelled, n, cfg.Mu, cfg.Nu))
 	}
 	// The final beliefs must land in the caller's X; after an odd number

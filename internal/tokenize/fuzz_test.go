@@ -1,0 +1,76 @@
+package tokenize
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+	"unicode/utf8"
+)
+
+// FuzzTokenize checks the structural invariants of Sentence on arbitrary
+// input: tokens are non-empty, in-order, byte-accurate slices of the
+// input with no interior whitespace, their space-free coordinates tile
+// [0, #non-space-runes) exactly as the BioCreative II evaluation expects,
+// and together they cover every non-space byte of the input.
+func FuzzTokenize(f *testing.F) {
+	seeds := []string{
+		"",
+		"x",
+		"p53 regulates SH2-domain binding",
+		"the FLT3 gene in AML patients",
+		"IL-2 (interleukin-2) activates NF-kappaB!",
+		"  leading and trailing  ",
+		"a1B2c3 7q31.2 del(5q)",
+		"α-synuclein and β2-microglobulin",
+		"tabs\tand\nnewlines",
+		"....",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tokens := Sentence(s)
+		prevEnd := 0
+		sf := 0
+		var rebuilt strings.Builder
+		for i, tok := range tokens {
+			if tok.Text == "" {
+				t.Fatalf("token %d of %q: empty text", i, s)
+			}
+			if tok.Start < prevEnd || tok.End <= tok.Start || tok.End > len(s) {
+				t.Fatalf("token %d of %q: bad byte span [%d,%d) after %d", i, s, tok.Start, tok.End, prevEnd)
+			}
+			if s[tok.Start:tok.End] != tok.Text {
+				t.Fatalf("token %d of %q: text %q != span %q", i, s, tok.Text, s[tok.Start:tok.End])
+			}
+			n := 0
+			for _, r := range tok.Text {
+				if unicode.IsSpace(r) {
+					t.Fatalf("token %d of %q: whitespace inside %q", i, s, tok.Text)
+				}
+				n++
+			}
+			if tok.SFStart != sf || tok.SFEnd != sf+n-1 {
+				t.Fatalf("token %d of %q: space-free span [%d,%d], want [%d,%d]",
+					i, s, tok.SFStart, tok.SFEnd, sf, sf+n-1)
+			}
+			sf += n
+			prevEnd = tok.End
+			rebuilt.WriteString(tok.Text)
+		}
+		// The tokens must cover exactly the non-space bytes of the input
+		// (raw bytes, so invalid UTF-8 passes through unmangled).
+		var spaceFree strings.Builder
+		for i := 0; i < len(s); {
+			r, size := utf8.DecodeRuneInString(s[i:])
+			if !unicode.IsSpace(r) {
+				spaceFree.WriteString(s[i : i+size])
+			}
+			i += size
+		}
+		if rebuilt.String() != spaceFree.String() {
+			t.Fatalf("tokens of %q rebuild to %q, want the non-space bytes %q",
+				s, rebuilt.String(), spaceFree.String())
+		}
+	})
+}

@@ -442,7 +442,7 @@ func (m *Model) Neighbors(word string, n int) []Neighbor {
 		out = append(out, Neighbor{Word: w, Sim: dot(q, v) / (qn * vn)})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Sim != out[j].Sim {
+		if out[i].Sim != out[j].Sim { // lint:checked exact tie-break keeps neighbor order deterministic
 			return out[i].Sim > out[j].Sim
 		}
 		return out[i].Word < out[j].Word
