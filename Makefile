@@ -5,18 +5,27 @@ GO ?= go
 
 RACE_PKGS = ./internal/propagate ./internal/graph ./internal/crf ./internal/graphner ./internal/features
 
-.PHONY: all build lint test race fuzz-smoke debug-test tier1
+.PHONY: all build lint lint-json test race fuzz-smoke debug-test ci tier1
 
 all: tier1
 
 build:
 	$(GO) build ./...
 
-# The repo's own analyzer suite (internal/analysis): poolescape, maporder,
-# floatcmp, naninf, ctxloop. Exits non-zero on findings.
+# The repo's own analyzer suite (internal/analysis): the syntactic checks
+# (poolescape, maporder, floatcmp, naninf, ctxloop) plus the flow-sensitive
+# concurrency checks (lockbalance, sharedwrite, atomicmix,
+# waitgroupbalance) — graphnerlint runs everything analysis.All() returns,
+# so new analyzers are picked up here without Makefile changes. Exits
+# non-zero on findings.
 lint: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/graphnerlint ./...
+
+# Same suite, machine-readable: a JSON array of
+# {file,line,col,analyzer,message} on stdout for editor/CI integration.
+lint-json: build
+	$(GO) run ./cmd/graphnerlint -json ./...
 
 test:
 	$(GO) test ./...
@@ -34,5 +43,9 @@ fuzz-smoke:
 # row-stochastic beliefs per sweep, NaN scans before Viterbi.
 debug-test:
 	$(GO) test -tags graphner_debug ./internal/analysis/assert ./internal/propagate ./internal/graph ./internal/graphner
+
+# Full CI entry point: the tier-1 gate plus the fuzz smoke.
+ci:
+	scripts/ci.sh
 
 tier1: build lint test race

@@ -3,38 +3,73 @@
 //
 // Usage:
 //
-//	graphnerlint [packages]
+//	graphnerlint [-list] [-json] [-diff] [packages]
 //
 // With no arguments or "./..." it checks every package in the module.
 // Individual package directories (relative or absolute) narrow the run,
 // but cross-package facts are still computed module-wide so pool
-// helpers are recognized regardless of the selection.
+// helpers and mutex-guarded fields are recognized regardless of the
+// selection.
+//
+// Output modes:
+//
+//	(default)  one "file:line:col: analyzer: message" line per finding
+//	-json      a JSON array of {file,line,col,analyzer,message} objects
+//	-diff      a unified diff that inserts a "// lint:checked TODO"
+//	           suppression comment above every finding, for triage:
+//	           apply it with `patch -p1`, then replace each TODO with a
+//	           real justification or fix the code and drop the comment
+//
+// Exit codes:
+//
+//	0  no findings
+//	1  at least one finding
+//	2  internal error (load failure, bad arguments)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
 )
 
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
+	asDiff := flag.Bool("diff", false, "emit a unified diff adding lint:checked TODO suppressions")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: graphnerlint [-list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: graphnerlint [-list] [-json] [-diff] [packages]\n\n"+
+				"exit codes: 0 no findings, 1 findings, 2 internal error\n\nAnalyzers:\n")
 		for _, a := range analysis.All() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *asJSON && *asDiff {
+		fmt.Fprintln(os.Stderr, "graphnerlint: -json and -diff are mutually exclusive")
+		os.Exit(2)
 	}
 
 	root, err := moduleRoot()
@@ -71,7 +106,7 @@ func main() {
 	}
 
 	cwd, _ := os.Getwd()
-	n := 0
+	var findings []finding
 	for _, d := range diags {
 		if only != nil && !only[filepath.Dir(d.Pos.Filename)] {
 			continue
@@ -82,13 +117,96 @@ func main() {
 				file = rel
 			}
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-		n++
+		findings = append(findings, finding{
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
 	}
-	if n > 0 {
-		fmt.Fprintf(os.Stderr, "graphnerlint: %d finding(s)\n", n)
+
+	switch {
+	case *asJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	case *asDiff:
+		if err := writeDiff(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "graphnerlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// writeDiff renders the findings as a unified diff that inserts a
+// suppression comment above each finding line. Findings on the same line
+// collapse into one comment; the comment copies the line's indentation so
+// the patched file stays gofmt-clean.
+func writeDiff(w *os.File, findings []finding) error {
+	byFile := make(map[string][]finding)
+	var files []string
+	for _, f := range findings {
+		if len(byFile[f.File]) == 0 {
+			files = append(files, f.File)
+		}
+		byFile[f.File] = append(byFile[f.File], f)
+	}
+	sort.Strings(files)
+
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		lines := strings.Split(string(data), "\n")
+
+		fs := byFile[file]
+		sort.Slice(fs, func(i, j int) bool { return fs[i].Line < fs[j].Line })
+		// Collapse findings per line, preserving every message.
+		type annot struct {
+			line int
+			msgs []string
+		}
+		var annots []annot
+		for _, f := range fs {
+			msg := fmt.Sprintf("TODO(%s): %s", f.Analyzer, f.Message)
+			if n := len(annots); n > 0 && annots[n-1].line == f.Line {
+				annots[n-1].msgs = append(annots[n-1].msgs, msg)
+				continue
+			}
+			annots = append(annots, annot{line: f.Line, msgs: []string{msg}})
+		}
+
+		fmt.Fprintf(w, "--- a/%s\n+++ b/%s\n", file, file)
+		added := 0
+		for _, a := range annots {
+			if a.line < 1 || a.line > len(lines) {
+				continue
+			}
+			orig := lines[a.line-1]
+			indent := orig[:len(orig)-len(strings.TrimLeft(orig, " \t"))]
+			fmt.Fprintf(w, "@@ -%d,1 +%d,%d @@\n", a.line, a.line+added, 1+len(a.msgs))
+			for _, m := range a.msgs {
+				fmt.Fprintf(w, "+%s// lint:checked %s\n", indent, m)
+			}
+			fmt.Fprintf(w, " %s\n", orig)
+			added += len(a.msgs)
+		}
+	}
+	return nil
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

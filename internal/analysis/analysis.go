@@ -17,6 +17,22 @@
 //   - ctxloop: goroutine-spawning loops must carry a join/cancel handle
 //     (sync.WaitGroup, channel, or context.Context).
 //
+// On top of the syntactic suite, four flow-sensitive analyzers run over
+// per-function control-flow graphs (internal/analysis/cfg) solved with
+// the generic worklist engine (internal/analysis/dataflow) — the
+// correctness gate for the parallel/sharded propagation work:
+//
+//   - lockbalance: every Lock reaches an Unlock on all CFG paths
+//     (defer-aware), no double-Lock on a path, no deferred Unlock in a
+//     loop;
+//   - sharedwrite: goroutine writes to captured variables, fields, and
+//     maps need a held mutex, the module-wide guard discipline, or a
+//     spawn/Wait hand-off;
+//   - atomicmix: an address handed to sync/atomic anywhere must never be
+//     accessed non-atomically;
+//   - waitgroupbalance: wg.Add on the spawning side only, wg.Done
+//     reached on every goroutine exit path.
+//
 // A finding that is deliberate is silenced by annotating the offending
 // line (or the line above it) with a "// lint:checked <reason>" comment;
 // the reason is required reading for the next maintainer, not the tool.
@@ -155,9 +171,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the syntactic
+// checks first, then the flow-sensitive concurrency suite.
 func All() []*Analyzer {
-	return []*Analyzer{PoolEscape, MapOrder, FloatCmp, NanInf, CtxLoop}
+	return []*Analyzer{
+		PoolEscape, MapOrder, FloatCmp, NanInf, CtxLoop,
+		LockBalance, SharedWrite, AtomicMix, WaitGroupBalance,
+	}
 }
 
 // isTestFile reports whether pos lies in a *_test.go file.

@@ -11,6 +11,7 @@ package assert
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/floats"
 )
@@ -99,5 +100,45 @@ func NoNaNRows(rows [][]float64, name string) {
 				panic(fmt.Sprintf("assert: %s: NaN at row %d col %d", name, i, j))
 			}
 		}
+	}
+}
+
+// SweepGuard is a seqlock-style version counter for data that alternates
+// between exclusive sweeps (one writer epoch at a time) and quiescence —
+// the propagation belief matrix being the canonical case. The counter is
+// odd while a sweep is in flight and even when idle; any goroutine can
+// cheaply assert mid-sweep (CheckSweep) that no other sweep started or
+// finished since its token was issued. The zero value is ready to use.
+//
+// In default builds the type is an empty struct and every method is an
+// inert no-op, so guards cost nothing outside graphner_debug.
+type SweepGuard struct {
+	v atomic.Uint64
+}
+
+// BeginSweep opens a sweep epoch and returns a token for CheckSweep and
+// EndSweep. Panics if another sweep is already in flight.
+func (g *SweepGuard) BeginSweep(name string) uint64 {
+	t := g.v.Add(1)
+	if t%2 == 0 {
+		panic(fmt.Sprintf("assert: %s: sweep started while another sweep is in flight (version %d)", name, t))
+	}
+	return t
+}
+
+// CheckSweep asserts, from any goroutine, that the sweep identified by
+// token is still the current epoch — no concurrent sweep has begun or
+// ended since BeginSweep issued it.
+func (g *SweepGuard) CheckSweep(token uint64, name string) {
+	if v := g.v.Load(); v != token {
+		panic(fmt.Sprintf("assert: %s: written concurrently during sweep (version %d, expected %d)", name, v, token))
+	}
+}
+
+// EndSweep closes the epoch opened by BeginSweep. Panics if the version
+// moved in between, meaning another goroutine swept concurrently.
+func (g *SweepGuard) EndSweep(token uint64, name string) {
+	if t := g.v.Add(1); t != token+1 {
+		panic(fmt.Sprintf("assert: %s: written concurrently during sweep (version %d, expected %d)", name, t, token+1))
 	}
 }

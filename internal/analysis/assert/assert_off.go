@@ -16,3 +16,11 @@ func RowsSumToOne(flat []float64, rowLen int, name string) {}
 func NoNaN(flat []float64, name string) {}
 
 func NoNaNRows(rows [][]float64, name string) {}
+
+// SweepGuard is inert in default builds: an empty struct whose methods
+// compile to nothing.
+type SweepGuard struct{}
+
+func (g *SweepGuard) BeginSweep(name string) uint64        { return 0 }
+func (g *SweepGuard) CheckSweep(token uint64, name string) {}
+func (g *SweepGuard) EndSweep(token uint64, name string)   {}

@@ -20,4 +20,13 @@ func TestDisabledIsInert(t *testing.T) {
 	if Stochastic([]float64{0.5, 0.5}, 2) {
 		t.Fatal("Stochastic must report false when disabled")
 	}
+	// SweepGuard degenerates to no-ops: overlapping sweeps, stale and
+	// mismatched tokens are all silently accepted.
+	var g SweepGuard
+	if tok := g.BeginSweep("beliefs"); tok != 0 {
+		t.Fatalf("disabled BeginSweep returned %d, want 0", tok)
+	}
+	g.BeginSweep("beliefs") // overlap: would panic in debug builds
+	g.CheckSweep(42, "beliefs")
+	g.EndSweep(42, "beliefs")
 }

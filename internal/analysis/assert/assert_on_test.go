@@ -4,6 +4,7 @@ package assert
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -45,6 +46,44 @@ func TestStochasticDebug(t *testing.T) {
 	if Stochastic([]float64{1, 1, 1}, 2) {
 		t.Error("ragged matrix accepted")
 	}
+}
+
+func TestSweepGuardDebug(t *testing.T) {
+	var g SweepGuard
+
+	// Happy path: begin, concurrent checks from workers, end; twice over
+	// to confirm the guard is reusable.
+	for epoch := 0; epoch < 2; epoch++ {
+		tok := g.BeginSweep("beliefs")
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				g.CheckSweep(tok, "beliefs")
+			}()
+		}
+		wg.Wait()
+		g.EndSweep(tok, "beliefs")
+	}
+
+	// A second sweep beginning while one is in flight must panic.
+	tok := g.BeginSweep("beliefs")
+	mustPanic(t, "concurrent begin", func() { g.BeginSweep("beliefs") })
+	// The overlapping Begin moved the version, so the original sweep's
+	// check and end must now fail too.
+	mustPanic(t, "check after concurrent begin", func() { g.CheckSweep(tok, "beliefs") })
+	mustPanic(t, "end after concurrent begin", func() { g.EndSweep(tok, "beliefs") })
+}
+
+func TestSweepGuardStaleToken(t *testing.T) {
+	var g SweepGuard
+	tok := g.BeginSweep("beliefs")
+	g.EndSweep(tok, "beliefs")
+	// A token from a finished epoch must not validate in the next one.
+	tok2 := g.BeginSweep("beliefs")
+	mustPanic(t, "stale token", func() { g.CheckSweep(tok, "beliefs") })
+	g.EndSweep(tok2, "beliefs")
 }
 
 func TestNoNaNDebug(t *testing.T) {

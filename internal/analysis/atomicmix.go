@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix enforces the all-or-nothing rule of sync/atomic: a variable
+// or field that is accessed through atomic operations anywhere in the
+// module must never be accessed non-atomically. A plain load can observe
+// a torn or stale value next to atomic.AddInt64 traffic, and a plain
+// store silently discards concurrent atomic updates — races the race
+// detector only catches when the schedule cooperates.
+//
+// Atomic sites are collected module-wide into the cross-package facts
+// (Facts.AddPackage records every &x handed to a sync/atomic function),
+// so a field made atomic in one package is protected in all of them.
+// The typed atomic wrappers (atomic.Int64 and friends) need no analyzer:
+// their API admits no non-atomic access.
+//
+// Initialization before any goroutine exists is a legitimate non-atomic
+// write; annotate such sites with `// lint:checked` stating that no
+// concurrent access is possible yet.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable accessed via sync/atomic must never be accessed non-atomically",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	info := pass.Info
+	// Spans of atomic calls in this package: uses inside them are the
+	// sanctioned accesses.
+	var atomicSpans [][2]token.Pos
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isAtomicCall(info, call) {
+				atomicSpans = append(atomicSpans, [2]token.Pos{call.Pos(), call.End()})
+			}
+			return true
+		})
+	}
+	sanctioned := func(pos token.Pos) bool {
+		for _, s := range atomicSpans {
+			if s[0] <= pos && pos <= s[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			site, atomicElsewhere := pass.Facts.AtomicSite(v)
+			if !atomicElsewhere || sanctioned(id.Pos()) {
+				return true
+			}
+			pass.Report(id.Pos(), "%s is accessed with sync/atomic (e.g. at %s) and must not be accessed non-atomically", id.Name, site)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// function (AddInt64, LoadUint32, StorePointer, CompareAndSwap...).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic" && !strings.Contains(fn.FullName(), "(")
+}
+
+// atomicTarget resolves the first argument of an atomic call (&x) to the
+// variable or field it addresses, or nil.
+func atomicTarget(info *types.Info, call *ast.CallExpr) *types.Var {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	switch e := ast.Unparen(un.X).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := fieldVar(info, e); ok {
+			return v
+		}
+	}
+	return nil
+}

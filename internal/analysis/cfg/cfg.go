@@ -1,0 +1,423 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies — the substrate the flow-sensitive analyzers
+// (lockbalance, sharedwrite, waitgroupbalance) and the dataflow solver
+// stand on. It is standard library only, in the spirit of
+// golang.org/x/tools/go/cfg but scoped to what this repository needs.
+//
+// A Graph has one Entry block, one virtual Exit block, and a set of
+// basic blocks holding the function's statements in execution order.
+// Structured statements (if/for/range/switch/select) are decomposed:
+// their header statements and condition expressions land in blocks, and
+// their bodies become successor blocks. Every leaf statement — including
+// unreachable ones — appears in exactly one block, so analyses can map
+// positions back to blocks.
+//
+// Edges modelled: if/else, for (init/cond/post), range, switch and type
+// switch (fallthrough included), select, labeled break/continue, goto,
+// return, and panic. return and panic(...) edge to Exit: a panic unwinds
+// through the function's deferred calls, so for defer-aware analyses the
+// Exit block is where deferred obligations (Unlock, Done) come due.
+// Function literals are opaque: the statement containing a FuncLit is a
+// single node, and the literal's body is never traversed — each literal
+// gets its own Graph from its own New call.
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block: a straight-line run of nodes with a single
+// entry at the top. Nodes holds statements (and condition expressions)
+// in execution order.
+type Block struct {
+	Index int
+	// Kind labels why the block exists ("entry", "if.then", "for.body",
+	// "exit", ...) for golden tests and debugging.
+	Kind  string
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	// Blocks lists every block in creation order. Blocks[0] is Entry;
+	// Exit is also in the list.
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// New builds the CFG of body. The builder never descends into function
+// literals; call New on each literal's body separately.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		labels: make(map[string]*Block),
+	}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = &Block{Kind: "exit"}
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.edge(b.g.Exit) // falling off the end is an implicit return
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	return b.g
+}
+
+// frame is one enclosing breakable/continuable statement.
+type frame struct {
+	label string // the statement's label, "" if none
+	brk   *Block // break target
+	cont  *Block // continue target; nil for switch/select
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block // nil after a terminator until the next block starts
+	labels map[string]*Block
+	frames []frame
+	// fallTarget is the next case block while building a switch clause.
+	fallTarget *Block
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge links the current block (if any) to dst.
+func (b *builder) edge(dst *Block) {
+	if b.cur == nil {
+		return
+	}
+	b.cur.Succs = append(b.cur.Succs, dst)
+	dst.Preds = append(dst.Preds, b.cur)
+}
+
+func (b *builder) start(blk *Block) { b.cur = blk }
+
+// add appends n to the current block, opening an unreachable block if a
+// terminator just closed the flow (dead code still gets a home so every
+// statement lives in exactly one block).
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// labelBlock returns (creating on first use, so forward gotos work) the
+// block a label names.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(lb)
+		b.start(lb)
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		then := b.newBlock("if.then")
+		done := b.newBlock("if.done")
+		els := done
+		if s.Else != nil {
+			els = b.newBlock("if.else")
+		}
+		b.edge(then)
+		b.edge(els)
+		b.start(then)
+		b.stmtList(s.Body.List)
+		b.edge(done)
+		if s.Else != nil {
+			b.start(els)
+			b.stmt(s.Else, "")
+			b.edge(done)
+		}
+		b.start(done)
+
+	case *ast.ForStmt:
+		b.add(s.Init)
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		b.edge(head)
+		b.start(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(body)
+			b.edge(done)
+		} else {
+			b.edge(body)
+		}
+		b.frames = append(b.frames, frame{label: label, brk: done, cont: post})
+		b.start(body)
+		b.stmtList(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(post)
+		if s.Post != nil {
+			b.start(post)
+			b.add(s.Post)
+			b.edge(head)
+		}
+		b.start(done)
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.edge(head)
+		b.start(head)
+		b.add(s.X) // the ranged expression, evaluated at the loop head
+		b.edge(body)
+		b.edge(done)
+		b.frames = append(b.frames, frame{label: label, brk: done, cont: head})
+		b.start(body)
+		b.stmtList(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(head)
+		b.start(done)
+
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.switchClauses(s.Body.List, label, func(cc *ast.CaseClause, blk *Block) {
+			for _, e := range cc.List {
+				b.add(e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List, label, nil)
+
+	case *ast.SelectStmt:
+		done := b.newBlock("select.done")
+		head := b.cur
+		b.frames = append(b.frames, frame{label: label, brk: done})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			kind := "select.case"
+			if cc.Comm == nil {
+				kind = "select.default"
+			}
+			blk := b.newBlock(kind)
+			if head != nil {
+				head.Succs = append(head.Succs, blk)
+				blk.Preds = append(blk.Preds, head)
+			}
+			b.start(blk)
+			b.add(cc.Comm)
+			b.stmtList(cc.Body)
+			b.edge(done)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = nil // an empty select blocks forever
+		b.start(done)
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findFrame(s.Label, false); t != nil {
+				b.edge(t)
+			}
+		case token.CONTINUE:
+			if t := b.findFrame(s.Label, true); t != nil {
+				b.edge(t)
+			}
+		case token.GOTO:
+			b.edge(b.labelBlock(s.Label.Name))
+		case token.FALLTHROUGH:
+			if b.fallTarget != nil {
+				b.edge(b.fallTarget)
+			}
+		}
+		b.cur = nil
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.g.Exit)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.edge(b.g.Exit)
+			b.cur = nil
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, IncDec, Decl, Send, Defer, Go: straight-line.
+		b.add(s)
+	}
+}
+
+// switchClauses builds the case blocks of a (type) switch: the head
+// edges to every case block (and to done when no default exists), each
+// clause body edges to done, and fallthrough edges to the next clause.
+func (b *builder) switchClauses(clauses []ast.Stmt, label string, caseExprs func(*ast.CaseClause, *Block)) {
+	done := b.newBlock("switch.done")
+	head := b.cur
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		kind := "switch.case"
+		if cc.List == nil {
+			kind = "switch.default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(kind)
+		if head != nil {
+			head.Succs = append(head.Succs, blocks[i])
+			blocks[i].Preds = append(blocks[i].Preds, head)
+		}
+	}
+	if !hasDefault && head != nil {
+		head.Succs = append(head.Succs, done)
+		done.Preds = append(done.Preds, head)
+	}
+	b.frames = append(b.frames, frame{label: label, brk: done})
+	savedFall := b.fallTarget
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.fallTarget = nil
+		if i+1 < len(blocks) {
+			b.fallTarget = blocks[i+1]
+		}
+		b.start(blocks[i])
+		if caseExprs != nil {
+			caseExprs(cc, blocks[i])
+		}
+		b.stmtList(cc.Body)
+		b.edge(done)
+	}
+	b.fallTarget = savedFall
+	b.frames = b.frames[:len(b.frames)-1]
+	b.start(done)
+}
+
+// findFrame resolves a break (wantCont=false) or continue (true) target.
+func (b *builder) findFrame(label *ast.Ident, wantCont bool) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label != nil && f.label != label.Name {
+			continue
+		}
+		if wantCont {
+			if f.cont != nil {
+				return f.cont
+			}
+			continue // continue skips switch/select frames
+		}
+		return f.brk
+	}
+	return nil
+}
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// BlockOf returns the block whose nodes span pos, or nil. Statements are
+// disjoint, so at most one block claims a position.
+func (g *Graph) BlockOf(pos token.Pos) *Block {
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if n.Pos() <= pos && pos <= n.End() {
+				return blk
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the structure (no source text): one line per block with
+// kind, node count, and successor indices.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s [%d]", blk.Index, blk.Kind, len(blk.Nodes))
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " ->b%d", s.Index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Format renders the graph with each node's source text (via fset) —
+// the representation the golden tests assert on.
+func (g *Graph) Format(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", blk.Index, blk.Kind)
+		for _, n := range blk.Nodes {
+			sb.WriteString(" {")
+			sb.WriteString(nodeText(fset, n))
+			sb.WriteString("}")
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" =>")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// nodeText prints n as single-line source text.
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}

@@ -1,0 +1,367 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenSrc is the golden corpus: each function exercises one control
+// construct; the expected CFG (Format output) is in goldens below.
+const goldenSrc = `package p
+
+func seq() {
+	x := 1
+	x++
+	_ = x
+}
+
+func ifElse(c bool) int {
+	if c {
+		return 1
+	} else {
+		c = false
+	}
+	return 0
+}
+
+func forLoop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+func infinite() {
+	for {
+		step()
+	}
+}
+
+func rangeLoop(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func labeledBreakContinue(xs [][]int) int {
+	s := 0
+outer:
+	for _, row := range xs {
+		for _, x := range row {
+			if x < 0 {
+				continue outer
+			}
+			if x == 0 {
+				break outer
+			}
+			s += x
+		}
+	}
+	return s
+}
+
+func switchFallthrough(x int) string {
+	switch x {
+	case 0:
+		fallthrough
+	case 1:
+		return "small"
+	default:
+		return "big"
+	}
+}
+
+func selectStmt(a, b chan int, done chan struct{}) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	case <-done:
+	}
+	return 0
+}
+
+func deferredPanic(bad bool) {
+	defer cleanup()
+	if bad {
+		panic("bad")
+	}
+	step()
+}
+
+func gotoRetry() {
+	n := 0
+retry:
+	n++
+	if n < 3 {
+		goto retry
+	}
+}
+
+func step()    {}
+func cleanup() {}
+`
+
+// goldens maps function name to the expected Format rendering.
+var goldens = map[string]string{
+	"seq": `b0 entry: {x := 1} {x++} {_ = x} => b1
+b1 exit:
+`,
+
+	"ifElse": `b0 entry: {c} => b1 b3
+b1 if.then: {return 1} => b4
+b2 if.done: {return 0} => b4
+b3 if.else: {c = false} => b2
+b4 exit:
+`,
+
+	"forLoop": `b0 entry: {s := 0} {i := 0} => b1
+b1 for.head: {i < n} => b2 b3
+b2 for.body: {s += i} => b4
+b3 for.done: {return s} => b5
+b4 for.post: {i++} => b1
+b5 exit:
+`,
+
+	"infinite": `b0 entry: => b1
+b1 for.head: => b2
+b2 for.body: {step()} => b1
+b3 for.done: => b4
+b4 exit:
+`,
+
+	"rangeLoop": `b0 entry: {s := 0} => b1
+b1 range.head: {xs} => b2 b3
+b2 range.body: {s += x} => b1
+b3 range.done: {return s} => b4
+b4 exit:
+`,
+
+	"labeledBreakContinue": `b0 entry: {s := 0} => b1
+b1 label.outer: => b2
+b2 range.head: {xs} => b3 b4
+b3 range.body: => b5
+b4 range.done: {return s} => b12
+b5 range.head: {row} => b6 b7
+b6 range.body: {x < 0} => b8 b9
+b7 range.done: => b2
+b8 if.then: {continue outer} => b2
+b9 if.done: {x == 0} => b10 b11
+b10 if.then: {break outer} => b4
+b11 if.done: {s += x} => b5
+b12 exit:
+`,
+
+	"switchFallthrough": `b0 entry: {x} => b2 b3 b4
+b1 switch.done: => b5
+b2 switch.case: {0} {fallthrough} => b3
+b3 switch.case: {1} {return "small"} => b5
+b4 switch.default: {return "big"} => b5
+b5 exit:
+`,
+
+	"selectStmt": `b0 entry: => b2 b3 b4
+b1 select.done: {return 0} => b5
+b2 select.case: {v := <-a} {return v} => b5
+b3 select.case: {v := <-b} {return v} => b5
+b4 select.case: {<-done} => b1
+b5 exit:
+`,
+
+	"deferredPanic": `b0 entry: {defer cleanup()} {bad} => b1 b2
+b1 if.then: {panic("bad")} => b3
+b2 if.done: {step()} => b3
+b3 exit:
+`,
+
+	"gotoRetry": `b0 entry: {n := 0} => b1
+b1 label.retry: {n++} {n < 3} => b2 b3
+b2 if.then: {goto retry} => b1
+b3 if.done: => b4
+b4 exit:
+`,
+}
+
+func parseFuncs(t *testing.T, src string) (*token.FileSet, map[string]*ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	decls := make(map[string]*ast.FuncDecl)
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			decls[fd.Name.Name] = fd
+		}
+	}
+	return fset, decls
+}
+
+func TestGolden(t *testing.T) {
+	fset, decls := parseFuncs(t, goldenSrc)
+	for name, want := range goldens {
+		fd, ok := decls[name]
+		if !ok {
+			t.Errorf("golden %s: no such function in corpus", name)
+			continue
+		}
+		got := New(fd.Body).Format(fset)
+		if got != want {
+			t.Errorf("%s: CFG mismatch\ngot:\n%s\nwant:\n%s", name, got, want)
+		}
+	}
+	for name := range decls {
+		if _, ok := goldens[name]; !ok && name != "step" && name != "cleanup" {
+			t.Errorf("function %s has no golden", name)
+		}
+	}
+}
+
+// TestEveryStmtInOneBlock is the property test: every leaf statement of
+// a function body — reachable or not — must appear in exactly one block
+// of its CFG. The corpus is the golden source plus every function
+// (declarations and literals) in the analyzer testdata corpora, which
+// are rich in real-world control flow.
+func TestEveryStmtInOneBlock(t *testing.T) {
+	fset, decls := parseFuncs(t, goldenSrc)
+	for name, fd := range decls {
+		checkStmtCoverage(t, fset, name, fd.Body)
+	}
+
+	root := filepath.Join("..", "testdata", "src")
+	dirs, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("ReadDir(%s): %v", root, err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		files, err := filepath.Glob(filepath.Join(root, d.Name(), "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, file := range files {
+			fs := token.NewFileSet()
+			f, err := parser.ParseFile(fs, file, nil, 0)
+			if err != nil {
+				t.Fatalf("parse %s: %v", file, err)
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						checkStmtCoverage(t, fs, file+":"+n.Name.Name, n.Body)
+					}
+				case *ast.FuncLit:
+					pos := fs.Position(n.Pos())
+					checkStmtCoverage(t, fs, fmt.Sprintf("%s:lit@%d", file, pos.Line), n.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkStmtCoverage(t *testing.T, fset *token.FileSet, name string, body *ast.BlockStmt) {
+	t.Helper()
+	g := New(body)
+	count := make(map[ast.Stmt]int)
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if s, ok := n.(ast.Stmt); ok {
+				count[s]++
+			}
+		}
+	}
+	for _, s := range leafStmts(body) {
+		switch count[s] {
+		case 1:
+		case 0:
+			t.Errorf("%s: statement at %s missing from every CFG block", name, fset.Position(s.Pos()))
+		default:
+			t.Errorf("%s: statement at %s appears in %d blocks", name, fset.Position(s.Pos()), count[s])
+		}
+	}
+}
+
+// leafStmts mirrors the builder's classification: structured statements
+// are decomposed, everything else (including header init/post statements
+// and select comm statements) must land in a block. Function literal
+// bodies belong to their own graphs and are excluded.
+func leafStmts(body *ast.BlockStmt) []ast.Stmt {
+	var out []ast.Stmt
+	var walk func(s ast.Stmt)
+	walkList := func(list []ast.Stmt) {
+		for _, s := range list {
+			walk(s)
+		}
+	}
+	walk = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			walkList(s.List)
+		case *ast.LabeledStmt:
+			walk(s.Stmt)
+		case *ast.IfStmt:
+			walk(s.Init)
+			walkList(s.Body.List)
+			walk(s.Else)
+		case *ast.ForStmt:
+			walk(s.Init)
+			walk(s.Post)
+			walkList(s.Body.List)
+		case *ast.RangeStmt:
+			walkList(s.Body.List)
+		case *ast.SwitchStmt:
+			walk(s.Init)
+			for _, c := range s.Body.List {
+				walkList(c.(*ast.CaseClause).Body)
+			}
+		case *ast.TypeSwitchStmt:
+			walk(s.Init)
+			walk(s.Assign)
+			for _, c := range s.Body.List {
+				walkList(c.(*ast.CaseClause).Body)
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				cc := c.(*ast.CommClause)
+				walk(cc.Comm)
+				walkList(cc.Body)
+			}
+		case *ast.EmptyStmt:
+		default:
+			out = append(out, s)
+		}
+	}
+	walkList(body.List)
+	return out
+}
+
+// TestExitReachability: in every golden function that returns, the exit
+// block has at least one predecessor, and no block ever edges to the
+// entry.
+func TestExitReachability(t *testing.T) {
+	_, decls := parseFuncs(t, goldenSrc)
+	for name, fd := range decls {
+		g := New(fd.Body)
+		if name != "infinite" && len(g.Exit.Preds) == 0 {
+			t.Errorf("%s: exit block unreachable", name)
+		}
+		if len(g.Entry.Preds) != 0 {
+			t.Errorf("%s: entry block has predecessors", name)
+		}
+	}
+}

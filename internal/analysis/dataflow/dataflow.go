@@ -1,0 +1,113 @@
+// Package dataflow is a generic worklist solver over internal/analysis/cfg
+// graphs. An analyzer supplies the lattice (join, equality, the optimistic
+// initial fact) and a transfer function; the solver runs the standard
+// iterative algorithm to a fixpoint, forward or backward.
+//
+// Requirements for termination: Join must be monotone and the lattice of
+// facts must have finite height (every analyzer here uses finite maps over
+// the identifiers of one function, which satisfies both). Transfer and
+// Join must treat their inputs as immutable and return fresh values.
+package dataflow
+
+import "repro/internal/analysis/cfg"
+
+// Direction selects whether facts flow entry→exit or exit→entry.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Problem defines one dataflow analysis.
+//
+// Init supplies the optimistic starting fact for every non-boundary
+// block — the identity of Join (bottom for a may/union analysis, top for
+// a must/intersection analysis, commonly a nil sentinel).
+type Problem[F any] struct {
+	Dir Direction
+	// Boundary returns the fact entering the boundary block: the Entry
+	// block's in-fact (Forward) or the Exit block's in-fact (Backward).
+	Boundary func() F
+	// Init returns the starting fact for every other block.
+	Init func() F
+	// Join combines facts arriving over two edges. It must not mutate
+	// its arguments.
+	Join func(a, b F) F
+	// Transfer computes the fact leaving blk given the fact entering it,
+	// without mutating in.
+	Transfer func(blk *cfg.Block, in F) F
+	// Equal reports fact equality; the fixpoint stops when transfer
+	// output stabilises under it.
+	Equal func(a, b F) bool
+}
+
+// Result holds the per-block fixpoint facts. In is the fact at block
+// entry (in flow direction), Out at block exit.
+type Result[F any] struct {
+	In, Out map[*cfg.Block]F
+}
+
+// Solve runs the worklist algorithm to a fixpoint and returns the
+// per-block facts.
+func Solve[F any](g *cfg.Graph, p Problem[F]) Result[F] {
+	res := Result[F]{
+		In:  make(map[*cfg.Block]F, len(g.Blocks)),
+		Out: make(map[*cfg.Block]F, len(g.Blocks)),
+	}
+	boundary := g.Entry
+	flowPreds := func(b *cfg.Block) []*cfg.Block { return b.Preds }
+	flowSuccs := func(b *cfg.Block) []*cfg.Block { return b.Succs }
+	if p.Dir == Backward {
+		boundary = g.Exit
+		flowPreds, flowSuccs = flowSuccs, flowPreds
+	}
+	for _, b := range g.Blocks {
+		res.Out[b] = p.Transfer(b, initialIn(p, b, boundary))
+	}
+
+	queue := make([]*cfg.Block, len(g.Blocks))
+	queued := make(map[*cfg.Block]bool, len(g.Blocks))
+	if p.Dir == Forward {
+		copy(queue, g.Blocks)
+	} else {
+		for i, b := range g.Blocks {
+			queue[len(g.Blocks)-1-i] = b
+		}
+	}
+	for _, b := range queue {
+		queued[b] = true
+	}
+
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		queued[blk] = false
+
+		in := initialIn(p, blk, boundary)
+		for _, pred := range flowPreds(blk) {
+			in = p.Join(in, res.Out[pred])
+		}
+		res.In[blk] = in
+		out := p.Transfer(blk, in)
+		if p.Equal(out, res.Out[blk]) {
+			continue
+		}
+		res.Out[blk] = out
+		for _, s := range flowSuccs(blk) {
+			if !queued[s] {
+				queued[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return res
+}
+
+// initialIn is the fact a block starts from before joining predecessors.
+func initialIn[F any](p Problem[F], b, boundary *cfg.Block) F {
+	if b == boundary {
+		return p.Boundary()
+	}
+	return p.Init()
+}

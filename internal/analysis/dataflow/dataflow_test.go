@@ -1,0 +1,279 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"maps"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+)
+
+func buildGraph(t *testing.T, body string) (*token.FileSet, *cfg.Graph) {
+	t.Helper()
+	src := "package p\nfunc f(a, b, c bool) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return fset, cfg.New(fd.Body)
+}
+
+// assigned is a forward may-analysis: the set of variable names that have
+// been assigned on SOME path reaching a point. Join is set union.
+type nameSet map[string]bool
+
+func union(a, b nameSet) nameSet {
+	out := make(nameSet, len(a)+len(b))
+	maps.Copy(out, a)
+	maps.Copy(out, b)
+	return out
+}
+
+// assignedProblem records the Lhs identifiers of every assignment.
+func assignedProblem() Problem[nameSet] {
+	return Problem[nameSet]{
+		Dir:      Forward,
+		Boundary: func() nameSet { return nameSet{} },
+		Init:     func() nameSet { return nameSet{} },
+		Join:     union,
+		Transfer: func(blk *cfg.Block, in nameSet) nameSet {
+			out := union(in, nil)
+			for _, n := range blk.Nodes {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					continue
+				}
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+			}
+			return out
+		},
+		Equal: maps.Equal[nameSet, nameSet],
+	}
+}
+
+func TestForwardMayAssigned(t *testing.T) {
+	_, g := buildGraph(t, `
+	x := 1
+	if a {
+		y := 2
+		_ = y
+	}
+	z := 3
+	_, _ = x, z
+`)
+	res := Solve(g, assignedProblem())
+	at := res.In[g.Exit]
+	for _, want := range []string{"x", "y", "z"} {
+		if !at[want] {
+			t.Errorf("exit in-fact missing %q: %v", want, at)
+		}
+	}
+}
+
+// TestForwardLoopFixpoint: a fact introduced in a loop body must
+// propagate around the back edge into the loop head.
+func TestForwardLoopFixpoint(t *testing.T) {
+	_, g := buildGraph(t, `
+	for a {
+		w := 1
+		_ = w
+	}
+`)
+	res := Solve(g, assignedProblem())
+	var head *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no for.head block")
+	}
+	if !res.In[head]["w"] {
+		t.Errorf("loop head should see w via back edge: %v", res.In[head])
+	}
+	if res.In[g.Entry]["w"] {
+		t.Errorf("entry must not see any assignment: %v", res.In[g.Entry])
+	}
+}
+
+// live is a backward may-analysis: a crude liveness over identifier
+// uses/kills, enough to exercise Backward plumbing end to end.
+func liveProblem() Problem[nameSet] {
+	return Problem[nameSet]{
+		Dir:      Backward,
+		Boundary: func() nameSet { return nameSet{} },
+		Init:     func() nameSet { return nameSet{} },
+		Join:     union,
+		Transfer: func(blk *cfg.Block, in nameSet) nameSet {
+			out := union(in, nil)
+			// Walk nodes in reverse: kill definitions, then add uses.
+			for i := len(blk.Nodes) - 1; i >= 0; i-- {
+				switch n := blk.Nodes[i].(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							delete(out, id.Name)
+						}
+					}
+					for _, rhs := range n.Rhs {
+						ast.Inspect(rhs, func(m ast.Node) bool {
+							if id, ok := m.(*ast.Ident); ok {
+								out[id.Name] = true
+							}
+							return true
+						})
+					}
+				case ast.Expr:
+					ast.Inspect(n, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok {
+							out[id.Name] = true
+						}
+						return true
+					})
+				}
+			}
+			return out
+		},
+		Equal: maps.Equal[nameSet, nameSet],
+	}
+}
+
+func TestBackwardLiveness(t *testing.T) {
+	_, g := buildGraph(t, `
+	x := 1
+	y := 2
+	if a {
+		x = y
+	}
+	_ = x
+`)
+	res := Solve(g, liveProblem())
+	// At function entry (the In fact of the entry block, flowing
+	// backward) nothing the function defines is live, but the parameter
+	// `a` — used by the branch — is.
+	entryLive := res.Out[g.Entry]
+	if entryLive["x"] || entryLive["y"] {
+		t.Errorf("x,y defined before use, must not be live-in at entry: %v", entryLive)
+	}
+	var thenBlk *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "if.then" {
+			thenBlk = b
+		}
+	}
+	if thenBlk == nil {
+		t.Fatal("no if.then block")
+	}
+	// In/Out are flow-direction-relative: for Backward, Out[blk] is the
+	// fact at block entry in program order, In[blk] at block exit.
+	// Entering the then-branch, y is about to be read: live.
+	if !res.Out[thenBlk]["y"] {
+		t.Errorf("y must be live entering the then branch: %v", res.Out[thenBlk])
+	}
+	// After the then-branch's last use, y is dead.
+	if res.In[thenBlk]["y"] {
+		t.Errorf("y must be dead after its last use: %v", res.In[thenBlk])
+	}
+}
+
+// TestMustAnalysisNilTop exercises the nil-as-top convention used by the
+// analyzers: Init returns nil (top), Join treats nil as identity and
+// otherwise intersects, Transfer preserves nil, and Equal distinguishes
+// nil from the empty map. "Assigned on EVERY path" drops y at the join;
+// the unreachable code after return keeps the nil fact at fixpoint.
+func TestMustAnalysisNilTop(t *testing.T) {
+	_, g := buildGraph(t, `
+	x := 1
+	if a {
+		y := 2
+		_ = y
+	}
+	_ = x
+	return
+	z := 3
+	_ = z
+`)
+	p := assignedProblem()
+	p.Init = func() nameSet { return nil }
+	p.Join = func(a, b nameSet) nameSet {
+		if a == nil {
+			return union(b, nil)
+		}
+		if b == nil {
+			return union(a, nil)
+		}
+		out := nameSet{}
+		for k := range a {
+			if b[k] {
+				out[k] = true
+			}
+		}
+		return out
+	}
+	forward := p.Transfer
+	p.Transfer = func(blk *cfg.Block, in nameSet) nameSet {
+		if in == nil {
+			return nil
+		}
+		return forward(blk, in)
+	}
+	p.Equal = func(a, b nameSet) bool {
+		if (a == nil) != (b == nil) {
+			return false
+		}
+		return maps.Equal(a, b)
+	}
+	res := Solve(g, p)
+
+	exitIn := res.In[g.Exit]
+	if !exitIn["x"] {
+		t.Errorf("x assigned on every path, must survive the must-join: %v", exitIn)
+	}
+	if exitIn["y"] {
+		t.Errorf("y assigned on one path only, must be dropped by the must-join: %v", exitIn)
+	}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "z" {
+					if res.In[b] != nil {
+						t.Errorf("unreachable block must keep the nil (top) fact: %v", res.In[b])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTransferCallCounts guards the solver against a quadratic or
+// non-terminating regression: on a straight-line graph the fixpoint must
+// settle with at most two transfer evaluations per block (the priming
+// pass plus one worklist visit).
+func TestTransferCallCounts(t *testing.T) {
+	_, g := buildGraph(t, `
+	x := 1
+	x = 2
+	x = 3
+	_ = x
+`)
+	calls := 0
+	p := assignedProblem()
+	inner := p.Transfer
+	p.Transfer = func(blk *cfg.Block, in nameSet) nameSet {
+		calls++
+		return inner(blk, in)
+	}
+	Solve(g, p)
+	if max := 2 * len(g.Blocks); calls > max {
+		t.Errorf("straight-line solve took %d transfer calls for %d blocks (max %d)", calls, len(g.Blocks), max)
+	}
+}

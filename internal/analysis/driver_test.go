@@ -89,6 +89,11 @@ func TestFloatCmp(t *testing.T)   { runOnTestdata(t, FloatCmp) }
 func TestNanInf(t *testing.T)     { runOnTestdata(t, NanInf) }
 func TestCtxLoop(t *testing.T)    { runOnTestdata(t, CtxLoop) }
 
+func TestLockBalance(t *testing.T)      { runOnTestdata(t, LockBalance) }
+func TestSharedWrite(t *testing.T)      { runOnTestdata(t, SharedWrite) }
+func TestAtomicMix(t *testing.T)        { runOnTestdata(t, AtomicMix) }
+func TestWaitGroupBalance(t *testing.T) { runOnTestdata(t, WaitGroupBalance) }
+
 // TestRepoClean loads the whole module and requires the full analyzer
 // suite to come back empty — the linter is part of tier 1, so a new
 // finding (or a new false positive) fails `go test ./...`.

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 )
@@ -10,20 +11,29 @@ import (
 // built once over all loaded packages, in dependency order, before any
 // analyzer runs.
 //
-// Two fact kinds exist, both about sync.Pool plumbing:
+// Four fact kinds exist — two about sync.Pool plumbing, two about
+// concurrency discipline:
 //
 //   - a function is a *pool source* if its return value originates from a
 //     (*sync.Pool).Get — directly or through another source (e.g. the
 //     crf.acquireScratch helper);
 //   - a function is a *releaser* of parameter i (receiver = -1) if it
 //     hands that parameter to (*sync.Pool).Put or to another releaser
-//     (e.g. the latticeScratch.release method).
+//     (e.g. the latticeScratch.release method);
+//   - a struct field is *mutex-guarded* if some function in the module
+//     writes it while holding a lock (per the lock dataflow) — sharedwrite
+//     then demands the lock at every goroutine write of that field;
+//   - a variable or field is an *atomic site* if any function hands its
+//     address to a sync/atomic operation — atomicmix then forbids
+//     non-atomic access to it everywhere.
 //
-// poolescape uses both to treat wrapped Get/Put helpers exactly like the
-// raw pool calls.
+// poolescape uses the first two to treat wrapped Get/Put helpers exactly
+// like the raw pool calls.
 type Facts struct {
 	sources   map[*types.Func]bool
 	releasers map[*types.Func]map[int]bool
+	guarded   map[*types.Var]bool
+	atomics   map[*types.Var]token.Position
 }
 
 // NewFacts returns an empty knowledge base.
@@ -31,7 +41,22 @@ func NewFacts() *Facts {
 	return &Facts{
 		sources:   make(map[*types.Func]bool),
 		releasers: make(map[*types.Func]map[int]bool),
+		guarded:   make(map[*types.Var]bool),
+		atomics:   make(map[*types.Var]token.Position),
 	}
+}
+
+// IsGuardedField reports whether some function in the module writes v
+// while holding a mutex.
+func (fc *Facts) IsGuardedField(v *types.Var) bool {
+	return v != nil && fc.guarded[v]
+}
+
+// AtomicSite returns the position of an atomic access to v, if any
+// function in the module performs one.
+func (fc *Facts) AtomicSite(v *types.Var) (token.Position, bool) {
+	p, ok := fc.atomics[v]
+	return p, ok
 }
 
 // IsSource reports whether fn returns a pool-derived value.
@@ -58,6 +83,7 @@ func (fc *Facts) ReleasedParams(fn *types.Func) map[int]bool {
 // base. Packages must be added in dependency order so callee facts from
 // imported packages are already present.
 func (fc *Facts) AddPackage(pkg *Package) {
+	fc.addConcurrencyFacts(pkg)
 	for changed := true; changed; {
 		changed = false
 		walkFuncs(pkg.Files, func(fd *ast.FuncDecl) {
@@ -86,6 +112,52 @@ func (fc *Facts) AddPackage(pkg *Package) {
 			}
 		})
 	}
+}
+
+// addConcurrencyFacts records, for every function body of pkg, which
+// struct fields are written under a held lock (guarded fields) and which
+// variables have their address taken by sync/atomic calls (atomic
+// sites). Both are global: sharedwrite and atomicmix consult them from
+// any package.
+func (fc *Facts) addConcurrencyFacts(pkg *Package) {
+	info := pkg.Info
+	funcBodies(pkg.Files, func(body *ast.BlockStmt, _ bool) {
+		var held func(pos token.Pos) bool // built lazily: most bodies take no locks
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if n.Body != body {
+					return false // analyzed as its own body
+				}
+			case *ast.CallExpr:
+				if isAtomicCall(info, n) {
+					if v := atomicTarget(info, n); v != nil {
+						if _, ok := fc.atomics[v]; !ok {
+							fc.atomics[v] = pkg.Fset.Position(n.Pos())
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					fv, ok := fieldVar(info, sel)
+					if !ok || !fv.IsField() || fc.guarded[fv] {
+						continue
+					}
+					if held == nil {
+						held = heldLocksAt(info, body)
+					}
+					if held(lhs.Pos()) {
+						fc.guarded[fv] = true
+					}
+				}
+			}
+			return true
+		})
+	})
 }
 
 // returnsPooled reports whether some return statement of fd yields a

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// LockBalance checks, flow-sensitively over the CFG of every function
+// body (declarations and literals alike), that sync.Mutex/RWMutex usage
+// is balanced:
+//
+//   - a mutex locked on some path must be unlocked before every return
+//     (a deferred Unlock — direct or inside a deferred literal —
+//     discharges the obligation, including on panic paths, because
+//     return and panic both edge to the CFG exit);
+//   - a mutex must not be locked again on a path where it is already
+//     held (self-deadlock); repeated RLock is legal and exempt;
+//   - Unlock must not run on a path where the mutex is not held;
+//   - a deferred Lock/Unlock inside a loop runs once at function return,
+//     not per iteration — almost always a bug.
+//
+// The held-set is a may-analysis (maximum depth over paths), so the
+// conditional-locking idiom `if c { mu.Lock() }; ...; if c { mu.Unlock() }`
+// can produce a false double-lock/leak report; such deliberate patterns
+// take a `// lint:checked` annotation.
+var LockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "every Lock must reach an Unlock on all CFG paths; no double-Lock",
+	Run:  runLockBalance,
+}
+
+func runLockBalance(pass *Pass) error {
+	funcBodies(pass.Files, func(body *ast.BlockStmt, lit bool) {
+		checkLockBalance(pass, body, lit)
+	})
+	return nil
+}
+
+func checkLockBalance(pass *Pass, body *ast.BlockStmt, lit bool) {
+	info := pass.Info
+	if !mentionsMutex(info, body) {
+		return
+	}
+	checkDeferInLoop(pass, body)
+
+	g := cfg.New(body)
+	res := dataflow.Solve(g, lockProblem(info, false))
+
+	// Reporting pass: replay each reachable block once from its fixpoint
+	// in-fact, diagnosing the operations in flow context.
+	firstLock := make(map[string]token.Pos)
+	for _, blk := range g.Blocks {
+		if res.In[blk] == nil && blk != g.Entry {
+			continue // unreachable: no path, no flow diagnostics
+		}
+		f := cloneLockFact(res.In[blk])
+		for _, n := range blk.Nodes {
+			for _, op := range nodeLockOps(info, n) {
+				if op.lock && !op.deferred {
+					if _, ok := firstLock[op.key]; !ok {
+						firstLock[op.key] = op.pos
+					}
+					if f[op.key] > 0 && !op.read {
+						pass.Report(op.pos, "%s is locked again on a path where it is already held (self-deadlock)", displayKey(op.key))
+					}
+				}
+				// An unlock of a mutex not held is reported only in named
+				// functions: a closure (deferred cleanup, callback) may
+				// legitimately run with the lock taken by its caller.
+				if !op.lock && !op.deferred && !lit && f[op.key] == 0 {
+					pass.Report(op.pos, "%s is unlocked on a path where it is not held", displayKey(op.key))
+				}
+				lockApply(f, op)
+			}
+		}
+	}
+
+	// Exit check: anything still held when the function returns, with no
+	// deferred unlock registered on that path, leaks the lock. A nil
+	// exit fact means the function never returns (a serve loop).
+	exitIn := res.In[g.Exit]
+	for key, depth := range exitIn {
+		if depth <= 0 || strings.HasPrefix(key, "~") {
+			continue
+		}
+		if exitIn["~"+key] > 0 {
+			continue
+		}
+		pos := firstLock[key]
+		if pos == token.NoPos {
+			continue
+		}
+		pass.Report(pos, "%s is still held on some path to return; add an Unlock or defer one", displayKey(key))
+	}
+}
+
+// checkDeferInLoop flags deferred mutex operations inside for/range
+// bodies: defers accumulate and fire only at function return, so the
+// lock outlives the iteration that took it.
+func checkDeferInLoop(pass *Pass, body *ast.BlockStmt) {
+	var inspectLoop func(n ast.Node, inLoop bool)
+	inspectLoop = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m.Pos() != n.Pos() {
+					return false // its own body, analyzed separately
+				}
+			case *ast.ForStmt:
+				if m != n {
+					inspectLoop(m.Body, true)
+					return false
+				}
+			case *ast.RangeStmt:
+				if m != n {
+					inspectLoop(m.Body, true)
+					return false
+				}
+			case *ast.DeferStmt:
+				if !inLoop {
+					return true
+				}
+				for _, op := range nodeLockOps(pass.Info, m) {
+					verb := "Unlock"
+					if op.lock {
+						verb = "Lock"
+					}
+					pass.Report(m.Pos(), "deferred %s of %s inside a loop runs at function return, not at the end of the iteration", verb, displayKey(op.key))
+				}
+				return false
+			}
+			return true
+		})
+	}
+	inspectLoop(body, false)
+}
+
+// mentionsMutex is a cheap pre-filter: does the body call any tracked
+// mutex method at all (at any nesting)?
+func mentionsMutex(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := mutexOp(info, call); ok {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// displayKey strips the read-lock marker for messages.
+func displayKey(key string) string {
+	if k, ok := strings.CutSuffix(key, "#r"); ok {
+		return k + " (read lock)"
+	}
+	return key
+}
+
+// cloneLockFact copies a fact (nil-safe).
+func cloneLockFact(f lockFact) lockFact {
+	out := make(lockFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// This file holds the mutex-tracking machinery shared by the
+// flow-sensitive analyzers: recognising sync.Mutex/RWMutex method calls,
+// rendering lock receivers to stable per-function keys, and the forward
+// dataflow problem mapping every program point to the set of locks held
+// there. lockbalance reports on the fixpoint directly; sharedwrite and
+// the guarded-field facts only ask "is anything held at this position?".
+
+// lockOp is one mutex operation found in a statement.
+type lockOp struct {
+	key      string // rendered receiver ("mu", "s.mu"); "#r" suffix for read ops
+	lock     bool   // Lock/RLock vs Unlock/RUnlock
+	read     bool   // RLock/RUnlock
+	deferred bool   // registered by a defer (runs at function exit)
+	pos      token.Pos
+}
+
+// mutexMethodNames maps the sync mutex methods we track. TryLock and
+// TryRLock are deliberately ignored: their success is conditional and
+// modelling it path-sensitively is out of scope.
+var mutexMethods = map[string]struct{ lock, read bool }{
+	"(*sync.Mutex).Lock":      {lock: true},
+	"(*sync.Mutex).Unlock":    {},
+	"(*sync.RWMutex).Lock":    {lock: true},
+	"(*sync.RWMutex).Unlock":  {},
+	"(*sync.RWMutex).RLock":   {lock: true, read: true},
+	"(*sync.RWMutex).RUnlock": {read: true},
+}
+
+// mutexOp resolves call to a tracked mutex method and its receiver key.
+func mutexOp(info *types.Info, call *ast.CallExpr) (lockOp, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return lockOp{}, false
+	}
+	m, ok := mutexMethods[fn.FullName()]
+	if !ok {
+		return lockOp{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	key := exprKey(sel.X)
+	if key == "" {
+		return lockOp{}, false
+	}
+	if m.read {
+		key += "#r"
+	}
+	return lockOp{key: key, lock: m.lock, read: m.read, pos: call.Pos()}, true
+}
+
+// exprKey renders a lock receiver expression to a stable string key:
+// identifier chains ("mu", "s.state.mu") with pointers and parens
+// stripped. Receivers the renderer cannot name (map lookups, call
+// results) yield "" and are not tracked.
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return exprKey(e.X)
+		}
+	}
+	return ""
+}
+
+// nodeLockOps collects the mutex operations of one CFG node in source
+// order. Function literals and go statements are opaque (their bodies
+// run under a different flow); a defer registers its operations as
+// deferred, whether the deferral is direct (defer mu.Unlock()) or
+// through a literal (defer func() { mu.Unlock() }()).
+func nodeLockOps(info *types.Info, n ast.Node) []lockOp {
+	var out []lockOp
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, true)
+				} else {
+					walk(m.Call, true)
+				}
+				return false
+			case *ast.FuncLit:
+				if m != n {
+					return false
+				}
+			case *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if op, ok := mutexOp(info, m); ok {
+					op.deferred = deferred
+					out = append(out, op)
+				}
+			}
+			return true
+		})
+	}
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		if lit, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok {
+			walk(lit.Body, true)
+		} else {
+			walk(ds.Call, true)
+		}
+		return out
+	}
+	walk(n, false)
+	return out
+}
+
+// lockFact maps lock keys to hold depth, capped at maxLockDepth so a
+// Lock in a loop cannot grow the fact without bound (the cap is the
+// widening that makes the fixpoint terminate; the analyzers only
+// distinguish 0, 1, and "more"). Keys prefixed "~" count the deferred
+// unlocks registered so far (they discharge held locks at function
+// exit). A nil fact is the top element: no path reaches the point yet.
+type lockFact map[string]int
+
+const maxLockDepth = 2
+
+// lockApply folds op into the fact in place.
+func lockApply(f lockFact, op lockOp) {
+	switch {
+	case op.deferred && !op.lock:
+		if f["~"+op.key] < maxLockDepth {
+			f["~"+op.key]++
+		}
+	case op.deferred:
+		// defer mu.Lock() — pathological; the defer-in-loop check in
+		// lockbalance is the only consumer that cares.
+	case op.lock:
+		if f[op.key] < maxLockDepth {
+			f[op.key]++
+		}
+	default:
+		switch d := f[op.key]; {
+		case d == 1:
+			delete(f, op.key) // keep facts free of zero entries
+		case d > 1:
+			f[op.key]--
+		}
+	}
+}
+
+// lockProblem is the forward held-locks dataflow over one function body.
+// With must=false the join is a per-key maximum ("held on some path" —
+// what lockbalance needs to find leaks and double-locks); with must=true
+// it is a per-key minimum over paths ("held on every path" — what a
+// guard proof needs before trusting a write).
+func lockProblem(info *types.Info, must bool) dataflow.Problem[lockFact] {
+	join := func(a, b lockFact) lockFact {
+		if a == nil {
+			return b
+		}
+		if b == nil {
+			return a
+		}
+		if !must {
+			out := maps.Clone(a)
+			for k, v := range b {
+				if v > out[k] {
+					out[k] = v
+				}
+			}
+			return out
+		}
+		out := lockFact{}
+		for k, v := range a {
+			if bv, ok := b[k]; ok {
+				if bv < v {
+					v = bv
+				}
+				if v > 0 {
+					out[k] = v
+				}
+			}
+		}
+		return out
+	}
+	return dataflow.Problem[lockFact]{
+		Dir:      dataflow.Forward,
+		Boundary: func() lockFact { return lockFact{} },
+		Init:     func() lockFact { return nil }, // top: no path seen yet
+		Join:     join,
+		Transfer: func(blk *cfg.Block, in lockFact) lockFact {
+			if in == nil {
+				return nil // unreachable blocks stay at top
+			}
+			out := maps.Clone(in)
+			for _, n := range blk.Nodes {
+				for _, op := range nodeLockOps(info, n) {
+					lockApply(out, op)
+				}
+			}
+			return out
+		},
+		Equal: func(a, b lockFact) bool {
+			if (a == nil) != (b == nil) {
+				return false
+			}
+			return maps.Equal(a, b)
+		},
+	}
+}
+
+// heldLocksAt solves the must-held lock dataflow over body and returns a
+// predicate reporting whether some lock is held on every path reaching a
+// position. The predicate replays the containing block's operations up
+// to pos, so it is exact within a block, not just at block boundaries.
+func heldLocksAt(info *types.Info, body *ast.BlockStmt) func(pos token.Pos) bool {
+	g := cfg.New(body)
+	res := dataflow.Solve(g, lockProblem(info, true))
+	return func(pos token.Pos) bool {
+		blk := g.BlockOf(pos)
+		if blk == nil || res.In[blk] == nil {
+			return false
+		}
+		f := maps.Clone(res.In[blk])
+		for _, n := range blk.Nodes {
+			if n.Pos() <= pos && pos <= n.End() {
+				// Apply only the ops preceding pos inside this node.
+				for _, op := range nodeLockOps(info, n) {
+					if op.pos < pos {
+						lockApply(f, op)
+					}
+				}
+				break
+			}
+			for _, op := range nodeLockOps(info, n) {
+				lockApply(f, op)
+			}
+		}
+		for k, v := range f {
+			if v > 0 && k[0] != '~' {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// funcBodies visits every function body of the files — named declarations
+// and every function literal (lit=true) — so flow-sensitive analyzers see
+// each body as its own unit of control flow.
+func funcBodies(files []*ast.File, fn func(body *ast.BlockStmt, lit bool)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n.Body, false)
+				}
+			case *ast.FuncLit:
+				fn(n.Body, true)
+			}
+			return true
+		})
+	}
+}

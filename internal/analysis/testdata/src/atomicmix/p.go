@@ -1,0 +1,65 @@
+// Test corpus for the atomicmix analyzer.
+package atomicmix
+
+import (
+	"sync/atomic"
+)
+
+type hits struct {
+	n     int64 // atomically updated — see record
+	total int64 // never atomic: plain access is fine
+}
+
+func (h *hits) record() {
+	atomic.AddInt64(&h.n, 1)
+}
+
+// Cross-function true positive: the atomic site lives in record, the
+// plain read here. A per-function AST check never connects the two; the
+// module-wide facts do.
+func (h *hits) snapshot() int64 {
+	return h.n // want "n is accessed with sync/atomic"
+}
+
+// True positive: a plain store discards concurrent atomic updates.
+func (h *hits) reset() {
+	h.n = 0 // want "n is accessed with sync/atomic"
+}
+
+// Sanctioned accesses: through sync/atomic.
+func (h *hits) load() int64 {
+	return atomic.LoadInt64(&h.n)
+}
+
+func (h *hits) swap(v int64) int64 {
+	return atomic.SwapInt64(&h.n, v)
+}
+
+// Plain fields stay plain: no findings.
+func (h *hits) bump() {
+	h.total++
+}
+
+var requests int64
+
+func countRequest() {
+	atomic.AddInt64(&requests, 1)
+}
+
+// Package-level true positive.
+func resetRequests() {
+	requests = 0 // want "requests is accessed with sync/atomic"
+}
+
+func reportRequests() int64 {
+	return atomic.LoadInt64(&requests)
+}
+
+// Annotated false positive: initialization before the value is shared —
+// no goroutine can reach h yet, so the plain store cannot race, but the
+// analyzer has no aliasing model to prove that.
+func newHits(seed int64) *hits {
+	h := &hits{}
+	h.n = seed // lint:checked h is not yet published; single-threaded constructor write
+	return h
+}

@@ -1,0 +1,149 @@
+// Test corpus for the lockbalance analyzer.
+package lockbalance
+
+import "sync"
+
+var (
+	mu sync.Mutex
+	rw sync.RWMutex
+	v  int
+)
+
+func work() {}
+
+// True positive: the early return leaves the mutex held. An AST-only
+// check sees both a Lock and an Unlock in the body and passes it; only
+// the CFG shows the path that skips the Unlock.
+func leakOnEarlyReturn(fail bool) {
+	mu.Lock() // want "mu is still held on some path to return"
+	if fail {
+		return
+	}
+	mu.Unlock()
+}
+
+// True positive: locking a mutex already held on the same path.
+func doubleLock() {
+	mu.Lock()
+	mu.Lock() // want "mu is locked again on a path where it is already held"
+	mu.Unlock()
+	mu.Unlock()
+}
+
+// True positive: unlocking a mutex that no path has locked.
+func unlockWithoutLock() {
+	mu.Unlock() // want "mu is unlocked on a path where it is not held"
+}
+
+// True positive: a deferred unlock in a loop runs at function return,
+// so the second iteration self-deadlocks on the Lock.
+func deferInLoop(items []int) {
+	for range items {
+		mu.Lock()         // want "mu is locked again on a path where it is already held"
+		defer mu.Unlock() // want "deferred Unlock of mu inside a loop"
+	}
+}
+
+// Defer-sensitive negatives: the deferred unlock (direct or through a
+// literal) discharges the lock on every path, early returns included.
+func deferBalanced(fail bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	if fail {
+		return
+	}
+	work()
+}
+
+func deferredLiteral() {
+	mu.Lock()
+	defer func() {
+		v++
+		mu.Unlock()
+	}()
+	work()
+}
+
+// Panic-sensitive negative: panic unwinds through the defer, so the
+// lock is released on the panic path too.
+func panicWithDefer(bad bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	if bad {
+		panic("bad input")
+	}
+	work()
+}
+
+// Panic-sensitive positive: the panic path escapes before any unlock.
+func panicWithoutDefer(bad bool) {
+	mu.Lock() // want "mu is still held on some path to return"
+	if bad {
+		panic("bad input")
+	}
+	mu.Unlock()
+}
+
+// Plain balanced use in a loop: lock and unlock per iteration is fine.
+func lockPerIteration(items []int) {
+	for range items {
+		mu.Lock()
+		work()
+		mu.Unlock()
+	}
+}
+
+// RWMutex: repeated RLock is legal; an RLock leak is still a leak.
+func doubleRLockOK() int {
+	rw.RLock()
+	rw.RLock()
+	x := v
+	rw.RUnlock()
+	rw.RUnlock()
+	return x
+}
+
+func rlockLeak(c bool) int {
+	rw.RLock() // want "rw (read lock) is still held on some path to return"
+	if c {
+		return 0
+	}
+	x := v
+	rw.RUnlock()
+	return x
+}
+
+// Receiver-qualified keys: the analyzer tracks c.mu, not just mu.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) incLeaky(skip bool) {
+	c.mu.Lock() // want "c.mu is still held on some path to return"
+	if skip {
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// Annotated false positive: the classic conditional-lock pairing. The
+// may-analysis joins the branches to "possibly held" and cannot see
+// that both ifs test the same condition, so the deliberate pattern is
+// suppressed with an annotation instead of restructured.
+func conditionalLock(c bool) {
+	if c {
+		mu.Lock() // lint:checked both branches test the same c; the pairing below always matches this Lock
+	}
+	work()
+	if c {
+		mu.Unlock()
+	}
+}

@@ -1,0 +1,170 @@
+// Test corpus for the sharedwrite analyzer.
+package sharedwrite
+
+import "sync"
+
+func compute() int { return 42 }
+
+// True positive: every worker increments the same captured counter; the
+// writes race each other no matter what the spawner waits on.
+func racyCounter(items []int) int {
+	var wg sync.WaitGroup
+	count := 0
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count++ // want "count is written by a goroutine spawned in a loop"
+		}()
+	}
+	wg.Wait()
+	return count
+}
+
+// True positive: concurrent map writes, same shape.
+func racyMap(keys []string) map[string]int {
+	var wg sync.WaitGroup
+	m := make(map[string]int)
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			m[k] = len(k) // want "m is written by a goroutine spawned in a loop"
+		}(k)
+	}
+	wg.Wait()
+	return m
+}
+
+// Negative: the repository's worker idiom — disjoint slice-element
+// shards per worker — is exempt by design.
+func shardedSlice(out []float64, workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(out); i += workers {
+				out[i] = float64(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Negative: the counter is written under a mutex held on every path.
+func guardedCounter(items []int) int {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	total := 0
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// Negative: a single goroutine whose write is ordered before the read
+// by wg.Wait.
+func singleWriterJoined() int {
+	var wg sync.WaitGroup
+	result := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		result = compute()
+	}()
+	wg.Wait()
+	return result
+}
+
+// Negative: channel hand-off orders the write before the read.
+func channelJoined() string {
+	done := make(chan struct{})
+	status := ""
+	go func() {
+		status = "ok"
+		done <- struct{}{}
+	}()
+	<-done
+	return status
+}
+
+// True positive: nothing orders the spawner's read after the write.
+func unjoinedWriter() string {
+	status := ""
+	go func() {
+		status = "done" // want "status is written by this goroutine and accessed outside it without synchronization"
+	}()
+	return status
+}
+
+type stats struct {
+	mu sync.Mutex
+	n  int
+}
+
+// update teaches the cross-package facts that stats.n is mutex-guarded:
+// every write here holds s.mu.
+func (s *stats) update(delta int) {
+	s.mu.Lock()
+	s.n += delta
+	s.mu.Unlock()
+}
+
+// Branch-sensitive true positive: the goroutine takes the lock on only
+// one path to the write. An AST-only "is there a Lock in this closure"
+// check sees the Lock and passes it; the must-held dataflow joins the
+// two paths and rejects the guard. The guarded-field fact (from update)
+// upgrades the message.
+func (s *stats) flushAsync(fast bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if fast {
+			s.mu.Lock()
+		}
+		s.n++ // want "field s.n is mutex-guarded elsewhere but written in a goroutine without holding a lock"
+		if fast {
+			s.mu.Unlock()
+		}
+	}()
+	wg.Wait()
+}
+
+// Negative: the same write with the lock held on every path.
+func (s *stats) flushLocked() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}()
+	wg.Wait()
+}
+
+func helperWait(wg *sync.WaitGroup) { wg.Wait() }
+
+// Annotated false positive: the join is real but hidden behind a helper
+// call the analyzer cannot see through, so the finding is suppressed
+// with the reason on record.
+func waitViaHelper() int {
+	var wg sync.WaitGroup
+	n := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n = compute() // lint:checked helperWait(&wg) below joins this goroutine; the barrier hides behind the call
+	}()
+	helperWait(&wg)
+	return n
+}

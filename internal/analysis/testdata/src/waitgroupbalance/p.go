@@ -1,0 +1,114 @@
+// Test corpus for the waitgroupbalance analyzer.
+package waitgroupbalance
+
+import "sync"
+
+func work() {}
+
+func mustWork() {
+	panic("unimplemented")
+}
+
+// True positive: Add inside the goroutine races Wait — the spawner can
+// reach Wait before any Add runs and return early.
+func addInsideGoroutine(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		go func() {
+			wg.Add(1) // want "wg.Add inside the spawned goroutine races Wait"
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// Branch-sensitive true positive: the early return happens before the
+// defer registers Done, so that path leaks a WaitGroup count and Wait
+// hangs. An AST-only "closure contains wg.Done" check passes this; the
+// must-analysis over the CFG does not.
+func earlyReturnSkipsDone(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) { // want "goroutine can exit without calling wg.Done on some path"
+			if j < 0 {
+				return
+			}
+			defer wg.Done()
+			work()
+		}(j)
+	}
+	wg.Wait()
+}
+
+// Panic-sensitive true positive: the panic path exits the goroutine
+// before the defer is registered.
+func panicBeforeDefer(bad bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "goroutine can exit without calling wg.Done on some path"
+		if bad {
+			panic("bad")
+		}
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Negative: defer-first is the idiom — Done discharges every exit path,
+// panics included.
+func balanced(jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mustWork()
+		}()
+	}
+	wg.Wait()
+}
+
+// Negative: explicit Done on every path, no defer needed.
+func doneOnAllPaths(ok bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if ok {
+			work()
+			wg.Done()
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Negative: Done through a deferred literal.
+func deferredLiteral() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer func() {
+			wg.Done()
+		}()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Annotated false positive: Done runs via a cleanup closure invoked on
+// every path, but the flow analysis does not interpret calls through
+// function values.
+func doneViaClosure() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // lint:checked cleanup() runs wg.Done on the only path; the analysis cannot see through the closure call
+		cleanup := func() { wg.Done() }
+		work()
+		cleanup()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"maps"
+
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// WaitGroupBalance checks sync.WaitGroup accounting around goroutine
+// spawns, flow-sensitively:
+//
+//   - wg.Add must happen on the spawning side, before the goroutine
+//     exists: an Add inside the spawned closure races the matching Wait
+//     (Wait may return before the Add runs), the classic
+//     add-in-goroutine bug;
+//   - wg.Done must be reachable on every exit path of the goroutine — a
+//     must-analysis over the closure's CFG in which an executed Done or
+//     a registered `defer wg.Done()` discharges the obligation. Early
+//     returns before the defer is registered, and panic paths (which
+//     edge to the CFG exit), are exactly the cases an AST-level "is
+//     there a Done somewhere" check waves through.
+//
+// A goroutine that never mentions Done is out of scope here (ctxloop
+// already demands a lifecycle handle for fan-outs).
+var WaitGroupBalance = &Analyzer{
+	Name: "waitgroupbalance",
+	Doc:  "wg.Add before the spawn; wg.Done reached on every goroutine exit path",
+	Run:  runWaitGroupBalance,
+}
+
+func runWaitGroupBalance(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if ok {
+				checkGoroutineWaitGroup(pass, g, lit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// wgCall resolves call to a sync.WaitGroup method and the receiver key.
+func wgCall(info *types.Info, call *ast.CallExpr) (key, method string, ok bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.FullName() == "" {
+		return "", "", false
+	}
+	switch fn.FullName() {
+	case "(*sync.WaitGroup).Add", "(*sync.WaitGroup).Done", "(*sync.WaitGroup).Wait":
+	default:
+		return "", "", false
+	}
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return "", "", false
+	}
+	key = exprKey(sel.X)
+	if key == "" {
+		return "", "", false
+	}
+	return key, fn.Name(), true
+}
+
+func checkGoroutineWaitGroup(pass *Pass, g *ast.GoStmt, lit *ast.FuncLit) {
+	info := pass.Info
+
+	// Adds inside the goroutine, and the set of WaitGroups it must Done.
+	doneKeys := make(map[string]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false // a nested spawn is its own checking site
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, method, ok := wgCall(info, call)
+		if !ok {
+			return true
+		}
+		switch method {
+		case "Add":
+			pass.Report(call.Pos(), "%s.Add inside the spawned goroutine races Wait; call Add before the go statement", key)
+		case "Done":
+			doneKeys[key] = true
+		}
+		return true
+	})
+	if len(doneKeys) == 0 {
+		return
+	}
+
+	// Must-analysis: at the CFG exit, every doneKey must be discharged on
+	// all paths. nil is the top element (unreachable); the boundary fact
+	// is "nothing discharged yet".
+	type doneFact map[string]bool
+	graph := cfg.New(lit.Body)
+	res := dataflow.Solve(graph, dataflow.Problem[doneFact]{
+		Dir:      dataflow.Forward,
+		Boundary: func() doneFact { return doneFact{} },
+		Init:     func() doneFact { return nil },
+		Join: func(a, b doneFact) doneFact {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			out := make(doneFact)
+			for k := range a {
+				if b[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Transfer: func(blk *cfg.Block, in doneFact) doneFact {
+			if in == nil {
+				return nil
+			}
+			out := maps.Clone(in)
+			for _, n := range blk.Nodes {
+				for _, key := range nodeDoneCalls(info, n) {
+					out[key] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b doneFact) bool {
+			if (a == nil) != (b == nil) {
+				return false
+			}
+			return maps.Equal(a, b)
+		},
+	})
+
+	exitIn := res.In[graph.Exit]
+	if exitIn == nil {
+		return // the goroutine never exits (e.g. a serve loop)
+	}
+	for key := range doneKeys {
+		if !exitIn[key] {
+			pass.Report(g.Pos(), "goroutine can exit without calling %s.Done on some path (early return or panic before Done)", key)
+		}
+	}
+}
+
+// nodeDoneCalls collects the WaitGroup keys a CFG node discharges:
+// executed Done calls and registered deferred Dones (direct or through a
+// deferred literal). Nested function literals and go statements do not
+// discharge anything on this flow.
+func nodeDoneCalls(info *types.Info, n ast.Node) []string {
+	var out []string
+	collect := func(root ast.Node) {
+		ast.Inspect(root, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m != root {
+					return false
+				}
+			case *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if key, method, ok := wgCall(info, m); ok && method == "Done" {
+					out = append(out, key)
+				}
+			}
+			return true
+		})
+	}
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		if innerLit, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok {
+			collect(innerLit.Body)
+		} else {
+			collect(ds.Call)
+		}
+		return out
+	}
+	collect(n)
+	return out
+}

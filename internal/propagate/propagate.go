@@ -223,12 +223,25 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 	inX := true // whether cur aliases the caller's X
 	deltas := make([]float64, cfg.Workers)
 
+	// Debug builds version-stamp each sweep: workers assert mid-shard
+	// that no other sweep epoch started or finished underneath them, so
+	// any future caller that overlaps sweeps on shared buffers panics
+	// instead of silently corrupting beliefs. Zero cost otherwise.
+	var sweepGuard assert.SweepGuard
+
 	for it := 0; it < cfg.Iterations; it++ {
+		var sweepToken uint64
+		if assert.Enabled {
+			sweepToken = sweepGuard.BeginSweep("propagate belief matrix")
+		}
 		var wg sync.WaitGroup
 		for w := 0; w < cfg.Workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				if assert.Enabled {
+					sweepGuard.CheckSweep(sweepToken, "propagate belief matrix")
+				}
 				var maxDelta float64
 				for v := w; v < n; v += cfg.Workers {
 					kappa := cfg.Nu
@@ -268,6 +281,9 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 			}(w)
 		}
 		wg.Wait()
+		if assert.Enabled {
+			sweepGuard.EndSweep(sweepToken, "propagate belief matrix")
+		}
 		res.MaxDelta = 0
 		for _, d := range deltas {
 			if d > res.MaxDelta {

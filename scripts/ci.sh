@@ -1,0 +1,15 @@
+#!/bin/sh
+# CI entry point: the tier-1 gate (build, lint, test, race) followed by a
+# short fuzz smoke of each fuzz target. Run from anywhere; everything is
+# stdlib + the go toolchain.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> tier1 (build, lint, test, race)"
+make tier1
+
+echo "==> fuzz smoke"
+make fuzz-smoke
+
+echo "==> ci OK"
