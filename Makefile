@@ -5,7 +5,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/propagate ./internal/graph ./internal/crf ./internal/graphner ./internal/features
 
-.PHONY: all build lint lint-json test race fuzz-smoke debug-test ci tier1
+.PHONY: all build lint lint-json test race fuzz-smoke bench-smoke debug-test ci tier1
 
 all: tier1
 
@@ -38,6 +38,15 @@ race:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=10s ./internal/tokenize
 	$(GO) test -run='^$$' -fuzz=FuzzCompileSentence -fuzztime=10s ./internal/crf
+
+# Fast performance-regression gate (<30s): the incremental-maintenance
+# smoke and golden tests, and the allocation guards on the propagation
+# sweeps and pooled CRF decode paths (testing.AllocsPerRun bounds compiled
+# into the tests themselves).
+bench-smoke:
+	$(GO) test -run 'TestIncrementalSmoke|TestKNNIncrementalOneBatchGolden|TestPatchCSRMatchesBuildCSR' -count=1 ./internal/graph
+	$(GO) test -run 'TestSweepAllocGuard|TestWarmSweepAllocGuard' -count=1 ./internal/propagate
+	$(GO) test -run 'TestDecodeAllocGuard|TestPosteriorsAllocGuard' -count=1 ./internal/crf
 
 # Runtime assertions (internal/analysis/assert) compiled in: CSR shape,
 # row-stochastic beliefs per sweep, NaN scans before Viterbi.

@@ -16,10 +16,16 @@ import (
 
 // hotpathBench is one measured hot-path workload in BENCH_hotpaths.json.
 type hotpathBench struct {
-	Name     string  `json:"name"`
-	NsOp     float64 `json:"ns_op"`
-	BOp      int64   `json:"b_op"`
-	AllocsOp int64   `json:"allocs_op"`
+	Name string `json:"name"`
+	// GoMaxProcs is the scheduler width this benchmark ran under, and
+	// Workers the worker count the kernel was configured with (0 = the
+	// kernel's default, GOMAXPROCS). Recorded per benchmark: a single
+	// top-level value cannot describe a worker sweep.
+	GoMaxProcs int     `json:"go_max_procs"`
+	Workers    int     `json:"workers,omitempty"`
+	NsOp       float64 `json:"ns_op"`
+	BOp        int64   `json:"b_op"`
+	AllocsOp   int64   `json:"allocs_op"`
 	// Seed* carry the same workload measured at the seed commit (pre
 	// allocation-free hot paths), when a baseline is on record; zero
 	// values mean no baseline. They keep the optimization trajectory
@@ -62,18 +68,31 @@ func runHotpaths(outPath string, log *os.File) error {
 	report.GeneratedBy = "benchtables -hotpaths"
 	report.GoMaxProcs = runtime.GOMAXPROCS(0)
 
-	record := func(name string, r testing.BenchmarkResult) {
+	recordWorkers := func(name string, workers int, r testing.BenchmarkResult) {
 		b := hotpathBench{
-			Name:     name,
-			NsOp:     float64(r.NsPerOp()),
-			BOp:      r.AllocedBytesPerOp(),
-			AllocsOp: r.AllocsPerOp(),
+			Name:       name,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Workers:    workers,
+			NsOp:       float64(r.NsPerOp()),
+			BOp:        r.AllocedBytesPerOp(),
+			AllocsOp:   r.AllocsPerOp(),
 		}
 		if s, ok := seedBaseline[name]; ok {
 			b.SeedNsOp, b.SeedBOp, b.SeedAllocsOp = s[0], int64(s[1]), int64(s[2])
 		}
 		report.Benchmarks = append(report.Benchmarks, b)
 		logf("%-50s %12.0f ns/op %12d B/op %10d allocs/op\n", name, b.NsOp, b.BOp, b.AllocsOp)
+	}
+	record := func(name string, r testing.BenchmarkResult) { recordWorkers(name, 0, r) }
+
+	// Worker counts for the parallel-speedup sweeps: 1, 4, and all cores
+	// (deduplicated when they coincide).
+	workerSweep := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		if n > 4 {
+			workerSweep = append(workerSweep, 4)
+		}
+		workerSweep = append(workerSweep, n)
 	}
 
 	genCorpus := func(sentences int) *corpus.Corpus {
@@ -122,6 +141,40 @@ func runHotpaths(outPath string, log *os.File) error {
 					if _, err := propagate.Run(g, X, xref, labelled, propagate.Config{
 						Mu: 1e-6, Nu: 1e-6, Iterations: iters,
 					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		}
+
+		// Parallel-speedup sweep over the same propagation workload.
+		for _, w := range workerSweep {
+			name := fmt.Sprintf("WorkerSweep_Propagation/workers=%d", w)
+			logf("running %s...\n", name)
+			recordWorkers(name, w, testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					X := make([][]float64, g.NumVertices())
+					if _, err := propagate.Run(g, X, xref, labelled, propagate.Config{
+						Mu: 1e-6, Nu: 1e-6, Iterations: 4, Workers: w,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		}
+	}
+
+	// Parallel-speedup sweep for graph construction.
+	{
+		c := genCorpus(500)
+		for _, w := range workerSweep {
+			name := fmt.Sprintf("WorkerSweep_GraphConstruction/workers=%d", w)
+			logf("running %s...\n", name)
+			recordWorkers(name, w, testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := graph.Build(c, graph.BuilderConfig{K: 10, Workers: w}); err != nil {
 						b.Fatal(err)
 					}
 				}

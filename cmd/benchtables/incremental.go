@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/corpus/synth"
+	"repro/internal/graph"
+)
+
+// incrementalEntry compares folding one batch of sentences into a
+// maintained graph (graph.Updater.AddSentences) against a from-scratch
+// Build over the union corpus, at one batch size.
+type incrementalEntry struct {
+	BatchSize int `json:"batch_size"`
+
+	IncrementalNsOp     float64 `json:"incremental_ns_op"`
+	IncrementalBOp      int64   `json:"incremental_b_op"`
+	IncrementalAllocsOp int64   `json:"incremental_allocs_op"`
+
+	RebuildNsOp     float64 `json:"rebuild_ns_op"`
+	RebuildBOp      int64   `json:"rebuild_b_op"`
+	RebuildAllocsOp int64   `json:"rebuild_allocs_op"`
+
+	// Speedup is rebuild ns/op over incremental ns/op.
+	Speedup float64 `json:"speedup"`
+
+	// Update-shape diagnostics: how much of the graph one batch dirtied,
+	// and how the dirty rows were fixed — in-place repairs from the
+	// candidate reserve against full postings re-scans.
+	NewVertices      int `json:"new_vertices"`
+	UpdatedVertices  int `json:"updated_vertices"`
+	DirtyRows        int `json:"dirty_rows"`
+	RepairedRows     int `json:"repaired_rows"`
+	RescannedRows    int `json:"rescanned_rows"`
+	AffectedFeatures int `json:"affected_features"`
+
+	// GraphEqual records the hard correctness bar checked inline: the
+	// incrementally maintained graph is exactly equal to the from-scratch
+	// build on the union (up to canonical vertex renumbering).
+	GraphEqual bool `json:"graph_equal"`
+}
+
+type incrementalReport struct {
+	GeneratedBy   string             `json:"generated_by"`
+	GoMaxProcs    int                `json:"go_max_procs"`
+	BaseSentences int                `json:"base_sentences"`
+	BaseVertices  int                `json:"base_vertices"`
+	K             int                `json:"k"`
+	MaxDF         int                `json:"max_df"`
+	Entries       []incrementalEntry `json:"entries"`
+}
+
+// runIncremental benchmarks incremental graph maintenance against full
+// rebuilds at batch sizes 10/50/250 on a 1000-sentence base, verifies
+// the equivalence bar for every batch size, and writes
+// BENCH_incremental.json.
+func runIncremental(outPath string, log *os.File) error {
+	logf := func(format string, args ...any) {
+		if log != nil {
+			fmt.Fprintf(log, format, args...)
+		}
+	}
+	const baseSentences = 1000
+	gen := func(seed int64, n int) *corpus.Corpus {
+		cfg := synth.DefaultConfig(synth.BC2GM, seed)
+		cfg.Sentences = n
+		return synth.NewGenerator(cfg).Generate()
+	}
+	base := gen(5, baseSentences)
+	pool := gen(6, 250).StripLabels()
+	// The experiments' graph configuration (Env defaults): exact k-NN
+	// with document-frequency pruning.
+	cfg := graph.BuilderConfig{K: 10, MaxDF: 2000}
+
+	logf("building 1000-sentence base graph...\n")
+	u0, err := graph.NewUpdater(base, cfg)
+	if err != nil {
+		return err
+	}
+	report := incrementalReport{
+		GeneratedBy:   "benchtables -incremental",
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		BaseSentences: baseSentences,
+		BaseVertices:  u0.Graph().NumVertices(),
+		K:             cfg.K,
+		MaxDF:         cfg.MaxDF,
+	}
+	// Rebuilds run under the Updater's frozen statistics snapshot — the
+	// configuration that reproduces the maintained graph exactly, and the
+	// cheapest possible rebuild (corpus-wide recounting is skipped), so
+	// the reported speedups are conservative.
+	rcfg := cfg
+	rcfg.Stats = u0.Stats()
+
+	for _, bs := range []int{10, 50, 250} {
+		batch := pool.Sentences[:bs]
+		union := corpus.New()
+		union.Sentences = append(union.Sentences, base.Sentences...)
+		union.Sentences = append(union.Sentences, batch...)
+
+		// Equivalence bar + update-shape diagnostics, once per size.
+		uCheck := u0.Clone()
+		res, err := uCheck.AddSentences(batch)
+		if err != nil {
+			return err
+		}
+		want, err := graph.Build(union, rcfg)
+		if err != nil {
+			return err
+		}
+		entry := incrementalEntry{
+			BatchSize:        bs,
+			NewVertices:      res.NewVertices,
+			UpdatedVertices:  res.UpdatedVertices,
+			DirtyRows:        len(res.DirtyRows),
+			RepairedRows:     res.RepairedRows,
+			RescannedRows:    res.RescannedRows,
+			AffectedFeatures: res.AffectedFeatures,
+			GraphEqual:       uCheck.Graph().CanonicalClone().Equal(want.CanonicalClone()),
+		}
+		if !entry.GraphEqual {
+			return fmt.Errorf("incremental graph for batch size %d differs from from-scratch build", bs)
+		}
+
+		logf("running Incremental/batch=%d...\n", bs)
+		inc := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				u := u0.Clone()
+				b.StartTimer()
+				if _, err := u.AddSentences(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		entry.IncrementalNsOp = float64(inc.NsPerOp())
+		entry.IncrementalBOp = inc.AllocedBytesPerOp()
+		entry.IncrementalAllocsOp = inc.AllocsPerOp()
+
+		logf("running Rebuild/batch=%d...\n", bs)
+		reb := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.Build(union, rcfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		entry.RebuildNsOp = float64(reb.NsPerOp())
+		entry.RebuildBOp = reb.AllocedBytesPerOp()
+		entry.RebuildAllocsOp = reb.AllocsPerOp()
+		if entry.IncrementalNsOp > 0 {
+			entry.Speedup = entry.RebuildNsOp / entry.IncrementalNsOp
+		}
+		logf("batch=%-4d incremental %12.0f ns/op (%d dirty rows)  rebuild %12.0f ns/op  speedup %.1fx\n",
+			bs, entry.IncrementalNsOp, entry.DirtyRows, entry.RebuildNsOp, entry.Speedup)
+		report.Entries = append(report.Entries, entry)
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	logf("wrote %s\n", outPath)
+	return nil
+}

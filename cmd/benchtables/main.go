@@ -41,6 +41,8 @@ func main() {
 	statsOnly := flag.Bool("stats-only", false, "print §III-D graph statistics without training CRFs (fast path for -scale full)")
 	hotpaths := flag.Bool("hotpaths", false, "benchmark the allocation-sensitive kernels (graph build, propagation, references) and write a JSON report")
 	hotpathsOut := flag.String("hotpaths-out", "BENCH_hotpaths.json", "output path for -hotpaths (\"-\" for stdout)")
+	incremental := flag.Bool("incremental", false, "benchmark incremental graph maintenance vs full rebuild (batch 10/50/250 on a 1000-sentence base) and write a JSON report")
+	incrementalOut := flag.String("incremental-out", "BENCH_incremental.json", "output path for -incremental (\"-\" for stdout)")
 	seed := flag.Int64("seed", 1, "corpus seed")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Var(&tables, "table", "table number to regenerate (repeatable: 1-5)")
@@ -64,7 +66,7 @@ func main() {
 		figs = intList{2, 3, 4, 5}
 		*statsFlag = true
 	}
-	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly && !*hotpaths {
+	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly && !*hotpaths && !*incremental {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -82,6 +84,11 @@ func main() {
 	if *hotpaths {
 		if err := runHotpaths(*hotpathsOut, log); err != nil {
 			fail("hotpaths", err)
+		}
+	}
+	if *incremental {
+		if err := runIncremental(*incrementalOut, log); err != nil {
+			fail("incremental", err)
 		}
 	}
 	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly {

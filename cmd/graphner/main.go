@@ -32,6 +32,7 @@ import (
 
 	"math"
 	"path/filepath"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/corpus/synth"
@@ -141,6 +142,9 @@ func cmdRun(args []string) error {
 	alpha := fs.Float64("alpha", 0, "mixture weight of the CRF posterior (0 = default)")
 	k := fs.Int("k", 10, "graph out-degree")
 	reps := fs.Int("sigf", 10000, "sigf repetitions (0 disables)")
+	incremental := fs.Bool("incremental", false, "run TEST in streaming mode: fold extra unlabelled batches into the maintained graph with warm-start propagation")
+	streamPool := fs.Int("stream-pool", 150, "with -incremental: total extra unlabelled sentences to stream in")
+	streamBatch := fs.Int("stream-batch", 50, "with -incremental: sentences per streamed batch")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -165,22 +169,63 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("building similarity graph and running Algorithm 1...")
-	out, err := sys.Test(test)
+	var baseTags, gnTags [][]corpus.Tag
+	var g interface {
+		NumVertices() int
+		NumEdges() int
+	}
+	if *incremental {
+		fmt.Println("building similarity graph and running Algorithm 1 (streaming mode)...")
+		st, err := graphner.NewStreamer(sys, test)
+		if err != nil {
+			return err
+		}
+		if r, err := score(test, st.Tags()); err == nil {
+			fmt.Printf("initial pass  : %v\n", r.Metrics())
+		} else {
+			return err
+		}
+		poolCfg := synth.DefaultConfig(p, *seed+1)
+		poolCfg.Sentences = *streamPool
+		pool := synth.NewGenerator(poolCfg).Generate()
+		for start := 0; start < len(pool.Sentences); start += *streamBatch {
+			end := start + *streamBatch
+			if end > len(pool.Sentences) {
+				end = len(pool.Sentences)
+			}
+			batch := corpus.New()
+			batch.Sentences = pool.Sentences[start:end]
+			t0 := time.Now()
+			res, err := st.AddUnlabelled(batch)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("batch %d-%d: %v — %d new / %d updated vertices, %d dirty rows (%d repaired, %d re-scanned), %d warm sweeps (%d row updates), %d test sentences re-decoded\n",
+				start, end-1, time.Since(t0).Round(time.Millisecond),
+				res.Update.NewVertices, res.Update.UpdatedVertices,
+				len(res.Update.DirtyRows), res.Update.RepairedRows, res.Update.RescannedRows,
+				res.Warm.Sweeps, res.Warm.Updates, res.Redecoded)
+		}
+		baseTags, gnTags, g = st.BaselineTags(), st.Tags(), st.Graph()
+	} else {
+		fmt.Println("building similarity graph and running Algorithm 1...")
+		out, err := sys.Test(test)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("graph: %.1f%% labelled, %.2f%% positive\n",
+			100*out.LabelledVertexFraction, 100*out.PositiveVertexFraction)
+		baseTags, gnTags, g = out.BaselineTags, out.Tags, out.Graph
+	}
+	baseRes, err := score(test, baseTags)
 	if err != nil {
 		return err
 	}
-	baseRes, err := score(test, out.BaselineTags)
+	gnRes, err := score(test, gnTags)
 	if err != nil {
 		return err
 	}
-	gnRes, err := score(test, out.Tags)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("graph: %d vertices, %d edges, %.1f%% labelled, %.2f%% positive\n",
-		out.Graph.NumVertices(), out.Graph.NumEdges(),
-		100*out.LabelledVertexFraction, 100*out.PositiveVertexFraction)
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 	fmt.Printf("baseline CRF : %v\n", baseRes.Metrics())
 	fmt.Printf("GraphNER     : %v\n", gnRes.Metrics())
 	if *reps > 0 {

@@ -1,0 +1,64 @@
+package crf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/race"
+)
+
+// TestDecodeAllocGuard locks in the pooled-lattice win: after the pool is
+// warm, Decode's only steady-state allocation is the returned tag slice.
+// testing.AllocsPerRun reports the average allocations per call; if a
+// refactor reintroduces per-call lattice matrices this fails tier 1
+// instead of silently regressing.
+func TestDecodeAllocGuard(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; counts are only meaningful in normal builds")
+	}
+	rng := rand.New(rand.NewSource(41))
+	const nf = 30
+	m := randomModel(rng, Order2, nf, true)
+	ins := make([]*Instance, 8)
+	for i := range ins {
+		ins[i] = randomInstance(rng, 4+i*3, nf, false)
+	}
+	// Warm the pool across the length range the measured loop uses.
+	for _, in := range ins {
+		m.Decode(in)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Decode(ins[i%len(ins)])
+		i++
+	})
+	// One allocation for the returned []corpus.Tag; everything else
+	// (emission, delta, backpointer matrices) comes from the pool.
+	if allocs > 1 {
+		t.Fatalf("pooled Decode allocates %.1f objects/op after warm-up, want ≤ 1", allocs)
+	}
+}
+
+// TestPosteriorsAllocGuard pins the pooled Posteriors path: steady-state
+// allocations are the returned slice-of-rows only (1 header + n rows),
+// independent of the lattice size.
+func TestPosteriorsAllocGuard(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; counts are only meaningful in normal builds")
+	}
+	rng := rand.New(rand.NewSource(43))
+	const nf = 30
+	const n = 12
+	m := randomModel(rng, Order2, nf, true)
+	in := randomInstance(rng, n, nf, false)
+	for i := 0; i < 4; i++ {
+		m.Posteriors(in)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Posteriors(in)
+	})
+	// n+2 covers the out slice header, n row slices, and the flat backing.
+	if allocs > n+2 {
+		t.Fatalf("pooled Posteriors allocates %.1f objects/op after warm-up, want ≤ %d", allocs, n+2)
+	}
+}

@@ -37,6 +37,30 @@ func (m FeatureMode) String() string {
 	return "All-features"
 }
 
+// Stats is the frozen corpus-level side of the vertex representation: the
+// feature alphabet, the per-feature and grand co-occurrence totals, and (in
+// MIFeatures mode) the selected feature set. PPMI is a corpus-level
+// statistic — pmi(v,f) = log(c(v,f)·N / (c(v)·c(f))) — so a vertex's vector
+// is only a local function of its own counts once N and c(f) are pinned.
+// Freezing the snapshot taken from a base corpus is what makes incremental
+// maintenance tractable: under frozen statistics, adding sentences changes
+// exactly the vectors of the 3-grams that occur in them. Features unseen in
+// the base corpus are outside the frozen feature space and are ignored,
+// mirroring frozen-vocabulary streaming retrieval systems.
+type Stats struct {
+	alphabet  *features.Alphabet
+	featTotal []float64
+	grand     float64
+	miKeep    map[string]bool
+	mode      FeatureMode
+}
+
+// NumFeatures returns the size of the frozen feature space.
+func (s *Stats) NumFeatures() int { return s.alphabet.Len() }
+
+// Grand returns the grand co-occurrence total N of the snapshot.
+func (s *Stats) Grand() float64 { return s.grand }
+
 // BuilderConfig controls graph construction.
 type BuilderConfig struct {
 	// K is the out-degree of the k-NN graph (default 10, paper's default).
@@ -61,6 +85,16 @@ type BuilderConfig struct {
 	// Workers bounds the parallelism of the k-NN search (default
 	// GOMAXPROCS).
 	Workers int
+	// Stats, when non-nil, freezes the corpus-level statistics of the PPMI
+	// transform to a snapshot taken from an earlier corpus: the feature
+	// alphabet stops growing (features unseen in the snapshot corpus are
+	// ignored), featTotal and the grand total are not re-accumulated, and
+	// MIFeatures mode reuses the snapshot's selected features (so Tags is
+	// not required). This is the contract the incremental Updater
+	// maintains: Build(union, cfg with the base snapshot) is exactly the
+	// graph an Updater seeded on the base corpus converges to after
+	// streaming in the remainder.
+	Stats *Stats
 	// UseLSH switches the nearest-neighbour search from the exact
 	// inverted-index algorithm to random-hyperplane locality-sensitive
 	// hashing with exact re-ranking — the remedy for the construction
@@ -87,7 +121,10 @@ func Build(corp *corpus.Corpus, cfg BuilderConfig) (*Graph, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	if cfg.Mode == MIFeatures {
+	if cfg.Stats != nil && cfg.Stats.mode != cfg.Mode {
+		return nil, fmt.Errorf("graph: stats snapshot was taken in %v mode, config wants %v", cfg.Stats.mode, cfg.Mode)
+	}
+	if cfg.Mode == MIFeatures && cfg.Stats == nil {
 		if cfg.Tags == nil {
 			return nil, fmt.Errorf("graph: MIFeatures mode requires Tags")
 		}
@@ -96,10 +133,7 @@ func Build(corp *corpus.Corpus, cfg BuilderConfig) (*Graph, error) {
 		}
 	}
 
-	vecs, verts, err := vertexVectors(corp, cfg)
-	if err != nil {
-		return nil, err
-	}
+	vecs, verts, _, _, _ := vertexVectors(corp, cfg)
 	var neighbors [][]Edge
 	if cfg.UseLSH {
 		neighbors = knnLSH(vecs, cfg, cfg.LSH)
@@ -127,96 +161,130 @@ type sparseVec struct {
 }
 
 // vertexVectors aggregates per-occurrence feature counts per 3-gram and
-// converts them to PPMI vectors.
-func vertexVectors(corp *corpus.Corpus, cfg BuilderConfig) ([]sparseVec, []corpus.NGram, error) {
+// converts them to PPMI vectors. It also returns the raw counts, per-vertex
+// totals, and the corpus statistics so the incremental Updater can retain
+// them; Build discards those extras.
+func vertexVectors(corp *corpus.Corpus, cfg BuilderConfig) ([]sparseVec, []corpus.NGram, []map[int32]float64, []float64, *Stats) {
 	verts := corp.UniqueTrigrams()
 	index := make(map[corpus.NGram]int, len(verts))
 	for i, v := range verts {
 		index[v] = i
 	}
+	counts, vertTotal, st := countFeatures(corp, cfg, index, len(verts))
+	vecs := make([]sparseVec, len(verts))
+	if st.grand == 0 {
+		// Possible in MIFeatures mode when the threshold excludes every
+		// feature, or under a degenerate frozen snapshot: the graph
+		// degenerates to isolated vertices.
+		return vecs, verts, counts, vertTotal, st
+	}
+	for vi := range verts {
+		vecs[vi] = ppmiVec(counts[vi], vertTotal[vi], st)
+	}
+	return vecs, verts, counts, vertTotal, st
+}
 
-	alphabet := features.NewAlphabet()
-	// counts[v] maps feature id -> co-occurrence count.
-	counts := make([]map[int32]float64, len(verts))
+// featureEnumerator returns the per-position feature-string enumeration of
+// the configured mode. Build's counting pass and the incremental Updater
+// share it so both observe identical feature strings in identical order.
+// The returned closure reuses an internal buffer and is not safe for
+// concurrent use.
+func featureEnumerator(cfg BuilderConfig, miKeep map[string]bool) func(words []string, i int, fn func(string)) {
+	if cfg.Mode == LexicalFeatures {
+		return func(words []string, i int, fn func(string)) {
+			for d := -2; d <= 2; d++ {
+				j := i + d
+				if j < 0 || j >= len(words) {
+					continue
+				}
+				fn(fmt.Sprintf("lem%+d=%s", d, tokenize.Lemma(words[j])))
+			}
+		}
+	}
+	featBuf := make([]string, 0, 64)
+	return func(words []string, i int, fn func(string)) {
+		featBuf = cfg.Extractor.AppendPosition(featBuf[:0], words, i)
+		for _, f := range featBuf {
+			if miKeep != nil && !miKeep[f] {
+				continue
+			}
+			fn(f)
+		}
+	}
+}
+
+// countFeatures runs the co-occurrence counting pass. With cfg.Stats nil it
+// accumulates fresh statistics and freezes them into the returned snapshot;
+// with cfg.Stats set it counts under the frozen snapshot — the alphabet,
+// featTotal, and grand are left untouched and features outside the frozen
+// space are skipped (they contribute neither to counts nor to vertTotal).
+func countFeatures(corp *corpus.Corpus, cfg BuilderConfig, index map[corpus.NGram]int, nVerts int) ([]map[int32]float64, []float64, *Stats) {
+	counts := make([]map[int32]float64, nVerts)
 	for i := range counts {
 		counts[i] = make(map[int32]float64, 8)
 	}
-	vertTotal := make([]float64, len(verts))
-	var featTotal []float64
-	var grand float64
-
-	var miKeep map[string]bool
-	if cfg.Mode == MIFeatures {
-		miKeep = miSelect(corp, cfg)
-	}
-
-	addFeat := func(vi int, f string) {
-		id := int32(alphabet.Lookup(f))
-		counts[vi][id]++
-		for int(id) >= len(featTotal) {
-			featTotal = append(featTotal, 0)
+	vertTotal := make([]float64, nVerts)
+	st := cfg.Stats
+	fresh := st == nil
+	if fresh {
+		st = &Stats{alphabet: features.NewAlphabet(), mode: cfg.Mode}
+		if cfg.Mode == MIFeatures {
+			st.miKeep = miSelect(corp, cfg)
 		}
-		featTotal[id]++
-		vertTotal[vi]++
-		grand++
 	}
-
-	featBuf := make([]string, 0, 64)
-	for si, s := range corp.Sentences {
+	enum := featureEnumerator(cfg, st.miKeep)
+	addFeat := func(vi int, f string) {
+		id := st.alphabet.Lookup(f)
+		if id < 0 {
+			return // outside the frozen feature space
+		}
+		counts[vi][int32(id)]++
+		if fresh {
+			for id >= len(st.featTotal) {
+				st.featTotal = append(st.featTotal, 0)
+			}
+			st.featTotal[id]++
+			st.grand++
+		}
+		vertTotal[vi]++
+	}
+	for _, s := range corp.Sentences {
 		words := s.Words()
 		for i := range words {
 			vi := index[corpus.Trigram(words, i)]
-			switch cfg.Mode {
-			case LexicalFeatures:
-				for d := -2; d <= 2; d++ {
-					j := i + d
-					if j < 0 || j >= len(words) {
-						continue
-					}
-					addFeat(vi, fmt.Sprintf("lem%+d=%s", d, tokenize.Lemma(words[j])))
-				}
-			default:
-				featBuf = cfg.Extractor.AppendPosition(featBuf[:0], words, i)
-				for _, f := range featBuf {
-					if miKeep != nil && !miKeep[f] {
-						continue
-					}
-					addFeat(vi, f)
-				}
-			}
+			enum(words, i, func(f string) { addFeat(vi, f) })
 		}
-		_ = si
 	}
-	if grand == 0 {
-		// Possible in MIFeatures mode when the threshold excludes every
-		// feature: the graph degenerates to isolated vertices.
-		return make([]sparseVec, len(verts)), verts, nil
+	if fresh {
+		st.alphabet.Freeze()
 	}
+	return counts, vertTotal, st
+}
 
-	// PPMI transform: pmi = log(c(v,f)·N / (c(v)·c(f))), clamped at 0.
-	vecs := make([]sparseVec, len(verts))
-	for vi := range verts {
-		m := counts[vi]
-		ids := make([]int32, 0, len(m))
-		for id := range m {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-		vals := make([]float64, 0, len(ids))
-		keep := ids[:0]
-		var norm float64
-		for _, id := range ids {
-			pmi := math.Log(m[id] * grand / (vertTotal[vi] * featTotal[id]))
-			if pmi <= 0 {
-				continue
-			}
-			keep = append(keep, id)
-			vals = append(vals, pmi)
-			norm += pmi * pmi
-		}
-		vecs[vi] = sparseVec{ids: keep, vals: vals, norm: math.Sqrt(norm)}
+// ppmiVec converts one vertex's raw co-occurrence counts into its PPMI
+// vector under the corpus statistics st:
+// pmi = log(c(v,f)·N / (c(v)·c(f))), clamped at 0. Build's batch transform
+// and the Updater's per-vertex recompute share this function, which is what
+// makes incremental rows bit-identical to from-scratch ones.
+func ppmiVec(m map[int32]float64, total float64, st *Stats) sparseVec {
+	ids := make([]int32, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
 	}
-	return vecs, verts, nil
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	vals := make([]float64, 0, len(ids))
+	keep := ids[:0]
+	var norm float64
+	for _, id := range ids {
+		pmi := math.Log(m[id] * st.grand / (total * st.featTotal[id]))
+		if pmi <= 0 {
+			continue
+		}
+		keep = append(keep, id)
+		vals = append(vals, pmi)
+		norm += pmi * pmi
+	}
+	return sparseVec{ids: keep, vals: vals, norm: math.Sqrt(norm)}
 }
 
 // MIFeatureCount reports how many features pass the MI threshold of the
@@ -370,35 +438,46 @@ func knn(vecs []sparseVec, cfg BuilderConfig) [][]Edge {
 					continue
 				}
 				epoch++
-				qv32 := int32(vi)
-				touched = touched[:0]
-				for k, id := range q.ids {
-					pl := postings[id]
-					if cfg.MaxDF > 0 && len(pl) > cfg.MaxDF {
-						continue
-					}
-					qv := q.vals[k]
-					for _, p := range pl {
-						if p.v == qv32 {
-							continue
-						}
-						if seen[p.v] != epoch {
-							seen[p.v] = epoch
-							scores[p.v] = 0
-							touched = append(touched, p.v)
-						}
-						// Sparse partial dot: accumulate q_f · c_f.
-						scores[p.v] += qv * p.val
-					}
-				}
+				touched = scoreInto(q, int32(vi), postings, cfg.MaxDF, scores, seen, epoch, touched[:0])
 				// Select top K by cosine. Stale scores need no reset pass:
 				// the next query's epoch invalidates them wholesale.
-				out[vi] = topK(scores, touched, q.norm, vecs, cfg.K)
+				out[vi] = topK(scores, touched, q.norm, vecs, cfg.K, nil)
 			}
 		}(w)
 	}
 	wg.Wait()
 	return out
+}
+
+// scoreInto accumulates the sparse partial dot products of query vector q
+// against every candidate sharing an (uncapped) feature, via a straight
+// postings merge. seen/scores are epoch-tracked per-worker scratch; the ids
+// of the candidates touched this epoch are appended to touched and
+// returned. The batch knn search and the incremental Updater's dirty-row
+// recompute share this kernel, so incremental scores are bit-identical to
+// from-scratch ones: both iterate q's features in ascending id order over
+// postings lists sorted by vertex id.
+func scoreInto(q *sparseVec, self int32, postings [][]posting, maxDF int, scores []float64, seen []int32, epoch int32, touched []int32) []int32 {
+	for k, id := range q.ids {
+		pl := postings[id]
+		if maxDF > 0 && len(pl) > maxDF {
+			continue
+		}
+		qv := q.vals[k]
+		for _, p := range pl {
+			if p.v == self {
+				continue
+			}
+			if seen[p.v] != epoch {
+				seen[p.v] = epoch
+				scores[p.v] = 0
+				touched = append(touched, p.v)
+			}
+			// Sparse partial dot: accumulate q_f · c_f.
+			scores[p.v] += qv * p.val
+		}
+	}
+	return touched
 }
 
 // valueOf returns the vector's value for a feature id (binary search).
@@ -420,11 +499,20 @@ func valueOf(v *sparseVec, id int32) float64 {
 
 // topK selects the K best candidates by cosine = score/(|q||c|), keeping a
 // small descending-sorted buffer with ordered insertion (O(C·K) with K=10).
-func topK(scores []float64, touched []int32, qnorm float64, vecs []sparseVec, k int) []Edge {
+// rank, when non-nil, substitutes a canonical vertex ordering for the raw
+// ids in the tie-break: the incremental Updater appends vertices in arrival
+// order but must break exact-weight ties the way a from-scratch Build over
+// the sorted union corpus would, so it passes the sorted-NGram rank of each
+// vertex. A nil rank ties on the ids themselves (Build's vertex order is
+// already the canonical one).
+func topK(scores []float64, touched []int32, qnorm float64, vecs []sparseVec, k int, rank []int32) []Edge {
 	edges := make([]Edge, 0, k)
 	less := func(a, b Edge) bool {
 		if a.Weight != b.Weight { // lint:checked exact tie-break keeps candidate order deterministic
 			return a.Weight > b.Weight
+		}
+		if rank != nil {
+			return rank[a.To] < rank[b.To]
 		}
 		return a.To < b.To
 	}

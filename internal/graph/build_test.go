@@ -143,12 +143,9 @@ func TestBuildDeterministic(t *testing.T) {
 
 func TestPPMIVectorsNonNegativeSorted(t *testing.T) {
 	c := figure1Corpus()
-	vecs, verts, err := vertexVectors(c, BuilderConfig{
+	vecs, verts, _, _, _ := vertexVectors(c, BuilderConfig{
 		K: 5, Mode: AllFeatures, Extractor: features.NewExtractor(nil),
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	if len(vecs) != len(verts) {
 		t.Fatal("length mismatch")
 	}

@@ -115,6 +115,164 @@ func csrFromLists(lists [][]Edge, rows int) (offsets, to []int32, weight []float
 	return offsets, to, weight
 }
 
+// PatchCSR incrementally reconciles the CSR mirror with Neighbors after
+// an in-place update that rewrote the rows listed in dirty (ascending
+// vertex id) and possibly appended new vertices. Offsets are recomputed
+// for every row — appends shift all downstream offsets, so that O(V) pass
+// is unavoidable — but edge payloads of clean rows are block-copied from
+// the old arrays in maximal contiguous runs rather than re-derived from
+// the slice-of-slices view; only dirty rows are written element-wise. The
+// result is exactly what BuildCSR would produce.
+func (g *Graph) PatchCSR(dirty []int32) {
+	if len(g.EdgeOffsets) == 0 {
+		g.BuildCSR()
+		return
+	}
+	oldOff, oldTo, oldW := g.EdgeOffsets, g.EdgeTo, g.EdgeWeight
+	oldRows := len(oldOff) - 1
+	rows := g.csrRows()
+	offsets := make([]int32, rows+1)
+	total := int32(0)
+	for v := 0; v < rows; v++ {
+		offsets[v] = total
+		if v < len(g.Neighbors) {
+			total += int32(len(g.Neighbors[v]))
+		}
+	}
+	offsets[rows] = total
+	to := make([]int32, total)
+	weight := make([]float64, total)
+	di := 0
+	for v := 0; v < rows; {
+		for di < len(dirty) && int(dirty[di]) < v {
+			di++
+		}
+		isDirty := di < len(dirty) && int(dirty[di]) == v
+		if isDirty || v >= oldRows {
+			if v < len(g.Neighbors) {
+				pos := offsets[v]
+				for _, e := range g.Neighbors[v] {
+					to[pos] = e.To
+					weight[pos] = e.Weight
+					pos++
+				}
+			}
+			v++
+			continue
+		}
+		// Extend a maximal run of clean pre-existing rows and copy its
+		// edge payload in one block: clean rows are bitwise unchanged, and
+		// within a run old and new layouts are both contiguous.
+		run := v + 1
+		for run < oldRows && (di >= len(dirty) || int(dirty[di]) != run) {
+			run++
+		}
+		copy(to[offsets[v]:], oldTo[oldOff[v]:oldOff[run]])
+		copy(weight[offsets[v]:], oldW[oldOff[v]:oldOff[run]])
+		v = run
+	}
+	g.EdgeOffsets, g.EdgeTo, g.EdgeWeight = offsets, to, weight
+	if assert.Enabled {
+		assert.CSRMonotonic(g.EdgeOffsets, len(g.EdgeTo), "graph CSR patch")
+	}
+}
+
+// CanonicalClone returns a structurally equal copy with vertices
+// renumbered into ascending NGram order — the order Build derives from
+// UniqueTrigrams — with edge targets remapped, each neighbour row
+// re-sorted under the canonical ids, and the CSR mirror rebuilt. Two
+// graphs over the same corpus that differ only in vertex numbering (a
+// from-scratch Build versus an incrementally maintained Updater graph)
+// canonicalize to equal values.
+func (g *Graph) CanonicalClone() *Graph {
+	n := len(g.Vertices)
+	order := make([]int32, n) // new id -> old id
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return g.Vertices[order[a]] < g.Vertices[order[b]] })
+	perm := make([]int32, n) // old id -> new id
+	for newID, oldID := range order {
+		perm[oldID] = int32(newID)
+	}
+	ng := &Graph{
+		Vertices:  make([]corpus.NGram, n),
+		Index:     make(map[corpus.NGram]int, n),
+		Neighbors: make([][]Edge, n),
+		K:         g.K,
+	}
+	for newID, oldID := range order {
+		v := g.Vertices[oldID]
+		ng.Vertices[newID] = v
+		ng.Index[v] = newID
+		if int(oldID) >= len(g.Neighbors) || g.Neighbors[oldID] == nil {
+			continue
+		}
+		row := g.Neighbors[oldID]
+		es := make([]Edge, len(row))
+		for j, e := range row {
+			es[j] = Edge{To: perm[e.To], Weight: e.Weight}
+		}
+		sort.Slice(es, func(a, b int) bool {
+			if es[a].Weight != es[b].Weight { // lint:checked exact tie-break mirrors topK's total order
+				return es[a].Weight > es[b].Weight
+			}
+			return es[a].To < es[b].To
+		})
+		ng.Neighbors[newID] = es
+	}
+	ng.BuildCSR()
+	return ng
+}
+
+// Equal reports strict structural equality: same vertices in the same
+// order, same neighbour rows with bit-equal weights (nil and empty rows
+// both mean "no edges"), and same CSR arrays. Compare CanonicalClones to
+// test equality up to vertex numbering.
+func (g *Graph) Equal(o *Graph) bool {
+	if g.K != o.K || len(g.Vertices) != len(o.Vertices) {
+		return false
+	}
+	for i, v := range g.Vertices {
+		if o.Vertices[i] != v {
+			return false
+		}
+	}
+	if len(g.Neighbors) != len(o.Neighbors) {
+		return false
+	}
+	for i, es := range g.Neighbors {
+		os := o.Neighbors[i]
+		if len(es) != len(os) {
+			return false
+		}
+		for j, e := range es {
+			if os[j].To != e.To || os[j].Weight != e.Weight { // lint:checked bit-equality is the contract under test
+				return false
+			}
+		}
+	}
+	if len(g.EdgeOffsets) != len(o.EdgeOffsets) || len(g.EdgeTo) != len(o.EdgeTo) || len(g.EdgeWeight) != len(o.EdgeWeight) {
+		return false
+	}
+	for i, v := range g.EdgeOffsets {
+		if o.EdgeOffsets[i] != v {
+			return false
+		}
+	}
+	for i, v := range g.EdgeTo {
+		if o.EdgeTo[i] != v {
+			return false
+		}
+	}
+	for i, v := range g.EdgeWeight {
+		if o.EdgeWeight[i] != v { // lint:checked bit-equality is the contract under test
+			return false
+		}
+	}
+	return true
+}
+
 // NumEdges returns the total directed edge count.
 func (g *Graph) NumEdges() int {
 	n := 0
@@ -202,8 +360,14 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintf(bw, "K %d\nV %d\n", g.K, len(g.Vertices))
 	for i, v := range g.Vertices {
 		fmt.Fprintf(bw, "N %s\n", escape(string(v)))
+		if i >= len(g.Neighbors) {
+			continue // hand-assembled graphs may leave trailing rows empty
+		}
 		for _, e := range g.Neighbors[i] {
-			fmt.Fprintf(bw, "E %d %.6g\n", e.To, e.Weight)
+			// %g with default precision prints the fewest digits that
+			// parse back to the identical float64, so ReadFrom restores
+			// weights bit-exactly.
+			fmt.Fprintf(bw, "E %d %g\n", e.To, e.Weight)
 		}
 	}
 	if err := bw.Flush(); err != nil {

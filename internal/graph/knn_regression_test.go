@@ -34,6 +34,57 @@ func TestKNNMixedSignNoDuplicate(t *testing.T) {
 	}
 }
 
+// TestKNNIncrementalOneBatchGolden pins a one-batch incremental update
+// against literal expectations: streaming two sentences into an Updater
+// seeded on the Figure 1 corpus must (a) match a from-scratch Build on the
+// union under the frozen base statistics, edge for edge and bit for bit,
+// and (b) reproduce pinned weight values (math.Log is pure Go and
+// deterministic across platforms, so these are stable goldens).
+func TestKNNIncrementalOneBatchGolden(t *testing.T) {
+	base := figure1Corpus()
+	u, err := NewUpdater(base, BuilderConfig{K: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := makeCorpus([]string{
+		"wilms tumor - 1 expression was measured in positive patients .",
+		"the wt1 gene was not expressed in this subclone .",
+	}).Sentences
+	res, err := u.AddSentences(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewVertices == 0 || len(res.DirtyRows) < res.NewVertices {
+		t.Fatalf("implausible update result %+v", res)
+	}
+	union := unionOf(base)
+	union.Sentences = append(union.Sentences, batch...)
+	want, err := Build(union, BuilderConfig{K: 3, Workers: 1, Stats: u.Stats()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCanonicalEqual(t, "one-batch", u.Graph(), want)
+
+	// Golden spot-check: the "wilms tumor -" 3-gram occurs in both base
+	// and batch; its strongest neighbour and weight are pinned.
+	g := u.Graph()
+	vi := g.Lookup("wilms\x00tumor\x00-")
+	if vi < 0 {
+		t.Fatal("missing wilms tumor - vertex")
+	}
+	es := g.Neighbors[vi]
+	if len(es) != 3 {
+		t.Fatalf("wilms tumor - has %d neighbours, want 3: %v", len(es), es)
+	}
+	if got := g.Vertices[es[0].To]; got != "patient\x00tumor\x00-" {
+		t.Errorf("top neighbour is %q, want %q", got, "patient\x00tumor\x00-")
+	}
+	const goldenW = 0.7095683551597101
+	if es[0].Weight != goldenW { // lint:checked golden pins the exact float64
+		t.Errorf("top weight = %.16g, want %.16g", es[0].Weight, goldenW)
+	}
+}
+
 // TestKNNNoDuplicateNeighborsRandom sweeps random mixed-sign vectors and
 // asserts the invariant the sentinel bug violated: no neighbour list may
 // mention the same vertex twice, and self-edges never appear.

@@ -313,10 +313,12 @@ func (s *System) union(test, extra *corpus.Corpus) *corpus.Corpus {
 	return u
 }
 
-// buildGraphUnion builds the similarity graph over an assembled union
-// corpus. ins, when non-nil, supplies pre-compiled instances parallel to
-// union.Sentences so MIFeatures-mode tag decoding skips re-compilation.
-func (s *System) buildGraphUnion(union *corpus.Corpus, ins []*crf.Instance) (*graph.Graph, error) {
+// builderConfig assembles the graph.BuilderConfig for a union corpus,
+// including MIFeatures-mode tag decoding. ins, when non-nil, supplies
+// pre-compiled instances parallel to union.Sentences so tag decoding
+// skips re-compilation. Shared by the batch build and the streaming
+// Updater construction.
+func (s *System) builderConfig(union *corpus.Corpus, ins []*crf.Instance) graph.BuilderConfig {
 	bc := graph.BuilderConfig{
 		K:           s.cfg.K,
 		Mode:        s.cfg.Mode,
@@ -343,7 +345,14 @@ func (s *System) buildGraphUnion(union *corpus.Corpus, ins []*crf.Instance) (*gr
 		})
 		bc.Tags = tags
 	}
-	return graph.Build(union, bc)
+	return bc
+}
+
+// buildGraphUnion builds the similarity graph over an assembled union
+// corpus. ins, when non-nil, supplies pre-compiled instances parallel to
+// union.Sentences so MIFeatures-mode tag decoding skips re-compilation.
+func (s *System) buildGraphUnion(union *corpus.Corpus, ins []*crf.Instance) (*graph.Graph, error) {
+	return graph.Build(union, s.builderConfig(union, ins))
 }
 
 // Output carries the result of the TEST procedure.

@@ -1,0 +1,180 @@
+package graphner
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/corpus/synth"
+	"repro/internal/graph"
+)
+
+func streamFixture(t *testing.T) (*System, *corpus.Corpus, *corpus.Corpus) {
+	t.Helper()
+	train, test := smallCorpora(t, synth.AML, 120)
+	cfg := fastConfig()
+	cfg.CRFIterations = 15
+	// The streaming comparisons need a genuinely converged fixed point
+	// within the sweep cap; the paper's ν=1e-6 gives a contraction
+	// modulus ≈1−1e-3 (thousands of sweeps to 1e-8), so condition the
+	// iteration with a larger uniform-prior weight.
+	cfg.Nu = 1e-3
+	sys, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := synth.DefaultConfig(synth.AML, 33)
+	bcfg.Sentences = 40
+	extra := synth.NewGenerator(bcfg).Generate()
+	return sys, test, extra
+}
+
+// TestStreamerBatchOrderInvariance: feeding the extra unlabelled data in
+// three batches must produce the same graph as feeding it in one, and
+// beliefs within the warm-start tolerance — the streaming TEST mode's
+// correctness bar at the pipeline level.
+func TestStreamerBatchOrderInvariance(t *testing.T) {
+	sys, test, extra := streamFixture(t)
+
+	a, err := NewStreamer(sys, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, rest := extra.Split(15)
+	b2, b3 := rest.Split(10)
+	for _, batch := range []*corpus.Corpus{b1, b2, b3} {
+		res, err := a.AddUnlabelled(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Update.NewVertices == 0 {
+			t.Error("batch introduced no new vertices — fixture too small")
+		}
+	}
+
+	b, err := NewStreamer(sys, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddUnlabelled(extra); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical sentence order means identical first-occurrence vertex
+	// ids: the graphs must be exactly equal without renumbering.
+	if !a.Graph().Equal(b.Graph()) {
+		t.Fatal("three-batch graph differs from single-batch graph")
+	}
+
+	// Beliefs: both are fixed points of the same system to within the
+	// streaming tolerance, amplified by the contraction factor.
+	const Y = corpus.NumTags
+	xa, xb := a.VertexBeliefs(), b.VertexBeliefs()
+	if len(xa) != len(xb) {
+		t.Fatalf("belief lengths differ: %d vs %d", len(xa), len(xb))
+	}
+	for i := range xa {
+		if d := math.Abs(xa[i] - xb[i]); d > 1e-5 {
+			t.Fatalf("belief %d differs by %g", i, d)
+		}
+	}
+
+	// Tags only differ where near-tie potentials flip under the belief
+	// tolerance; across a whole corpus that must stay rare.
+	var tokens, diffs int
+	for i := range a.Tags() {
+		ta, tb := a.Tags()[i], b.Tags()[i]
+		if len(ta) != len(tb) || len(ta) != len(test.Sentences[i].Tokens) {
+			t.Fatalf("sentence %d: tag lengths %d/%d for %d tokens", i, len(ta), len(tb), len(test.Sentences[i].Tokens))
+		}
+		for j := range ta {
+			tokens++
+			if ta[j] != tb[j] {
+				diffs++
+			}
+		}
+	}
+	if diffs*100 > tokens {
+		t.Fatalf("%d of %d test tokens tagged differently across batch schedules", diffs, tokens)
+	}
+	_ = Y
+}
+
+// TestStreamerGraphMatchesBatchBuild is the hard equivalence bar wired
+// through the pipeline: the incrementally maintained graph equals a
+// from-scratch Build over the accumulated union under the frozen
+// statistics snapshot, up to canonical renumbering.
+func TestStreamerGraphMatchesBatchBuild(t *testing.T) {
+	sys, test, extra := streamFixture(t)
+	st, err := NewStreamer(sys, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := extra.Split(25)
+	for _, batch := range []*corpus.Corpus{b1, b2} {
+		if _, err := st.AddUnlabelled(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	union := sys.union(test, nil)
+	union.Sentences = append(union.Sentences, extra.StripLabels().Sentences...)
+	bc := sys.builderConfig(union, nil)
+	bc.Stats = st.Updater().Stats()
+	want, err := graph.Build(union, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Graph().CanonicalClone().Equal(want.CanonicalClone()) {
+		t.Fatal("streamed graph differs from batch build over the union")
+	}
+}
+
+// TestStreamerSelectiveRedecode: a batch only re-decodes test sentences
+// containing a touched vertex, and leaves tag rows well-formed either way.
+func TestStreamerSelectiveRedecode(t *testing.T) {
+	sys, test, extra := streamFixture(t)
+	st, err := NewStreamer(sys, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, _ := extra.Split(10)
+	res, err := st.AddUnlabelled(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Redecoded > len(test.Sentences) {
+		t.Fatalf("re-decoded %d of %d sentences", res.Redecoded, len(test.Sentences))
+	}
+	if res.Warm.Sweeps == 0 || res.Warm.Updates == 0 {
+		t.Error("warm propagation did no work for a non-empty batch")
+	}
+	for i, tags := range st.Tags() {
+		if len(tags) != len(test.Sentences[i].Tokens) {
+			t.Fatalf("sentence %d: %d tags for %d tokens", i, len(tags), len(test.Sentences[i].Tokens))
+		}
+	}
+	if len(st.BaselineTags()) != len(test.Sentences) {
+		t.Fatal("baseline tags missing")
+	}
+}
+
+// TestStreamerValidation covers the error paths and the empty-batch no-op.
+func TestStreamerValidation(t *testing.T) {
+	sys, test, _ := streamFixture(t)
+	if _, err := NewStreamer(sys, corpus.New()); err == nil {
+		t.Error("want error for empty test corpus")
+	}
+	st, err := NewStreamer(sys, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.Graph().NumVertices()
+	res, err := st.AddUnlabelled(corpus.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Update.NewVertices != 0 || res.Redecoded != 0 || st.Graph().NumVertices() != before {
+		t.Error("empty batch was not a no-op")
+	}
+}

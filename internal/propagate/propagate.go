@@ -31,8 +31,18 @@ type Config struct {
 	Mu float64
 	// Nu weights the uniform-prior term (paper: 1e-6 or 1e-4).
 	Nu float64
-	// Iterations is the fixed number of sweeps (paper: 2 or 3).
+	// Iterations is the fixed number of sweeps (paper: 2 or 3). With
+	// Tolerance set it caps the sweep count instead of fixing it; in
+	// RunWarmFlat a zero value means the default warm sweep cap.
 	Iterations int
+	// Tolerance, when positive, stops sweeping early once the largest
+	// per-entry belief change of a sweep is at most Tolerance. Zero keeps
+	// the paper's fixed-sweep behaviour, bit for bit. The coordinate
+	// update is a contraction toward the unique fixed point of Equation 1
+	// (its diagonal strictly dominates: κ = ν + μΣw + 1 on labelled
+	// vertices), so a converged run lands within Tolerance·ρ/(1−ρ) of
+	// that fixed point, where ρ < 1 is the contraction modulus μΣw/κ.
+	Tolerance float64
 	// Symmetrize, when true, propagates over the union of in- and
 	// out-edges rather than the directed out-neighbour lists. The paper
 	// uses the directed k-NN graph; symmetrization is provided for
@@ -244,37 +254,10 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 				}
 				var maxDelta float64
 				for v := w; v < n; v += cfg.Workers {
-					kappa := cfg.Nu
-					if labelled[v] {
-						kappa++
-					}
-					var gamma [Y]float64
-					for y := 0; y < Y; y++ {
-						gamma[y] = cfg.Nu * uniform
-						if labelled[v] {
-							gamma[y] += xref[v][y]
-						}
-					}
-					for e, end := adj.off[v], adj.off[v+1]; e < end; e++ {
-						mw := cfg.Mu * adj.w[e]
-						kappa += mw
-						xe := cur[int(adj.to[e])*Y : int(adj.to[e])*Y+Y]
-						for y := 0; y < Y; y++ {
-							gamma[y] += mw * xe[y]
-						}
-					}
 					row := v * Y
-					if kappa == 0 {
-						// Isolated unlabelled vertex with ν=0: keep as is.
-						copy(next[row:row+Y], cur[row:row+Y])
-						continue
-					}
-					for y := 0; y < Y; y++ {
-						nv := gamma[y] / kappa
-						if d := math.Abs(nv - cur[row+y]); d > maxDelta {
-							maxDelta = d
-						}
-						next[row+y] = nv
+					d := updateRow(adj, cur, xref, labelled, v, cfg.Mu, cfg.Nu, uniform, next[row:row+Y])
+					if d > maxDelta {
+						maxDelta = d
 					}
 				}
 				deltas[w] = maxDelta
@@ -302,6 +285,9 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 			}
 		}
 		res.Loss = append(res.Loss, lossFlat(adj, cur, xref, labelled, n, cfg.Mu, cfg.Nu))
+		if cfg.Tolerance > 0 && res.MaxDelta <= cfg.Tolerance {
+			break
+		}
 	}
 	// The final beliefs must land in the caller's X; after an odd number
 	// of swaps they live in the scratch buffer.
@@ -309,6 +295,50 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 		copy(X, cur)
 	}
 	return res, nil
+}
+
+// updateRow applies the Equation-2 Jacobi coordinate update to vertex v:
+// it reads the beliefs of v's out-neighbours from cur, writes v's new
+// distribution into out (length corpus.NumTags), and returns the largest
+// per-entry change. RunFlat's full sweeps and RunWarmFlat's frontier
+// sweeps share this kernel, so a warm-started sweep computes exactly the
+// update a full sweep would for the same vertex and beliefs.
+func updateRow(adj adjacency, cur []float64, xref [][]float64, labelled []bool, v int, mu, nu, uniform float64, out []float64) float64 {
+	const Y = corpus.NumTags
+	kappa := nu
+	if labelled[v] {
+		kappa++
+	}
+	var gamma [Y]float64
+	for y := 0; y < Y; y++ {
+		gamma[y] = nu * uniform
+		if labelled[v] {
+			gamma[y] += xref[v][y]
+		}
+	}
+	for e, end := adj.off[v], adj.off[v+1]; e < end; e++ {
+		mw := mu * adj.w[e]
+		kappa += mw
+		xe := cur[int(adj.to[e])*Y : int(adj.to[e])*Y+Y]
+		for y := 0; y < Y; y++ {
+			gamma[y] += mw * xe[y]
+		}
+	}
+	row := v * Y
+	if kappa == 0 {
+		// Isolated unlabelled vertex with ν=0: keep as is.
+		copy(out, cur[row:row+Y])
+		return 0
+	}
+	var maxDelta float64
+	for y := 0; y < Y; y++ {
+		nv := gamma[y] / kappa
+		if d := math.Abs(nv - cur[row+y]); d > maxDelta {
+			maxDelta = d
+		}
+		out[y] = nv
+	}
+	return maxDelta
 }
 
 // Loss evaluates the Equation-1 objective:

@@ -1,0 +1,222 @@
+package propagate
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/analysis/assert"
+	"repro/internal/corpus"
+	"repro/internal/graph"
+)
+
+// DefaultWarmTolerance is the per-entry convergence tolerance RunWarmFlat
+// uses when Config.Tolerance is zero.
+const DefaultWarmTolerance = 1e-8
+
+// defaultWarmSweepCap bounds warm-start sweeps when Config.Iterations is
+// zero. The coordinate update is a contraction, so the frontier normally
+// drains long before this; the cap is a backstop against hyper-parameter
+// regimes whose contraction modulus is within Tolerance of 1.
+const defaultWarmSweepCap = 4096
+
+// WarmResult reports what a warm-start propagation did.
+type WarmResult struct {
+	// Sweeps counts frontier sweeps executed.
+	Sweeps int
+	// Updates counts row updates across all sweeps — the work actually
+	// done, versus Sweeps·NumVertices for full sweeps.
+	Updates int
+	// MaxDelta is the largest per-entry change of the final sweep.
+	MaxDelta float64
+	// Converged reports that the frontier drained (every active vertex
+	// changed by at most the tolerance) before the sweep cap.
+	Converged bool
+	// Touched[v] is true if v's beliefs changed at all during the run.
+	// Callers re-derive per-sentence decodes only where this is set.
+	Touched []bool
+}
+
+// RunWarmFlat updates the flat belief matrix X after a localized graph
+// change, without touching unchanged regions. It reuses the previous
+// beliefs as initialization, seeds the worklist with the dirty vertices
+// (rows whose update rule changed: new vertices and rewritten neighbour
+// lists, e.g. graph.UpdateResult.DirtyRows) plus their out-neighbours, and
+// sweeps only the expanding frontier: a vertex re-enters the worklist when
+// one of its out-neighbours — the rows its Equation-2 update reads —
+// changed by more than the tolerance in the previous sweep.
+//
+// Termination: a sweep that changes every active vertex by at most
+// cfg.Tolerance adds nothing to the frontier and the run stops. Because
+// the update is a contraction toward the unique Equation-1 fixed point,
+// the result agrees with a fully converged RunFlat (same tolerance) to
+// within 2·Tolerance·ρ/(1−ρ), ρ the contraction modulus — the documented
+// warm-start tolerance. Changes smaller than the tolerance are applied but
+// not propagated; unchanged regions of the graph are never visited.
+func RunWarmFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg Config, dirty []int32) (WarmResult, error) {
+	const Y = corpus.NumTags
+	n := g.NumVertices()
+	var res WarmResult
+	if len(X) != n*Y {
+		return res, fmt.Errorf("propagate: flat matrix length %d != %d vertices × %d tags", len(X), n, Y)
+	}
+	if len(xref) != n || len(labelled) != n {
+		return res, fmt.Errorf("propagate: slice lengths (%d,%d) != vertex count %d", len(xref), len(labelled), n)
+	}
+	if cfg.Mu < 0 || cfg.Nu < 0 {
+		return res, fmt.Errorf("propagate: negative hyper-parameter (mu=%g nu=%g)", cfg.Mu, cfg.Nu)
+	}
+	for _, v := range dirty {
+		if v < 0 || int(v) >= n {
+			return res, fmt.Errorf("propagate: dirty vertex %d out of range [0,%d)", v, n)
+		}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = DefaultWarmTolerance
+	}
+	maxSweeps := cfg.Iterations
+	if maxSweeps <= 0 {
+		maxSweeps = defaultWarmSweepCap
+	}
+	uniform := 1.0 / Y
+
+	adj := adjacencyOf(g, n, cfg.Symmetrize)
+	roff, rto := reverseOf(adj, n)
+	if assert.Enabled {
+		assert.CSRMonotonic(adj.off, len(adj.to), "warm propagate adjacency")
+		assert.CSRMonotonic(roff, len(rto), "warm propagate reverse adjacency")
+	}
+	res.Touched = make([]bool, n)
+
+	// Seed the worklist: dirty vertices and their out-neighbours, deduped
+	// with an epoch array and sorted so worker shards are deterministic.
+	mark := make([]int32, n)
+	epoch := int32(1)
+	active := make([]int32, 0, len(dirty)*4)
+	add := func(v int32) {
+		if mark[v] != epoch {
+			mark[v] = epoch
+			active = append(active, v)
+		}
+	}
+	for _, v := range dirty {
+		add(v)
+	}
+	for _, v := range dirty {
+		for e, end := adj.off[v], adj.off[v+1]; e < end; e++ {
+			add(adj.to[e])
+		}
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+
+	var (
+		buf        []float64 // computed rows, parallel to active
+		rowDelta   []float64
+		nextActive []int32
+		sweepGuard assert.SweepGuard
+	)
+	for sweep := 0; sweep < maxSweeps && len(active) > 0; sweep++ {
+		need := len(active) * Y
+		if cap(buf) < need {
+			buf = make([]float64, need)
+			rowDelta = make([]float64, len(active))
+		} else {
+			buf = buf[:need]
+			rowDelta = rowDelta[:len(active)]
+		}
+		workers := cfg.Workers
+		if workers > len(active) {
+			workers = len(active)
+		}
+		var sweepToken uint64
+		if assert.Enabled {
+			sweepToken = sweepGuard.BeginSweep("warm propagate belief matrix")
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if assert.Enabled {
+					sweepGuard.CheckSweep(sweepToken, "warm propagate belief matrix")
+				}
+				for ai := w; ai < len(active); ai += workers {
+					rowDelta[ai] = updateRow(adj, X, xref, labelled, int(active[ai]), cfg.Mu, cfg.Nu, uniform, buf[ai*Y:ai*Y+Y])
+				}
+			}(w)
+		}
+		wg.Wait()
+		if assert.Enabled {
+			sweepGuard.EndSweep(sweepToken, "warm propagate belief matrix")
+		}
+
+		// Apply the Jacobi sweep and grow the next frontier: the rows a
+		// changed vertex feeds are its in-neighbours (they read it), so
+		// expansion walks the reverse adjacency.
+		epoch++
+		nextActive = nextActive[:0]
+		var maxDelta float64
+		for ai, v := range active {
+			d := rowDelta[ai]
+			if d > maxDelta {
+				maxDelta = d
+			}
+			if d > 0 {
+				row := int(v) * Y
+				copy(X[row:row+Y], buf[ai*Y:ai*Y+Y])
+				res.Touched[v] = true
+			}
+			if d > cfg.Tolerance {
+				for e, end := roff[v], roff[v+1]; e < end; e++ {
+					u := rto[e]
+					if mark[u] != epoch {
+						mark[u] = epoch
+						nextActive = append(nextActive, u)
+					}
+				}
+			}
+		}
+		res.Updates += len(active)
+		res.MaxDelta = maxDelta
+		res.Sweeps++
+		active, nextActive = nextActive, active
+		sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+		if assert.Enabled {
+			assert.NoNaN(X, "warm propagate beliefs after sweep")
+		}
+	}
+	res.Converged = len(active) == 0
+	return res, nil
+}
+
+// reverseOf builds the reverse adjacency of a CSR view — for each vertex,
+// the vertices that have it as an out-neighbour — as offset and target
+// arrays (weights are not needed for frontier expansion).
+func reverseOf(adj adjacency, n int) (off, to []int32) {
+	counts := make([]int32, n)
+	for _, t := range adj.to {
+		counts[t]++
+	}
+	off = make([]int32, n+1)
+	var pos int32
+	for v := 0; v < n; v++ {
+		off[v] = pos
+		pos += counts[v]
+	}
+	off[n] = pos
+	to = make([]int32, pos)
+	cursor := counts // reuse as per-vertex fill cursor
+	copy(cursor, off[:n])
+	for v := 0; v < n; v++ {
+		for e, end := adj.off[v], adj.off[v+1]; e < end; e++ {
+			t := adj.to[e]
+			to[cursor[t]] = int32(v)
+			cursor[t]++
+		}
+	}
+	return off, to
+}

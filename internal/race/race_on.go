@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in, so
+// allocation-count guards can skip themselves: race instrumentation
+// allocates shadow state on code paths that are allocation-free in
+// normal builds.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

@@ -12,4 +12,7 @@ make tier1
 echo "==> fuzz smoke"
 make fuzz-smoke
 
+echo "==> bench smoke"
+make bench-smoke
+
 echo "==> ci OK"
