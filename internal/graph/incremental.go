@@ -345,6 +345,11 @@ func (u *Updater) AddSentences(sents []*corpus.Sentence) (UpdateResult, error) {
 		if cappedNow == cappedBefore {
 			continue
 		}
+		if cappedBefore && !cappedNow {
+			debugUncapEvents++
+		} else {
+			debugCapEvents++
+		}
 		if holderStamp == nil {
 			holderStamp = make([]int32, n)
 		}
