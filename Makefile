@@ -5,7 +5,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/propagate ./internal/graph ./internal/crf ./internal/graphner ./internal/features
 
-.PHONY: all build lint lint-json test race fuzz-smoke bench-smoke debug-test ci tier1
+.PHONY: all build lint lint-json test race fuzz-smoke bench-smoke bench-shard-smoke debug-test ci tier1
 
 all: tier1
 
@@ -47,6 +47,15 @@ bench-smoke:
 	$(GO) test -run 'TestIncrementalSmoke|TestKNNIncrementalOneBatchGolden|TestPatchCSRMatchesBuildCSR' -count=1 ./internal/graph
 	$(GO) test -run 'TestSweepAllocGuard|TestWarmSweepAllocGuard' -count=1 ./internal/propagate
 	$(GO) test -run 'TestDecodeAllocGuard|TestPosteriorsAllocGuard' -count=1 ./internal/crf
+
+# Sharded-path smoke (<2 s of test time): re-verifies that sharded k-NN
+# construction and SPMD propagation with halo exchange are bit-identical
+# to the single-index path on tiny corpora (shard counts up to 8,
+# serialization round-trip included), plus the zero-alloc steady-state
+# guard on the per-shard sweep.
+bench-shard-smoke:
+	$(GO) test -run 'TestShardedBuildMatchesBuild$$|TestShardGraphRoundTrip' -count=1 ./internal/graph
+	$(GO) test -run 'TestRunShardedFlatMatchesRunFlat|TestRunShardedMatchesRun|TestShardedSweepAllocGuard' -count=1 ./internal/propagate
 
 # Runtime assertions (internal/analysis/assert) compiled in: CSR shape,
 # row-stochastic beliefs per sweep, NaN scans before Viterbi.

@@ -43,6 +43,8 @@ func main() {
 	hotpathsOut := flag.String("hotpaths-out", "BENCH_hotpaths.json", "output path for -hotpaths (\"-\" for stdout)")
 	incremental := flag.Bool("incremental", false, "benchmark incremental graph maintenance vs full rebuild (batch 10/50/250 on a 1000-sentence base) and write a JSON report")
 	incrementalOut := flag.String("incremental-out", "BENCH_incremental.json", "output path for -incremental (\"-\" for stdout)")
+	shard := flag.Bool("shard", false, "benchmark sharded graph construction and SPMD propagation across shard x worker counts (bit-identity verified inline) and write a JSON report")
+	shardOut := flag.String("shard-out", "BENCH_shard.json", "output path for -shard (\"-\" for stdout)")
 	seed := flag.Int64("seed", 1, "corpus seed")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Var(&tables, "table", "table number to regenerate (repeatable: 1-5)")
@@ -66,7 +68,7 @@ func main() {
 		figs = intList{2, 3, 4, 5}
 		*statsFlag = true
 	}
-	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly && !*hotpaths && !*incremental {
+	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly && !*hotpaths && !*incremental && !*shard {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -89,6 +91,11 @@ func main() {
 	if *incremental {
 		if err := runIncremental(*incrementalOut, log); err != nil {
 			fail("incremental", err)
+		}
+	}
+	if *shard {
+		if err := runShard(*shardOut, log); err != nil {
+			fail("shard", err)
 		}
 	}
 	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly {

@@ -141,6 +141,7 @@ func cmdRun(args []string) error {
 	iters := fs.Int("crf-iters", 40, "CRF training iterations")
 	alpha := fs.Float64("alpha", 0, "mixture weight of the CRF posterior (0 = default)")
 	k := fs.Int("k", 10, "graph out-degree")
+	shards := fs.Int("shards", 1, "graph shards for postings-partitioned construction and SPMD propagation (results are bit-identical for every value)")
 	reps := fs.Int("sigf", 10000, "sigf repetitions (0 disables)")
 	incremental := fs.Bool("incremental", false, "run TEST in streaming mode: fold extra unlabelled batches into the maintained graph with warm-start propagation")
 	streamPool := fs.Int("stream-pool", 150, "with -incremental: total extra unlabelled sentences to stream in")
@@ -164,6 +165,7 @@ func cmdRun(args []string) error {
 	gcfg.CRFIterations = *iters
 	gcfg.Alpha = *alpha
 	gcfg.K = *k
+	gcfg.Shards = *shards
 	fmt.Println("training base CRF...")
 	sys, err := graphner.Train(train, gcfg)
 	if err != nil {

@@ -125,9 +125,17 @@ func capturedWrites(info *types.Info, lit *ast.FuncLit) []sharedWrite {
 			if !ok {
 				return
 			}
+			if shardIndexedBase(info, e.X, lit) {
+				// The disjoint-shard idiom extended to struct fields:
+				// states[s].delta = ... where s is the worker's own shard
+				// number. Workers index disjoint elements, so the field
+				// slots are disjoint too — the halo-exchange/SPMD write
+				// pattern of the sharded propagation sweep.
+				return
+			}
 			if base := rootIdent(e.X); base != nil {
 				if bv, ok := info.Uses[base].(*types.Var); ok && capturedVar(bv, lit) {
-					out = append(out, sharedWrite{pos: e.Pos(), v: fv, key: exprKey(e), field: true})
+					out = append(out, sharedWrite{pos: e.Pos(), v: fv, key: writeKey(e), field: true})
 				}
 			}
 		case *ast.IndexExpr:
@@ -175,6 +183,83 @@ func fieldVar(info *types.Info, sel *ast.SelectorExpr) (*types.Var, bool) {
 		return v, true
 	}
 	return nil, false
+}
+
+// writeKey renders a written location for diagnostics. Unlike exprKey —
+// which deliberately refuses indexed expressions because they make poor
+// lock identities — a write target like states[s].delta is best reported
+// with its index spelled out.
+func writeKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := writeKey(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	case *ast.IndexExpr:
+		if base := writeKey(e.X); base != "" {
+			idx := writeKey(e.Index)
+			if idx == "" {
+				if bl, ok := ast.Unparen(e.Index).(*ast.BasicLit); ok {
+					idx = bl.Value
+				}
+			}
+			return base + "[" + idx + "]"
+		}
+	case *ast.StarExpr:
+		return writeKey(e.X)
+	}
+	return ""
+}
+
+// shardIndexedBase reports whether a selector's base chain passes through
+// an index into a slice or array whose index expression is built entirely
+// from closure-local variables (and uses at least one). Such a write —
+// states[s].field with s a worker-private shard number — lands in a slice
+// element the goroutine owns, the struct-field analogue of the exempt
+// slice-element shard idiom. An index mentioning any captured variable,
+// or none at all (states[0].field), stays conservative: it is not
+// provably private to the goroutine.
+func shardIndexedBase(info *types.Info, e ast.Expr, lit *ast.FuncLit) bool {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			if _, isMap := info.TypeOf(t.X).Underlying().(*types.Map); !isMap && closureLocalIndex(info, t.Index, lit) {
+				return true
+			}
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return false
+		}
+	}
+}
+
+// closureLocalIndex reports whether idx references at least one variable
+// declared inside lit and none declared outside it.
+func closureLocalIndex(info *types.Info, idx ast.Expr, lit *ast.FuncLit) bool {
+	locals, ok := 0, true
+	ast.Inspect(idx, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		v, isVar := info.Uses[id].(*types.Var)
+		if !isVar {
+			return true
+		}
+		if capturedVar(v, lit) {
+			ok = false
+			return false
+		}
+		locals++
+		return true
+	})
+	return ok && locals > 0
 }
 
 // rootIdent returns the identifier at the base of a selector/index/star

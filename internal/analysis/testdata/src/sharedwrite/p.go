@@ -152,6 +152,67 @@ func (s *stats) flushLocked() {
 	wg.Wait()
 }
 
+type shardSlot struct {
+	buf   []float64
+	delta float64
+}
+
+// Negative: the halo-buffer/SPMD write pattern — each worker owns a
+// contiguous block of shard slots and writes fields of states[s] only
+// for s in its own block. The index is built entirely from
+// closure-local variables, so the written elements are disjoint across
+// workers, the struct-field analogue of the exempt slice-element shard
+// idiom.
+func shardedFieldWrites(states []shardSlot, workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for s := lo; s < hi; s++ {
+				var maxDelta float64
+				for i := range states[s].buf {
+					states[s].buf[i] = float64(i)
+					if states[s].buf[i] > maxDelta {
+						maxDelta = states[s].buf[i]
+					}
+				}
+				states[s].delta = maxDelta
+			}
+		}(len(states)*w/workers, len(states)*(w+1)/workers)
+	}
+	wg.Wait()
+}
+
+// True positive: a constant index is not a per-worker shard — every
+// goroutine writes the same element's field.
+func fixedSlotWrite(states []shardSlot, workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			states[0].delta = 1 // want "states[0].delta is written by a goroutine spawned in a loop"
+		}()
+	}
+	wg.Wait()
+}
+
+// True positive: the index is a captured variable, shared by every
+// worker — nothing makes the written slots disjoint.
+func capturedIndexWrite(states []shardSlot, workers int) {
+	var wg sync.WaitGroup
+	cursor := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			states[cursor].delta = 1 // want "states[cursor].delta is written by a goroutine spawned in a loop"
+		}()
+	}
+	wg.Wait()
+}
+
 func helperWait(wg *sync.WaitGroup) { wg.Wait() }
 
 // Annotated false positive: the join is real but hidden behind a helper

@@ -3,7 +3,6 @@ package graph
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -85,6 +84,11 @@ type BuilderConfig struct {
 	// Workers bounds the parallelism of the k-NN search (default
 	// GOMAXPROCS).
 	Workers int
+	// Shards partitions the vertex set for postings-partitioned k-NN
+	// construction and per-shard propagation layout (see shard.go).
+	// 0 or 1 selects the single-index path; the assembled graph is
+	// bit-identical for every value.
+	Shards int
 	// Stats, when non-nil, freezes the corpus-level statistics of the PPMI
 	// transform to a snapshot taken from an earlier corpus: the feature
 	// alphabet stops growing (features unseen in the snapshot corpus are
@@ -107,50 +111,12 @@ type BuilderConfig struct {
 }
 
 // Build constructs the 3-gram similarity graph over the corpus (typically
-// the union of labelled and unlabelled data, per Algorithm 1).
+// the union of labelled and unlabelled data, per Algorithm 1). With
+// cfg.Shards > 1 the k-NN search runs the postings-partitioned merge of
+// shard.go; the assembled graph is bit-identical either way.
 func Build(corp *corpus.Corpus, cfg BuilderConfig) (*Graph, error) {
-	if len(corp.Sentences) == 0 {
-		return nil, fmt.Errorf("graph: empty corpus")
-	}
-	if cfg.K <= 0 {
-		cfg.K = 10
-	}
-	if cfg.Extractor == nil {
-		cfg.Extractor = features.NewExtractor(nil)
-	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	if cfg.Stats != nil && cfg.Stats.mode != cfg.Mode {
-		return nil, fmt.Errorf("graph: stats snapshot was taken in %v mode, config wants %v", cfg.Stats.mode, cfg.Mode)
-	}
-	if cfg.Mode == MIFeatures && cfg.Stats == nil {
-		if cfg.Tags == nil {
-			return nil, fmt.Errorf("graph: MIFeatures mode requires Tags")
-		}
-		if len(cfg.Tags) != len(corp.Sentences) {
-			return nil, fmt.Errorf("graph: %d tag rows for %d sentences", len(cfg.Tags), len(corp.Sentences))
-		}
-	}
-
-	vecs, verts, _, _, _ := vertexVectors(corp, cfg)
-	var neighbors [][]Edge
-	if cfg.UseLSH {
-		neighbors = knnLSH(vecs, cfg, cfg.LSH)
-	} else {
-		neighbors = knn(vecs, cfg)
-	}
-	g := &Graph{
-		Vertices:  verts,
-		Index:     make(map[corpus.NGram]int, len(verts)),
-		Neighbors: neighbors,
-		K:         cfg.K,
-	}
-	for i, v := range verts {
-		g.Index[v] = i
-	}
-	g.BuildCSR()
-	return g, nil
+	g, _, err := buildWithShards(corp, cfg)
+	return g, err
 }
 
 // sparseVec is a sorted-by-feature-id sparse vector with cached norm.
@@ -507,31 +473,46 @@ func valueOf(v *sparseVec, id int32) float64 {
 // already the canonical one).
 func topK(scores []float64, touched []int32, qnorm float64, vecs []sparseVec, k int, rank []int32) []Edge {
 	edges := make([]Edge, 0, k)
-	less := func(a, b Edge) bool {
-		if a.Weight != b.Weight { // lint:checked exact tie-break keeps candidate order deterministic
-			return a.Weight > b.Weight
-		}
-		if rank != nil {
-			return rank[a.To] < rank[b.To]
-		}
-		return a.To < b.To
-	}
 	for _, c := range touched {
 		cn := vecs[c].norm
 		if cn == 0 {
 			continue
 		}
-		e := Edge{To: c, Weight: scores[c] / (qnorm * cn)}
-		if len(edges) == k {
-			if !less(e, edges[k-1]) {
-				continue
-			}
-			edges = edges[:k-1]
-		}
-		i := sort.Search(len(edges), func(j int) bool { return less(e, edges[j]) })
-		edges = append(edges, Edge{})
-		copy(edges[i+1:], edges[i:])
-		edges[i] = e
+		edges = insertTopKEdge(edges, Edge{To: c, Weight: scores[c] / (qnorm * cn)}, k, rank)
 	}
+	return edges
+}
+
+// edgeLess is the total order the top-K selection sorts by: cosine weight
+// descending, then canonical vertex order ascending on exact-weight ties.
+// Because no two candidates of one query share a To id, the order is
+// strict and total — which makes insertTopKEdge insertion-order
+// independent, the property the sharded merge relies on to fold per-shard
+// candidate passes into one buffer without changing bits.
+func edgeLess(a, b Edge, rank []int32) bool {
+	if a.Weight != b.Weight { // lint:checked exact tie-break keeps candidate order deterministic
+		return a.Weight > b.Weight
+	}
+	if rank != nil {
+		return rank[a.To] < rank[b.To]
+	}
+	return a.To < b.To
+}
+
+// insertTopKEdge folds one candidate into a descending-sorted top-K
+// buffer by ordered insertion (O(K) with K=10), returning the possibly
+// regrown slice. The batch topK pass, the incremental Updater, and the
+// sharded merge all share this fold.
+func insertTopKEdge(edges []Edge, e Edge, k int, rank []int32) []Edge {
+	if len(edges) == k {
+		if !edgeLess(e, edges[k-1], rank) {
+			return edges
+		}
+		edges = edges[:k-1]
+	}
+	i := sort.Search(len(edges), func(j int) bool { return edgeLess(e, edges[j], rank) })
+	edges = append(edges, Edge{})
+	copy(edges[i+1:], edges[i:])
+	edges[i] = e
 	return edges
 }

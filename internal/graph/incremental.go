@@ -70,6 +70,15 @@ type Updater struct {
 // in-place repairs but makes every top-K selection slightly wider.
 const knnReserve = 6
 
+// debugCapEvents / debugUncapEvents count MaxDF cap-boundary crossings
+// observed by Updater batches across the process — features whose
+// postings list crossed the document-frequency cap in either direction.
+// Diagnostic only; read them under a debugger or ad-hoc test.
+var (
+	debugCapEvents   int
+	debugUncapEvents int
+)
+
 // UpdateResult summarizes one AddSentences batch.
 type UpdateResult struct {
 	// NewVertices counts 3-grams first seen in this batch (appended ids).

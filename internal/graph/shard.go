@@ -1,0 +1,470 @@
+// Sharded similarity-graph construction and layout.
+//
+// The 3-gram vertex set is partitioned into S shards by hashing each
+// vertex's feature-space identity (the NGram key that also keys its
+// feature counts), so the inverted-index postings lists split cleanly:
+// every posting belongs to exactly one shard — the shard of the vertex it
+// scores. k-NN construction then becomes a postings-partitioned merge:
+// each query row accumulates its partial dot products one target shard at
+// a time (the shard-local pass for candidates in the query's own shard,
+// boundary passes for cross-shard candidates), with scratch arrays sized
+// to a shard instead of the whole vertex set. Because each candidate's
+// postings live in exactly one shard and a pass walks the query's
+// features in ascending id order, every candidate's score accumulates in
+// exactly the order the single-shard merge uses — scores, and therefore
+// edges, are bit-identical for every S.
+//
+// The ShardedGraph type carries, next to the flat Graph, per-shard CSR
+// slices in which cross-shard edges point into a per-shard halo region: a
+// dense table of the remote vertices the shard reads, sorted by (owner
+// shard, owner-local id) so a halo exchange streams each owner's rows in
+// ascending order. Propagation over this layout lives in
+// internal/propagate (RunShardedFlat).
+package graph
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/analysis/assert"
+	"repro/internal/corpus"
+	"repro/internal/features"
+)
+
+// ShardMap is a partition of the vertex set into S shards, with the
+// local-id renumbering each shard uses for its CSR slice. Shard-local ids
+// are assigned in ascending global-id order, so postings lists sorted by
+// local id within a shard are also sorted by global id — the property the
+// postings-partitioned merge relies on for bit-identical accumulation.
+type ShardMap struct {
+	S       int
+	ShardOf []int32   // global vertex id -> shard
+	Local   []int32   // global vertex id -> local id within its shard
+	Verts   [][]int32 // shard -> global vertex ids, ascending
+}
+
+// shardOfNGram hashes a vertex's feature-space identity to its shard.
+// FNV-1a over the NGram bytes: deterministic across runs and platforms,
+// which keeps the shard assignment — and so the halo tables and the
+// benchmark partitions — stable for a given corpus.
+func shardOfNGram(v corpus.NGram, s int) int32 {
+	h := fnv.New64a()
+	h.Write([]byte(v))
+	return int32(h.Sum64() % uint64(s))
+}
+
+// NewShardMap partitions verts into s shards by hashing each vertex's
+// NGram identity. s is clamped to [1, len(verts)] (a shard count beyond
+// the vertex count only manufactures empty shards).
+func NewShardMap(verts []corpus.NGram, s int) *ShardMap {
+	if s < 1 {
+		s = 1
+	}
+	if s > len(verts) && len(verts) > 0 {
+		s = len(verts)
+	}
+	sm := &ShardMap{
+		S:       s,
+		ShardOf: make([]int32, len(verts)),
+		Local:   make([]int32, len(verts)),
+		Verts:   make([][]int32, s),
+	}
+	sizes := make([]int32, s)
+	for gi, v := range verts {
+		sh := shardOfNGram(v, s)
+		sm.ShardOf[gi] = sh
+		sizes[sh]++
+	}
+	for sh := range sm.Verts {
+		sm.Verts[sh] = make([]int32, 0, sizes[sh])
+	}
+	for gi := range verts {
+		sh := sm.ShardOf[gi]
+		sm.Local[gi] = int32(len(sm.Verts[sh]))
+		sm.Verts[sh] = append(sm.Verts[sh], int32(gi))
+	}
+	return sm
+}
+
+// MaxShardSize returns the largest shard's vertex count.
+func (sm *ShardMap) MaxShardSize() int {
+	max := 0
+	for _, vs := range sm.Verts {
+		if len(vs) > max {
+			max = len(vs)
+		}
+	}
+	return max
+}
+
+// ShardCSR is one shard's slice of the graph in CSR layout over
+// shard-local row ids. Edge targets are encoded in a single local index
+// space: a target t < len(Verts) is the shard-local id of a vertex this
+// shard owns; a target t >= len(Verts) points at halo entry
+// t - len(Verts) — a remote vertex whose beliefs the propagation kernel
+// reads from the shard's halo region. The halo tables are sorted by
+// (owner shard, owner-local id), so a halo exchange walks each owner's
+// belief rows in ascending order.
+type ShardCSR struct {
+	Verts []int32 // local id -> global vertex id (aliases ShardMap.Verts[s])
+
+	Off []int32   // local CSR offsets, len = len(Verts)+1
+	To  []int32   // encoded targets (see type comment)
+	W   []float64 // edge weights, same order as the flat CSR rows
+
+	HaloOwner  []int32 // halo index -> owner shard
+	HaloLocal  []int32 // halo index -> local id within the owner shard
+	HaloGlobal []int32 // halo index -> global vertex id
+}
+
+// NumHalo returns the number of remote vertices this shard reads.
+func (s *ShardCSR) NumHalo() int { return len(s.HaloGlobal) }
+
+// ShardedGraph is a Graph together with a shard partition: the flat graph
+// (serialization, Updater, and Streamer interoperate with it unchanged),
+// the shard map, and per-shard CSR slices with halo tables for SPMD
+// propagation. Construct one with BuildSharded or, from an existing flat
+// graph, with ShardGraph.
+type ShardedGraph struct {
+	G      *Graph
+	Map    *ShardMap
+	Shards []ShardCSR
+}
+
+// NumShards returns the shard count.
+func (sg *ShardedGraph) NumShards() int { return sg.Map.S }
+
+// NumVertices returns the vertex count of the underlying graph.
+func (sg *ShardedGraph) NumVertices() int { return sg.G.NumVertices() }
+
+// NumEdges returns the edge count of the underlying graph.
+func (sg *ShardedGraph) NumEdges() int { return sg.G.NumEdges() }
+
+// Flat returns the flat view of the sharded graph. It is the identical
+// object the single-shard pipeline produces — WriteTo/ReadFrom,
+// graph.Updater, and graphner.Streamer all keep working against it.
+func (sg *ShardedGraph) Flat() *Graph { return sg.G }
+
+// CrossShardEdges counts edges whose endpoint shards differ — the edges
+// that land in halo regions.
+func (sg *ShardedGraph) CrossShardEdges() int {
+	n := 0
+	for s := range sg.Shards {
+		sh := &sg.Shards[s]
+		nLocal := len(sh.Verts)
+		for _, t := range sh.To {
+			if int(t) >= nLocal {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ShardGraph partitions an existing flat graph into s shards, deriving
+// the per-shard CSR slices and halo tables from the graph's CSR mirror
+// (built on demand). The flat graph is shared, not copied.
+func ShardGraph(g *Graph, s int) (*ShardedGraph, error) {
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("graph: cannot shard an empty graph")
+	}
+	g.EnsureCSR()
+	sm := NewShardMap(g.Vertices, s)
+	return &ShardedGraph{G: g, Map: sm, Shards: shardSlices(g, sm)}, nil
+}
+
+// shardSlices derives every shard's CSR slice and halo tables from the
+// flat CSR. Edge order within each row is preserved exactly, so the
+// propagation kernel's per-row accumulation order — and therefore its
+// floating-point results — match the flat kernel bit for bit.
+func shardSlices(g *Graph, sm *ShardMap) []ShardCSR {
+	n := g.NumVertices()
+	shards := make([]ShardCSR, sm.S)
+	// mark/idx are shared scratch across shards: mark[gi] == epoch means
+	// gi is in the current shard's halo with index idx[gi].
+	mark := make([]int32, n)
+	idx := make([]int32, n)
+	epoch := int32(0)
+	for s := 0; s < sm.S; s++ {
+		sh := &shards[s]
+		sh.Verts = sm.Verts[s]
+		nLocal := len(sh.Verts)
+		epoch++
+
+		// Pass 1: count edges and collect the distinct remote targets.
+		nEdges := 0
+		var halo []int32
+		for _, gi := range sh.Verts {
+			for e, end := g.EdgeOffsets[gi], g.EdgeOffsets[gi+1]; e < end; e++ {
+				nEdges++
+				t := g.EdgeTo[e]
+				if sm.ShardOf[t] != int32(s) && mark[t] != epoch {
+					mark[t] = epoch
+					halo = append(halo, t)
+				}
+			}
+		}
+		// Halo order: by (owner shard, owner-local id), so the exchange
+		// streams each owner's rows in ascending local order.
+		sort.Slice(halo, func(a, b int) bool {
+			if sm.ShardOf[halo[a]] != sm.ShardOf[halo[b]] {
+				return sm.ShardOf[halo[a]] < sm.ShardOf[halo[b]]
+			}
+			return sm.Local[halo[a]] < sm.Local[halo[b]]
+		})
+		sh.HaloGlobal = halo
+		sh.HaloOwner = make([]int32, len(halo))
+		sh.HaloLocal = make([]int32, len(halo))
+		for i, gi := range halo {
+			sh.HaloOwner[i] = sm.ShardOf[gi]
+			sh.HaloLocal[i] = sm.Local[gi]
+			idx[gi] = int32(i)
+		}
+
+		// Pass 2: emit the shard CSR with remapped targets.
+		sh.Off = make([]int32, nLocal+1)
+		sh.To = make([]int32, nEdges)
+		sh.W = make([]float64, nEdges)
+		pos := int32(0)
+		for li, gi := range sh.Verts {
+			sh.Off[li] = pos
+			for e, end := g.EdgeOffsets[gi], g.EdgeOffsets[gi+1]; e < end; e++ {
+				t := g.EdgeTo[e]
+				if sm.ShardOf[t] == int32(s) {
+					sh.To[pos] = sm.Local[t]
+				} else {
+					sh.To[pos] = int32(nLocal) + idx[t]
+				}
+				sh.W[pos] = g.EdgeWeight[e]
+				pos++
+			}
+		}
+		sh.Off[nLocal] = pos
+		if assert.Enabled {
+			assert.CSRMonotonic(sh.Off, len(sh.To), "shard CSR")
+		}
+	}
+	return shards
+}
+
+// BuildSharded constructs the similarity graph like Build, but with the
+// k-NN search partitioned across cfg.Shards shards, and returns the
+// ShardedGraph carrying both the flat graph and the per-shard layout. The
+// flat graph is bit-identical to Build's output for every shard count —
+// same vertices, same edges, same weights — so BuildSharded followed by
+// Flat() is a drop-in Build replacement.
+func BuildSharded(corp *corpus.Corpus, cfg BuilderConfig) (*ShardedGraph, error) {
+	g, sm, err := buildWithShards(corp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedGraph{G: g, Map: sm, Shards: shardSlices(g, sm)}, nil
+}
+
+// buildWithShards is the shared construction path behind Build and
+// BuildSharded: validate, vectorize, partition, search, assemble. With
+// cfg.Shards <= 1 the k-NN search is the original single-index merge;
+// with more shards it is the postings-partitioned merge of knnSharded.
+// Both produce bit-identical graphs.
+func buildWithShards(corp *corpus.Corpus, cfg BuilderConfig) (*Graph, *ShardMap, error) {
+	if len(corp.Sentences) == 0 {
+		return nil, nil, fmt.Errorf("graph: empty corpus")
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	if cfg.Extractor == nil {
+		cfg.Extractor = features.NewExtractor(nil)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Stats != nil && cfg.Stats.mode != cfg.Mode {
+		return nil, nil, fmt.Errorf("graph: stats snapshot was taken in %v mode, config wants %v", cfg.Stats.mode, cfg.Mode)
+	}
+	if cfg.Mode == MIFeatures && cfg.Stats == nil {
+		if cfg.Tags == nil {
+			return nil, nil, fmt.Errorf("graph: MIFeatures mode requires Tags")
+		}
+		if len(cfg.Tags) != len(corp.Sentences) {
+			return nil, nil, fmt.Errorf("graph: %d tag rows for %d sentences", len(cfg.Tags), len(corp.Sentences))
+		}
+	}
+
+	vecs, verts, _, _, _ := vertexVectors(corp, cfg)
+	sm := NewShardMap(verts, cfg.Shards)
+	var neighbors [][]Edge
+	switch {
+	case cfg.UseLSH:
+		// The LSH candidate generator has its own banding layout; the
+		// shard partition still applies to the resulting graph.
+		neighbors = knnLSH(vecs, cfg, cfg.LSH)
+	case sm.S > 1:
+		neighbors = knnSharded(vecs, sm, cfg)
+	default:
+		neighbors = knn(vecs, cfg)
+	}
+	g := &Graph{
+		Vertices:  verts,
+		Index:     make(map[corpus.NGram]int, len(verts)),
+		Neighbors: neighbors,
+		K:         cfg.K,
+	}
+	for i, v := range verts {
+		g.Index[v] = i
+	}
+	g.BuildCSR()
+	return g, sm, nil
+}
+
+// shardPostings is one shard's inverted index: postings lists per feature
+// holding (shard-local vertex, value) pairs in ascending local-id order
+// (equivalently, ascending global-id order — local ids are assigned in
+// global order).
+type shardPostings struct {
+	lists [][]posting
+	norms []float64 // local id -> vector norm, dense for cache locality
+}
+
+// buildShardPostings splits the inverted index by candidate shard and
+// returns the per-shard indexes plus the global document frequency of
+// every feature. The MaxDF cap must consult the global frequency — the
+// single-shard path caps on the full postings-list length, and capping
+// on shard-local lengths would change which features score.
+func buildShardPostings(vecs []sparseVec, sm *ShardMap) ([]shardPostings, []int32) {
+	nf := 0
+	for i := range vecs {
+		for _, id := range vecs[i].ids {
+			if int(id) >= nf {
+				nf = int(id) + 1
+			}
+		}
+	}
+	globalDF := make([]int32, nf)
+	out := make([]shardPostings, sm.S)
+	counts := make([]int32, nf)
+	for s := 0; s < sm.S; s++ {
+		verts := sm.Verts[s]
+		sp := &out[s]
+		sp.norms = make([]float64, len(verts))
+		for i := range counts {
+			counts[i] = 0
+		}
+		total := 0
+		for li, gi := range verts {
+			v := &vecs[gi]
+			sp.norms[li] = v.norm
+			for _, id := range v.ids {
+				counts[id]++
+				globalDF[id]++
+			}
+			total += len(v.ids)
+		}
+		flat := make([]posting, total)
+		sp.lists = make([][]posting, nf)
+		pos := 0
+		for f := range sp.lists {
+			sp.lists[f] = flat[pos : pos : pos+int(counts[f])]
+			pos += int(counts[f])
+		}
+		for li, gi := range verts {
+			v := &vecs[gi]
+			l32 := int32(li)
+			for k, id := range v.ids {
+				sp.lists[id] = append(sp.lists[id], posting{v: l32, val: v.vals[k]})
+			}
+		}
+	}
+	return out, globalDF
+}
+
+// knnSharded is the postings-partitioned k-NN merge: for every query
+// vertex it runs one scoring pass per target shard — the shard-local pass
+// plus boundary passes over the cross-shard candidates — folding each
+// pass's candidates into a single top-K buffer under topK's total order
+// (cosine descending, vertex id ascending on exact weight ties). Because
+// the order is total, the fold is insertion-order independent and the
+// resulting rows are bit-identical to the single-index merge. Queries are
+// partitioned into contiguous blocks across cfg.Workers workers; scratch
+// arrays are sized to the largest shard, not the vertex set, which keeps
+// the score-accumulation working set cache-resident as shards shrink.
+func knnSharded(vecs []sparseVec, sm *ShardMap, cfg BuilderConfig) [][]Edge {
+	n := len(vecs)
+	postings, globalDF := buildShardPostings(vecs, sm)
+
+	out := make([][]Edge, n)
+	var wg sync.WaitGroup
+	workers := cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	scratch := sm.MaxShardSize()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scores := make([]float64, scratch)
+			seen := make([]int32, scratch)
+			epoch := int32(0)
+			touched := make([]int32, 0, 1024)
+			for vi := lo; vi < hi; vi++ {
+				q := &vecs[vi]
+				if q.norm == 0 {
+					continue
+				}
+				edges := make([]Edge, 0, cfg.K)
+				qShard, qLocal := sm.ShardOf[vi], sm.Local[vi]
+				for s := 0; s < sm.S; s++ {
+					sp := &postings[s]
+					self := int32(-1)
+					if int32(s) == qShard {
+						self = qLocal
+					}
+					epoch++
+					touched = scoreShard(q, self, sp.lists, globalDF, cfg.MaxDF, scores, seen, epoch, touched[:0])
+					verts := sm.Verts[s]
+					for _, c := range touched {
+						cn := sp.norms[c]
+						if cn == 0 {
+							continue
+						}
+						e := Edge{To: verts[c], Weight: scores[c] / (q.norm * cn)}
+						edges = insertTopKEdge(edges, e, cfg.K, nil)
+					}
+				}
+				out[vi] = edges
+			}
+		}(n*w/workers, n*(w+1)/workers)
+	}
+	wg.Wait()
+	return out
+}
+
+// scoreShard accumulates the query's sparse partial dot products against
+// one shard's postings, exactly as scoreInto does against the global
+// postings — same feature order, same per-candidate accumulation order —
+// except that the document-frequency cap consults the global postings
+// length (globalDF), not the shard-local one.
+func scoreShard(q *sparseVec, self int32, lists [][]posting, globalDF []int32, maxDF int, scores []float64, seen []int32, epoch int32, touched []int32) []int32 {
+	for k, id := range q.ids {
+		if maxDF > 0 && int(globalDF[id]) > maxDF {
+			continue
+		}
+		qv := q.vals[k]
+		for _, p := range lists[id] {
+			if p.v == self {
+				continue
+			}
+			if seen[p.v] != epoch {
+				seen[p.v] = epoch
+				scores[p.v] = 0
+				touched = append(touched, p.v)
+			}
+			scores[p.v] += qv * p.val
+		}
+	}
+	return touched
+}

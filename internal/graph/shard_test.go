@@ -1,0 +1,244 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/corpus/synth"
+)
+
+// shardTestCorpus generates a synthetic corpus plus per-sentence tags for
+// MIFeatures-mode configs.
+func shardTestCorpus(seed int64, sentences int) (*corpus.Corpus, [][]corpus.Tag) {
+	cfg := synth.DefaultConfig(synth.BC2GM, seed)
+	cfg.Sentences = sentences
+	c := synth.NewGenerator(cfg).Generate()
+	tags := make([][]corpus.Tag, len(c.Sentences))
+	for i, s := range c.Sentences {
+		tags[i] = s.Tags
+	}
+	return c, tags
+}
+
+// TestShardedBuildMatchesBuild is the construction half of the sharding
+// equivalence bar: for every shard count, feature mode, and K, the flat
+// graph BuildSharded assembles is bit-identical to the single-index
+// Build — same vertices, same edges, same weights, same CSR arrays.
+func TestShardedBuildMatchesBuild(t *testing.T) {
+	corp, tags := shardTestCorpus(11, 80)
+	modes := []struct {
+		mode FeatureMode
+		tags [][]corpus.Tag
+	}{
+		{AllFeatures, nil},
+		{LexicalFeatures, nil},
+		{MIFeatures, tags},
+	}
+	for _, m := range modes {
+		for _, k := range []int{3, 10} {
+			cfg := BuilderConfig{K: k, Mode: m.mode, MIThreshold: 0.0005, Tags: m.tags, Workers: 3}
+			want, err := Build(corp, cfg)
+			if err != nil {
+				t.Fatalf("mode=%v K=%d: Build: %v", m.mode, k, err)
+			}
+			for _, s := range []int{1, 2, 3, 8} {
+				scfg := cfg
+				scfg.Shards = s
+				sg, err := BuildSharded(corp, scfg)
+				if err != nil {
+					t.Fatalf("mode=%v K=%d S=%d: BuildSharded: %v", m.mode, k, s, err)
+				}
+				tag := fmt.Sprintf("mode=%v/K=%d/S=%d", m.mode, k, s)
+				if !sg.Flat().Equal(want) {
+					assertCanonicalEqual(t, tag, sg.Flat(), want)
+					t.Fatalf("%s: sharded graph differs from Build in CSR or vertex order", tag)
+				}
+				assertShardConsistent(t, tag, sg)
+			}
+		}
+	}
+}
+
+// TestShardedBuildMatchesBuildMaxDF pins the document-frequency cap to
+// global postings frequency: a tiny MaxDF makes any shard-local capping
+// produce different candidate sets, which the equality would catch.
+func TestShardedBuildMatchesBuildMaxDF(t *testing.T) {
+	corp, _ := shardTestCorpus(13, 60)
+	for _, maxDF := range []int{1, 4, 32} {
+		cfg := BuilderConfig{K: 5, MaxDF: maxDF, Workers: 2}
+		want, err := Build(corp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []int{2, 8} {
+			scfg := cfg
+			scfg.Shards = s
+			sg, err := BuildSharded(corp, scfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tag := fmt.Sprintf("maxDF=%d/S=%d", maxDF, s)
+			if !sg.Flat().Equal(want) {
+				assertCanonicalEqual(t, tag, sg.Flat(), want)
+				t.Fatalf("%s: sharded graph differs from Build", tag)
+			}
+		}
+	}
+}
+
+// TestShardGraphRoundTrip serializes a graph through the flat text format
+// and re-partitions the decoded copy: the derived shard slices must match
+// the ones derived from the original graph exactly — the flat Graph is
+// the interchange format, and sharding is a pure function of it.
+func TestShardGraphRoundTrip(t *testing.T) {
+	corp, _ := shardTestCorpus(17, 50)
+	g, err := Build(corp, BuilderConfig{K: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{1, 3, 8} {
+		a, err := ShardGraph(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ShardGraph(g2, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tag := fmt.Sprintf("roundtrip/S=%d", s)
+		assertShardConsistent(t, tag, a)
+		assertShardConsistent(t, tag, b)
+		if a.NumShards() != b.NumShards() {
+			t.Fatalf("%s: %d shards vs %d after round trip", tag, a.NumShards(), b.NumShards())
+		}
+		for si := range a.Shards {
+			sa, sb := &a.Shards[si], &b.Shards[si]
+			if !int32SlicesEqual(sa.Verts, sb.Verts) || !int32SlicesEqual(sa.Off, sb.Off) ||
+				!int32SlicesEqual(sa.To, sb.To) || !int32SlicesEqual(sa.HaloGlobal, sb.HaloGlobal) ||
+				!int32SlicesEqual(sa.HaloOwner, sb.HaloOwner) || !int32SlicesEqual(sa.HaloLocal, sb.HaloLocal) {
+				t.Fatalf("%s: shard %d layout differs after serialization round trip", tag, si)
+			}
+			if len(sa.W) != len(sb.W) {
+				t.Fatalf("%s: shard %d has %d weights vs %d", tag, si, len(sa.W), len(sb.W))
+			}
+			for e := range sa.W {
+				if sa.W[e] != sb.W[e] {
+					t.Fatalf("%s: shard %d weight %d is %v vs %v", tag, si, e, sa.W[e], sb.W[e])
+				}
+			}
+		}
+	}
+}
+
+// TestNewShardMapInvariants checks the partition itself: every vertex in
+// exactly one shard, local ids dense and ascending in global order, and
+// shard counts clamped to the vertex count.
+func TestNewShardMapInvariants(t *testing.T) {
+	verts := []corpus.NGram{"a b c", "b c d", "c d e", "d e f", "e f g"}
+	for _, s := range []int{1, 2, 3, 8, 0, -4} {
+		sm := NewShardMap(verts, s)
+		if sm.S < 1 || sm.S > len(verts) {
+			t.Fatalf("s=%d: shard count %d outside [1,%d]", s, sm.S, len(verts))
+		}
+		seen := make(map[int32]bool)
+		for sh, vs := range sm.Verts {
+			prev := int32(-1)
+			for li, gi := range vs {
+				if seen[gi] {
+					t.Fatalf("s=%d: vertex %d in two shards", s, gi)
+				}
+				seen[gi] = true
+				if gi <= prev {
+					t.Fatalf("s=%d: shard %d vertex list not ascending", s, sh)
+				}
+				prev = gi
+				if sm.ShardOf[gi] != int32(sh) || sm.Local[gi] != int32(li) {
+					t.Fatalf("s=%d: vertex %d maps to (%d,%d), listed at (%d,%d)",
+						s, gi, sm.ShardOf[gi], sm.Local[gi], sh, li)
+				}
+			}
+		}
+		if len(seen) != len(verts) {
+			t.Fatalf("s=%d: %d vertices partitioned, want %d", s, len(seen), len(verts))
+		}
+	}
+}
+
+// assertShardConsistent cross-checks a ShardedGraph's per-shard slices
+// against its flat CSR: decoding every shard row (local and halo targets
+// back to global ids) must reproduce the flat rows exactly, and the halo
+// tables must agree with the shard map.
+func assertShardConsistent(t *testing.T, tag string, sg *ShardedGraph) {
+	t.Helper()
+	g, sm := sg.G, sg.Map
+	g.EnsureCSR()
+	if len(sg.Shards) != sm.S {
+		t.Fatalf("%s: %d shard slices for %d shards", tag, len(sg.Shards), sm.S)
+	}
+	for s := range sg.Shards {
+		sh := &sg.Shards[s]
+		nLocal := len(sh.Verts)
+		for i := range sh.HaloGlobal {
+			gi := sh.HaloGlobal[i]
+			if sm.ShardOf[gi] == int32(s) {
+				t.Fatalf("%s: shard %d halo entry %d owns vertex %d", tag, s, i, gi)
+			}
+			if sh.HaloOwner[i] != sm.ShardOf[gi] || sh.HaloLocal[i] != sm.Local[gi] {
+				t.Fatalf("%s: shard %d halo entry %d tables disagree with shard map", tag, s, i)
+			}
+			if i > 0 {
+				po, pl := sh.HaloOwner[i-1], sh.HaloLocal[i-1]
+				if po > sh.HaloOwner[i] || (po == sh.HaloOwner[i] && pl >= sh.HaloLocal[i]) {
+					t.Fatalf("%s: shard %d halo not sorted by (owner, local) at %d", tag, s, i)
+				}
+			}
+		}
+		for li, gi := range sh.Verts {
+			lo, hi := sh.Off[li], sh.Off[li+1]
+			glo, ghi := g.EdgeOffsets[gi], g.EdgeOffsets[gi+1]
+			if hi-lo != ghi-glo {
+				t.Fatalf("%s: shard %d row %d has %d edges, flat row has %d", tag, s, li, hi-lo, ghi-glo)
+			}
+			for e := lo; e < hi; e++ {
+				enc := sh.To[e]
+				var target int32
+				if int(enc) < nLocal {
+					target = sh.Verts[enc]
+				} else {
+					target = sh.HaloGlobal[int(enc)-nLocal]
+				}
+				ge := glo + (e - lo)
+				if target != g.EdgeTo[ge] {
+					t.Fatalf("%s: shard %d row %d edge %d decodes to %d, flat has %d",
+						tag, s, li, e-lo, target, g.EdgeTo[ge])
+				}
+				if sh.W[e] != g.EdgeWeight[ge] {
+					t.Fatalf("%s: shard %d row %d edge %d weight %v, flat has %v",
+						tag, s, li, e-lo, sh.W[e], g.EdgeWeight[ge])
+				}
+			}
+		}
+	}
+}
+
+func int32SlicesEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -66,6 +66,11 @@ type Config struct {
 	// MaxDF caps feature document frequency during k-NN candidate
 	// generation (see graph.BuilderConfig).
 	MaxDF int
+	// Shards partitions the similarity graph for postings-partitioned
+	// construction and SPMD propagation (see graph.ShardedGraph). 0 or 1
+	// keeps the single-shard pipeline; results are bit-identical for
+	// every value.
+	Shards int
 
 	// TransitionPower tempers the transition log-probabilities in the
 	// final Viterbi re-decode (Algorithm 1 line 9). The node potentials
@@ -326,6 +331,7 @@ func (s *System) builderConfig(union *corpus.Corpus, ins []*crf.Instance) graph.
 		Extractor:   s.cfg.Extractor,
 		MaxDF:       s.cfg.MaxDF,
 		Workers:     s.cfg.Workers,
+		Shards:      s.cfg.Shards,
 	}
 	if s.cfg.Mode == graph.MIFeatures {
 		tags := make([][]corpus.Tag, len(union.Sentences))
@@ -442,13 +448,25 @@ func (s *System) testOnUnion(test, union *corpus.Corpus, ins []*crf.Instance, g 
 		}
 	}
 
-	// Line 7: propagate.
-	prop, err := propagate.Run(g, X, xref, labelled, propagate.Config{
+	// Line 7: propagate. With Shards > 1 the sweep runs the SPMD kernel
+	// over the per-shard layout; beliefs are bit-identical either way.
+	pcfg := propagate.Config{
 		Mu:         s.cfg.Mu,
 		Nu:         s.cfg.Nu,
 		Iterations: s.cfg.Iterations,
 		Workers:    s.cfg.Workers,
-	})
+	}
+	var prop propagate.Result
+	var err error
+	if s.cfg.Shards > 1 {
+		var sg *graph.ShardedGraph
+		sg, err = graph.ShardGraph(g, s.cfg.Shards)
+		if err == nil {
+			prop, err = propagate.RunSharded(sg, X, xref, labelled, pcfg)
+		}
+	} else {
+		prop, err = propagate.Run(g, X, xref, labelled, pcfg)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("graphner: propagation: %w", err)
 	}

@@ -197,7 +197,7 @@ func TestRunMatchesSeedBitForBit(t *testing.T) {
 	configs := []Config{
 		{Mu: 1e-4, Nu: 1e-6, Iterations: 3, Workers: 1},
 		{Mu: 1e-4, Nu: 1e-6, Iterations: 2, Workers: 4},
-		{Mu: 0.5, Nu: 0, Iterations: 4, Workers: 3},  // kappa==0 on isolated unlabelled vertices
+		{Mu: 0.5, Nu: 0, Iterations: 4, Workers: 3}, // kappa==0 on isolated unlabelled vertices
 		{Mu: 1e-6, Nu: 1e-4, Iterations: 2, Workers: 2, Symmetrize: true},
 	}
 	for trial := 0; trial < 6; trial++ {

@@ -50,15 +50,39 @@ type Config struct {
 	Symmetrize bool
 	// Workers bounds parallelism (default GOMAXPROCS).
 	Workers int
+	// LossEvery controls how often the Equation-1 objective is evaluated.
+	// The loss is diagnostic — no control flow reads it — but costs a full
+	// pass over the edges, comparable to a sweep itself. 0 (the default)
+	// keeps the legacy schedule: before the first sweep and after every
+	// sweep, bit for bit. A negative value skips the loss entirely
+	// (Result.Loss stays nil). N > 0 evaluates before the first sweep,
+	// after every Nth sweep, and after the final sweep.
+	LossEvery int
 }
 
 // Result reports what propagation did.
 type Result struct {
-	// Loss holds the Equation-1 objective before the first sweep and
-	// after every sweep (length Iterations+1).
+	// Loss holds the Equation-1 objective at the evaluation points
+	// Config.LossEvery selects — with the default schedule, before the
+	// first sweep and after every sweep (length Iterations+1).
 	Loss []float64
 	// MaxDelta is the largest per-entry change of the final sweep.
 	MaxDelta float64
+}
+
+// lossWanted reports whether the loss schedule evaluates the objective
+// after `done` completed sweeps (done == 0 is the pre-sweep evaluation);
+// final marks the last sweep of the run, which N-periodic schedules
+// always record.
+func (cfg Config) lossWanted(done int, final bool) bool {
+	switch {
+	case cfg.LossEvery < 0:
+		return false
+	case cfg.LossEvery == 0:
+		return true
+	default:
+		return final || done%cfg.LossEvery == 0
+	}
 }
 
 // adjacency is a CSR view of the propagation graph: the out-edges of
@@ -222,8 +246,11 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 		}
 	}
 
-	res := Result{Loss: make([]float64, 0, cfg.Iterations+1)}
-	res.Loss = append(res.Loss, lossFlat(adj, X, xref, labelled, n, cfg.Mu, cfg.Nu))
+	var res Result
+	if cfg.lossWanted(0, cfg.Iterations == 0) {
+		res.Loss = make([]float64, 0, cfg.Iterations+1)
+		res.Loss = append(res.Loss, lossFlat(adj, X, xref, labelled, n, cfg.Mu, cfg.Nu))
+	}
 	if cfg.Iterations == 0 {
 		return res, nil
 	}
@@ -247,13 +274,20 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 		var wg sync.WaitGroup
 		for w := 0; w < cfg.Workers; w++ {
 			wg.Add(1)
-			go func(w int) {
+			// Contiguous block ranges rather than a strided v += Workers
+			// walk: each worker streams a dense span of the belief matrix
+			// and the CSR arrays, so adjacent rows share cache lines
+			// within one worker instead of bouncing between all of them.
+			// The partition only regroups which worker computes which
+			// row; every row update reads and writes the same values, so
+			// the sweep is bit-identical to the strided schedule.
+			go func(w, lo, hi int) {
 				defer wg.Done()
 				if assert.Enabled {
 					sweepGuard.CheckSweep(sweepToken, "propagate belief matrix")
 				}
 				var maxDelta float64
-				for v := w; v < n; v += cfg.Workers {
+				for v := lo; v < hi; v++ {
 					row := v * Y
 					d := updateRow(adj, cur, xref, labelled, v, cfg.Mu, cfg.Nu, uniform, next[row:row+Y])
 					if d > maxDelta {
@@ -261,7 +295,7 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 					}
 				}
 				deltas[w] = maxDelta
-			}(w)
+			}(w, n*w/cfg.Workers, n*(w+1)/cfg.Workers)
 		}
 		wg.Wait()
 		if assert.Enabled {
@@ -284,8 +318,11 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 				assert.RowsSumToOne(cur, Y, "propagate beliefs after sweep")
 			}
 		}
-		res.Loss = append(res.Loss, lossFlat(adj, cur, xref, labelled, n, cfg.Mu, cfg.Nu))
-		if cfg.Tolerance > 0 && res.MaxDelta <= cfg.Tolerance {
+		stop := cfg.Tolerance > 0 && res.MaxDelta <= cfg.Tolerance
+		if cfg.lossWanted(it+1, stop || it == cfg.Iterations-1) {
+			res.Loss = append(res.Loss, lossFlat(adj, cur, xref, labelled, n, cfg.Mu, cfg.Nu))
+		}
+		if stop {
 			break
 		}
 	}
@@ -305,6 +342,12 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 // update a full sweep would for the same vertex and beliefs.
 func updateRow(adj adjacency, cur []float64, xref [][]float64, labelled []bool, v int, mu, nu, uniform float64, out []float64) float64 {
 	const Y = corpus.NumTags
+	if Y == 3 {
+		// Constant condition: the dead branch is eliminated at compile
+		// time, so the tag-width change that would invalidate the
+		// unrolled kernel also stops selecting it.
+		return updateRow3(adj, cur, xref, labelled, v, mu, nu, uniform, out)
+	}
 	kappa := nu
 	if labelled[v] {
 		kappa++
@@ -338,6 +381,60 @@ func updateRow(adj adjacency, cur []float64, xref [][]float64, labelled []bool, 
 		}
 		out[y] = nv
 	}
+	return maxDelta
+}
+
+// updateRow3 is updateRow unrolled for the three-tag alphabet the corpus
+// package fixes at compile time. Bit-identity with the generic loop is
+// load-bearing: every accumulator (kappa, the three gamma components,
+// maxDelta) sees exactly the same sequence of floating-point operations
+// in the same order — the unrolling only renames gamma[y] to three
+// scalars and peels the constant-bound loops, it never reassociates a
+// sum or hoists a division.
+func updateRow3(adj adjacency, cur []float64, xref [][]float64, labelled []bool, v int, mu, nu, uniform float64, out []float64) float64 {
+	kappa := nu
+	u := nu * uniform
+	g0, g1, g2 := u, u, u
+	if labelled[v] {
+		kappa++
+		xr := xref[v]
+		g0 += xr[0]
+		g1 += xr[1]
+		g2 += xr[2]
+	}
+	to, wt := adj.to, adj.w
+	for e, end := adj.off[v], adj.off[v+1]; e < end; e++ {
+		mw := mu * wt[e]
+		kappa += mw
+		o := int(to[e]) * 3
+		xe := cur[o : o+3 : o+3]
+		g0 += mw * xe[0]
+		g1 += mw * xe[1]
+		g2 += mw * xe[2]
+	}
+	row := v * 3
+	if kappa == 0 {
+		// Isolated unlabelled vertex with ν=0: keep as is.
+		copy(out, cur[row:row+3])
+		return 0
+	}
+	cr := cur[row : row+3 : row+3]
+	var maxDelta float64
+	nv := g0 / kappa
+	if d := math.Abs(nv - cr[0]); d > maxDelta {
+		maxDelta = d
+	}
+	out[0] = nv
+	nv = g1 / kappa
+	if d := math.Abs(nv - cr[1]); d > maxDelta {
+		maxDelta = d
+	}
+	out[1] = nv
+	nv = g2 / kappa
+	if d := math.Abs(nv - cr[2]); d > maxDelta {
+		maxDelta = d
+	}
+	out[2] = nv
 	return maxDelta
 }
 
@@ -393,6 +490,11 @@ func Loss(g *graph.Graph, X, xref [][]float64, labelled []bool, cfg Config) floa
 // RunFlat are bit-identical to the slice-of-rows implementation.
 func lossFlat(adj adjacency, X []float64, xref [][]float64, labelled []bool, n int, mu, nu float64) float64 {
 	const Y = corpus.NumTags
+	if Y == 3 {
+		// Same compile-time dispatch as updateRow: the unrolled kernel
+		// is only selected while the tag alphabet stays three-wide.
+		return lossFlat3(adj, X, xref, labelled, n, mu, nu)
+	}
 	uniform := 1.0 / Y
 	var c float64
 	for v := 0; v < n; v++ {
@@ -416,6 +518,48 @@ func lossFlat(adj adjacency, X []float64, xref [][]float64, labelled []bool, n i
 			d := X[row+y] - uniform
 			c += nu * d * d
 		}
+	}
+	return c
+}
+
+// lossFlat3 is lossFlat unrolled for the three-tag alphabet, with the
+// same bit-identity contract as updateRow3: the global accumulator c and
+// each per-edge partial sum s receive the same floating-point operations
+// in the same order as the generic loops (s starts from d0·d0 rather
+// than 0+d0·d0 — identical bits, squares are never negative zero).
+func lossFlat3(adj adjacency, X []float64, xref [][]float64, labelled []bool, n int, mu, nu float64) float64 {
+	const uniform = 1.0 / 3
+	var c float64
+	for v := 0; v < n; v++ {
+		row := v * 3
+		x := X[row : row+3 : row+3]
+		if labelled[v] {
+			xr := xref[v]
+			d := x[0] - xr[0]
+			c += d * d
+			d = x[1] - xr[1]
+			c += d * d
+			d = x[2] - xr[2]
+			c += d * d
+		}
+		to, wt := adj.to, adj.w
+		for e, end := adj.off[v], adj.off[v+1]; e < end; e++ {
+			o := int(to[e]) * 3
+			xo := X[o : o+3 : o+3]
+			d0 := x[0] - xo[0]
+			d1 := x[1] - xo[1]
+			d2 := x[2] - xo[2]
+			s := d0 * d0
+			s += d1 * d1
+			s += d2 * d2
+			c += mu * wt[e] * s
+		}
+		d := x[0] - uniform
+		c += nu * d * d
+		d = x[1] - uniform
+		c += nu * d * d
+		d = x[2] - uniform
+		c += nu * d * d
 	}
 	return c
 }

@@ -139,15 +139,20 @@ func RunWarmFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool,
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(w int) {
+			// Contiguous block ranges over the sorted worklist, matching
+			// RunFlat's partitioning: each worker walks a dense span of
+			// the frontier (and, because active is sorted, a roughly
+			// dense span of the belief matrix). Bit-identical: rowDelta
+			// and buf entries do not depend on which worker fills them.
+			go func(lo, hi int) {
 				defer wg.Done()
 				if assert.Enabled {
 					sweepGuard.CheckSweep(sweepToken, "warm propagate belief matrix")
 				}
-				for ai := w; ai < len(active); ai += workers {
+				for ai := lo; ai < hi; ai++ {
 					rowDelta[ai] = updateRow(adj, X, xref, labelled, int(active[ai]), cfg.Mu, cfg.Nu, uniform, buf[ai*Y:ai*Y+Y])
 				}
-			}(w)
+			}(len(active)*w/workers, len(active)*(w+1)/workers)
 		}
 		wg.Wait()
 		if assert.Enabled {

@@ -15,4 +15,7 @@ make fuzz-smoke
 echo "==> bench smoke"
 make bench-smoke
 
+echo "==> bench shard smoke"
+make bench-shard-smoke
+
 echo "==> ci OK"
