@@ -3,9 +3,9 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/propagate ./internal/graph ./internal/crf ./internal/graphner ./internal/features
+RACE_PKGS = ./internal/propagate ./internal/graph ./internal/crf ./internal/graphner ./internal/features ./internal/serving
 
-.PHONY: all build lint lint-json test race fuzz-smoke bench-smoke bench-shard-smoke debug-test ci tier1
+.PHONY: all build lint lint-json test race fuzz-smoke bench-smoke bench-shard-smoke bench-serving-smoke debug-test ci tier1
 
 all: tier1
 
@@ -56,6 +56,13 @@ bench-smoke:
 bench-shard-smoke:
 	$(GO) test -run 'TestShardedBuildMatchesBuild$$|TestShardGraphRoundTrip' -count=1 ./internal/graph
 	$(GO) test -run 'TestRunShardedFlatMatchesRunFlat|TestRunShardedMatchesRun|TestShardedSweepAllocGuard' -count=1 ./internal/propagate
+
+# Serving smoke (<2 s of test time): in-process requests through the real
+# batching server — the golden identity check (served tags == System.Test
+# output), the p99 latency gate under a deliberately loose bound, and the
+# zero-allocation warm-request guard.
+bench-serving-smoke:
+	$(GO) test -run 'TestServingGolden|TestServingSmoke|TestServingAllocGuard' -count=1 ./internal/serving
 
 # Runtime assertions (internal/analysis/assert) compiled in: CSR shape,
 # row-stochastic beliefs per sweep, NaN scans before Viterbi.

@@ -45,6 +45,8 @@ func main() {
 	incrementalOut := flag.String("incremental-out", "BENCH_incremental.json", "output path for -incremental (\"-\" for stdout)")
 	shard := flag.Bool("shard", false, "benchmark sharded graph construction and SPMD propagation across shard x worker counts (bit-identity verified inline) and write a JSON report")
 	shardOut := flag.String("shard-out", "BENCH_shard.json", "output path for -shard (\"-\" for stdout)")
+	servingFlag := flag.Bool("serving", false, "benchmark the graphnerd batching server over a frozen artifact (golden identity and warm-allocation checks inline, latency sweep across worker counts) and write a JSON report")
+	servingOut := flag.String("serving-out", "BENCH_serving.json", "output path for -serving (\"-\" for stdout)")
 	seed := flag.Int64("seed", 1, "corpus seed")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Var(&tables, "table", "table number to regenerate (repeatable: 1-5)")
@@ -68,7 +70,7 @@ func main() {
 		figs = intList{2, 3, 4, 5}
 		*statsFlag = true
 	}
-	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly && !*hotpaths && !*incremental && !*shard {
+	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly && !*hotpaths && !*incremental && !*shard && !*servingFlag {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -96,6 +98,11 @@ func main() {
 	if *shard {
 		if err := runShard(*shardOut, log); err != nil {
 			fail("shard", err)
+		}
+	}
+	if *servingFlag {
+		if err := runServing(*servingOut, log); err != nil {
+			fail("serving", err)
 		}
 	}
 	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly {

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/corpus/synth"
+	"repro/internal/crf"
+	"repro/internal/graphner"
+	"repro/internal/serving"
+)
+
+// servingBench is one measured client-load configuration in
+// BENCH_serving.json.
+type servingBench struct {
+	Name       string `json:"name"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	// Workers is the server's batch-worker count; Clients the number of
+	// concurrent submitting goroutines driving it.
+	Workers  int `json:"workers"`
+	Clients  int `json:"clients"`
+	Requests int `json:"requests"`
+	// Latency percentiles over every request, in microseconds, and the
+	// aggregate throughput in sentences per second.
+	P50Micros       float64 `json:"p50_us"`
+	P99Micros       float64 `json:"p99_us"`
+	SentencesPerSec float64 `json:"sentences_per_sec"`
+}
+
+type servingReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoMaxProcs  int    `json:"go_max_procs"`
+	// Artifact provenance: size and checksum of the frozen blob the
+	// server loaded, and how long the validated cold start took.
+	ArtifactBytes  int     `json:"artifact_bytes"`
+	ArtifactSHA256 string  `json:"artifact_sha256"`
+	ColdStartMS    float64 `json:"cold_start_ms"`
+	Vertices       int     `json:"vertices"`
+	Edges          int     `json:"edges"`
+	// GoldenIdentical records the inline identity check: every frozen
+	// sentence served through the batching server produced exactly the
+	// labels System.Test computed before freezing. The run aborts on
+	// mismatch, so a written report always says true.
+	GoldenIdentical bool `json:"golden_identical"`
+	// AllocsPerWarmReq is testing.AllocsPerRun over warm single-worker
+	// requests (sentence compiled, pools hot); the serving contract is 0.
+	AllocsPerWarmReq float64        `json:"allocs_per_warm_req"`
+	Benchmarks       []servingBench `json:"benchmarks"`
+}
+
+// runServing freezes a small artifact, round-trips it through its binary
+// form, and drives the batching server in-process: golden identity and
+// warm-allocation checks first, then a latency/throughput sweep across
+// worker counts. Results land in BENCH_serving.json.
+func runServing(outPath string, log *os.File) error {
+	logf := func(format string, args ...any) {
+		if log != nil {
+			fmt.Fprintf(log, format, args...)
+		}
+	}
+	cfg := synth.DefaultConfig(synth.BC2GM, 5)
+	cfg.Sentences = 600
+	train, test := synth.GenerateSplit(cfg)
+	gcfg := graphner.Default()
+	gcfg.Order = crf.Order1
+	gcfg.CRFIterations = 40
+	logf("serving: training base CRF (%d train sentences)...\n", len(train.Sentences))
+	sys, err := graphner.Train(train, gcfg)
+	if err != nil {
+		return err
+	}
+	out, err := sys.Test(test)
+	if err != nil {
+		return err
+	}
+	art, err := sys.Freeze(test, out)
+	if err != nil {
+		return err
+	}
+	var blob bytes.Buffer
+	if _, err := art.WriteTo(&blob); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	loaded, err := graphner.ReadArtifact(bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		return err
+	}
+	coldStart := time.Since(t0)
+	logf("serving: artifact %d bytes, cold start %v\n", blob.Len(), coldStart.Round(time.Microsecond))
+
+	report := servingReport{
+		GeneratedBy:    "benchtables -serving",
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		ArtifactBytes:  blob.Len(),
+		ArtifactSHA256: loaded.Checksum(),
+		ColdStartMS:    float64(coldStart.Nanoseconds()) / 1e6,
+		Vertices:       loaded.Graph().NumVertices(),
+		Edges:          loaded.Graph().NumEdges(),
+	}
+
+	texts := make([]string, len(test.Sentences))
+	for i, s := range test.Sentences {
+		texts[i] = s.Text
+	}
+
+	// Golden identity: the served labels must match System.Test exactly.
+	srv, err := serving.NewServer(loaded, serving.Config{Workers: 2})
+	if err != nil {
+		return err
+	}
+	for i, text := range texts {
+		got, err := srv.Tag(text)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("golden check: sentence %d: %w", i, err)
+		}
+		if !reflect.DeepEqual(got, out.Tags[i]) {
+			srv.Close()
+			return fmt.Errorf("golden check: sentence %d served labels differ from System.Test", i)
+		}
+	}
+	srv.Close()
+	report.GoldenIdentical = true
+	logf("serving: golden check passed over %d frozen sentences\n", len(texts))
+
+	// Warm allocations: one worker, hot caches.
+	srv, err = serving.NewServer(loaded, serving.Config{Workers: 1})
+	if err != nil {
+		return err
+	}
+	tags := make([]corpus.Tag, 256)
+	for _, text := range texts[:16] {
+		if _, err := srv.TagInto(text, time.Time{}, tags); err != nil {
+			srv.Close()
+			return err
+		}
+	}
+	i := 0
+	report.AllocsPerWarmReq = testing.AllocsPerRun(300, func() {
+		if _, err := srv.TagInto(texts[i%16], time.Time{}, tags); err != nil {
+			panic(err)
+		}
+		i++
+	})
+	srv.Close()
+	logf("serving: %.2f allocs per warm request\n", report.AllocsPerWarmReq)
+
+	// Latency/throughput sweep at 1 core, 4 cores, and all cores.
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, w := range workerCounts {
+		if w <= 0 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		b, err := benchServing(loaded, texts, w)
+		if err != nil {
+			return err
+		}
+		report.Benchmarks = append(report.Benchmarks, b)
+		logf("serving: %s: p50 %.0fµs p99 %.0fµs %.0f sentences/sec\n",
+			b.Name, b.P50Micros, b.P99Micros, b.SentencesPerSec)
+	}
+
+	return writeReport(outPath, &report)
+}
+
+// benchServing drives one server configuration with 2×workers client
+// goroutines and reports the latency distribution and throughput.
+func benchServing(art *graphner.Artifact, texts []string, workers int) (servingBench, error) {
+	srv, err := serving.NewServer(art, serving.Config{Workers: workers, BatchMax: 32})
+	if err != nil {
+		return servingBench{}, err
+	}
+	defer srv.Close()
+	clients := 2 * workers
+	perClient := 1500
+	durs := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+
+	// Warm every worker's cache and the lattice pools before timing.
+	warm := make([]corpus.Tag, 256)
+	for i := 0; i < 64; i++ {
+		if _, err := srv.TagInto(texts[i%len(texts)], time.Time{}, warm); err != nil {
+			return servingBench{}, err
+		}
+	}
+
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tags := make([]corpus.Tag, 256)
+			durs[c] = make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				text := texts[(c+i*clients)%len(texts)]
+				t0 := time.Now()
+				if _, err := srv.TagInto(text, time.Time{}, tags); err != nil {
+					errs[c] = err
+					return
+				}
+				durs[c] = append(durs[c], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return servingBench{}, err
+		}
+	}
+	var all []time.Duration
+	for _, d := range durs {
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p int) float64 {
+		return float64(all[len(all)*p/100].Nanoseconds()) / 1e3
+	}
+	return servingBench{
+		Name:            fmt.Sprintf("Serving_TagInto/workers=%d", workers),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Workers:         workers,
+		Clients:         clients,
+		Requests:        len(all),
+		P50Micros:       pct(50),
+		P99Micros:       pct(99),
+		SentencesPerSec: float64(len(all)) / elapsed.Seconds(),
+	}, nil
+}
+
+// writeReport marshals a report to outPath ("-" for stdout).
+func writeReport(outPath string, report any) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}

@@ -21,6 +21,11 @@
 //	graphner eval -sentences F -gold GENE.eval -pred PRED.eval [-alt ALTGENE.eval]
 //	    Score a predictions file against gold annotations with the
 //	    BioCreative II rules (exact match, alternatives honoured).
+//
+//	graphner freeze -out artifact.gna [-profile bc2gm] [-sentences N] [-seed S]
+//	    Train the system, run the transductive TEST pass, and write the
+//	    frozen serving artifact graphnerd loads (model, alphabet,
+//	    references, graph, beliefs; checksummed single blob).
 package main
 
 import (
@@ -59,6 +64,8 @@ func main() {
 		err = cmdTag(os.Args[2:])
 	case "eval":
 		err = cmdEval(os.Args[2:])
+	case "freeze":
+		err = cmdFreeze(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -70,7 +77,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: graphner <generate|run|tag|eval> [flags]
+	fmt.Fprintln(os.Stderr, `usage: graphner <generate|run|tag|eval|freeze> [flags]
 run "graphner <subcommand> -h" for flags`)
 }
 
@@ -376,5 +383,64 @@ func cmdEval(args []string) error {
 	fmt.Printf("TP %d  FP %d  FN %d\n", res.Counts.TP, res.Counts.FP, res.Counts.FN)
 	fmt.Printf("Precision %.2f%%  Recall %.2f%%  F-score %.2f%%\n",
 		100*m.Precision, 100*m.Recall, 100*m.F1)
+	return nil
+}
+
+func cmdFreeze(args []string) error {
+	fs := flag.NewFlagSet("freeze", flag.ExitOnError)
+	profile := fs.String("profile", "bc2gm", "corpus profile: bc2gm or aml")
+	sentences := fs.Int("sentences", 2500, "total sentences (0 = paper sizes)")
+	seed := fs.Int64("seed", 1, "seed")
+	order := fs.Int("order", 1, "CRF order (1 or 2)")
+	iters := fs.Int("crf-iters", 40, "CRF training iterations")
+	alpha := fs.Float64("alpha", 0, "mixture weight of the CRF posterior (0 = default)")
+	k := fs.Int("k", 10, "graph out-degree")
+	shards := fs.Int("shards", 1, "graph shards during the freeze-time build")
+	out := fs.String("out", "artifact.gna", "artifact output path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parseProfile(*profile)
+	if err != nil {
+		return err
+	}
+	cfg := synth.DefaultConfig(p, *seed)
+	if *sentences > 0 {
+		cfg.Sentences = *sentences
+	}
+	train, test := synth.GenerateSplit(cfg)
+	fmt.Printf("corpus %s: %d train / %d frozen sentences\n", p, len(train.Sentences), len(test.Sentences))
+
+	gcfg := graphner.Default()
+	gcfg.Order = crf.Order(*order)
+	gcfg.CRFIterations = *iters
+	gcfg.Alpha = *alpha
+	gcfg.K = *k
+	gcfg.Shards = *shards
+	fmt.Println("training base CRF...")
+	sys, err := graphner.Train(train, gcfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("running transductive TEST pass and freezing...")
+	t0 := time.Now()
+	art, err := sys.Freeze(test, nil)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	n, err := art.WriteTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	g := art.Graph()
+	fmt.Printf("froze %d vertices / %d edges in %v\n", g.NumVertices(), g.NumEdges(), time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("wrote %s: %d bytes, sha256 %s\n", *out, n, art.Checksum())
 	return nil
 }

@@ -553,14 +553,8 @@ func DecodeWithPotentialsT(potentials [][]float64, trans [][]float64, bio bool, 
 	if power <= 0 || power > 1 {
 		return nil, fmt.Errorf("crf: transition power %g outside (0,1]", power)
 	}
-	const floor = 1e-12
-	lp := func(p float64) float64 {
-		if p < floor {
-			p = floor
-		}
-		return math.Log(p)
-	}
-	lt := func(p float64) float64 { return power * lp(p) }
+	lp := logPotential
+	lt := func(p float64) float64 { return power * logPotential(p) }
 	sc := acquireScratch(n, S)
 	delta := sc.mat(0, n, S)
 	back := sc.intMat(n, S)

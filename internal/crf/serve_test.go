@@ -1,0 +1,204 @@
+package crf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/race"
+)
+
+// TestPosteriorsIntoMatchesPosteriors locks in the serving contract:
+// PosteriorsInto performs exactly Posteriors' floating-point operations,
+// so the flat buffer is bitwise identical to the allocating rows.
+func TestPosteriorsIntoMatchesPosteriors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const Y = corpus.NumTags
+	for _, order := range []Order{Order1, Order2} {
+		for _, bio := range []bool{false, true} {
+			m := randomModel(rng, order, 25, bio)
+			for trial := 0; trial < 10; trial++ {
+				in := randomInstance(rng, 1+trial*2, 25, false)
+				want := m.Posteriors(in)
+				flat := make([]float64, in.Len()*Y)
+				if err := m.PosteriorsInto(in, flat); err != nil {
+					t.Fatal(err)
+				}
+				for i, row := range want {
+					for y, v := range row {
+						if flat[i*Y+y] != v {
+							t.Fatalf("order %v bio %v pos %d tag %d: flat %v != %v",
+								order, bio, i, y, flat[i*Y+y], v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPosteriorsIntoShortBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randomModel(rng, Order1, 10, false)
+	in := randomInstance(rng, 5, 10, false)
+	if err := m.PosteriorsInto(in, make([]float64, 5)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func randomPotentials(rng *rand.Rand, n int) []float64 {
+	const Y = corpus.NumTags
+	out := make([]float64, n*Y)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for y := 0; y < Y; y++ {
+			out[i*Y+y] = rng.Float64()
+			sum += out[i*Y+y]
+		}
+		for y := 0; y < Y; y++ {
+			out[i*Y+y] /= sum
+		}
+	}
+	return out
+}
+
+func randomTrans(rng *rand.Rand) [][]float64 {
+	const Y = corpus.NumTags
+	trans := make([][]float64, Y)
+	for p := range trans {
+		trans[p] = make([]float64, Y)
+		sum := 0.0
+		for c := range trans[p] {
+			trans[p][c] = rng.Float64()
+			sum += trans[p][c]
+		}
+		for c := range trans[p] {
+			trans[p][c] /= sum
+		}
+	}
+	// Exercise the potential floor on one entry.
+	trans[0][1] = 0
+	return trans
+}
+
+// TestDecodeFlatMatchesDecodeWithPotentialsT locks in the other serving
+// contract: the precomputed-table decoder reproduces
+// DecodeWithPotentialsT exactly (same floats, same tie-breaking).
+func TestDecodeFlatMatchesDecodeWithPotentialsT(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const Y = corpus.NumTags
+	for _, bio := range []bool{false, true} {
+		for _, power := range []float64{0.05, 0.5, 1} {
+			trans := randomTrans(rng)
+			dec, err := NewPotentialDecoder(trans, bio, power)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 25; trial++ {
+				n := 1 + rng.Intn(12)
+				flat := randomPotentials(rng, n)
+				rows := make([][]float64, n)
+				for i := range rows {
+					rows[i] = flat[i*Y : (i+1)*Y]
+				}
+				want, err := DecodeWithPotentialsT(rows, trans, bio, power)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := make([]corpus.Tag, n)
+				if err := dec.DecodeFlat(flat, n, got); err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("bio %v power %v trial %d: pos %d got %v want %v",
+							bio, power, trial, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNewPotentialDecoderValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	good := randomTrans(rng)
+	if _, err := NewPotentialDecoder(good[:2], false, 0.5); err == nil {
+		t.Error("short transition matrix accepted")
+	}
+	bad := randomTrans(rng)
+	bad[1] = bad[1][:2]
+	if _, err := NewPotentialDecoder(bad, false, 0.5); err == nil {
+		t.Error("ragged transition matrix accepted")
+	}
+	if _, err := NewPotentialDecoder(good, false, 0); err == nil {
+		t.Error("power 0 accepted")
+	}
+	if _, err := NewPotentialDecoder(good, false, 1.5); err == nil {
+		t.Error("power > 1 accepted")
+	}
+}
+
+func TestDecodeFlatValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dec, err := NewPotentialDecoder(randomTrans(rng), false, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := randomPotentials(rng, 4)
+	if err := dec.DecodeFlat(flat, 5, make([]corpus.Tag, 5)); err == nil {
+		t.Error("short potentials accepted")
+	}
+	if err := dec.DecodeFlat(flat, 4, make([]corpus.Tag, 3)); err == nil {
+		t.Error("short tag buffer accepted")
+	}
+	if err := dec.DecodeFlat(flat, 0, nil); err != nil {
+		t.Errorf("empty decode: %v", err)
+	}
+}
+
+// TestServeAllocGuard locks in the zero-allocation serving hot path:
+// warm PosteriorsInto and DecodeFlat calls allocate nothing — lattices
+// come from the pool, outputs are caller-owned.
+func TestServeAllocGuard(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; counts are only meaningful in normal builds")
+	}
+	rng := rand.New(rand.NewSource(12))
+	const Y = corpus.NumTags
+	m := randomModel(rng, Order2, 30, true)
+	dec, err := NewPotentialDecoder(randomTrans(rng), true, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := make([]*Instance, 6)
+	for i := range ins {
+		ins[i] = randomInstance(rng, 4+i*4, 30, false)
+	}
+	maxN := ins[len(ins)-1].Len()
+	post := make([]float64, maxN*Y)
+	tags := make([]corpus.Tag, maxN)
+	// Warm the pools across the length range.
+	for _, in := range ins {
+		if err := m.PosteriorsInto(in, post); err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.DecodeFlat(post, in.Len(), tags); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		in := ins[i%len(ins)]
+		i++
+		if err := m.PosteriorsInto(in, post); err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.DecodeFlat(post, in.Len(), tags); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("serving inference allocates %.1f objects/op after warm-up, want 0", allocs)
+	}
+}

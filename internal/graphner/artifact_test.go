@@ -1,0 +1,214 @@
+package graphner
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/corpus/synth"
+	"repro/internal/tokenize"
+)
+
+// frozenSystem trains a small system and runs the TEST pass an artifact
+// freezes. The result is cached — several tests share it read-only, and
+// training is the dominant cost.
+var frozenOnce struct {
+	sync.Once
+	sys  *System
+	test *corpus.Corpus
+	out  *Output
+	err  error
+}
+
+func frozenSystem(t *testing.T) (*System, *corpus.Corpus, *Output) {
+	t.Helper()
+	frozenOnce.Do(func() {
+		cfg := synth.DefaultConfig(synth.AML, 31)
+		cfg.Sentences = 200
+		train, test := synth.GenerateSplit(cfg)
+		gcfg := fastConfig()
+		gcfg.CRFIterations = 20
+		sys, err := Train(train, gcfg)
+		if err != nil {
+			frozenOnce.err = err
+			return
+		}
+		out, err := sys.Test(test)
+		if err != nil {
+			frozenOnce.err = err
+			return
+		}
+		frozenOnce.sys, frozenOnce.test, frozenOnce.out = sys, test, out
+	})
+	if frozenOnce.err != nil {
+		t.Fatal(frozenOnce.err)
+	}
+	return frozenOnce.sys, frozenOnce.test, frozenOnce.out
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	sys, test, out := frozenSystem(t)
+	art, err := sys.Freeze(test, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := art.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Checksum() == "" || got.Checksum() != art.Checksum() {
+		t.Errorf("checksum mismatch: wrote %q, read %q", art.Checksum(), got.Checksum())
+	}
+	if !reflect.DeepEqual(got.Config(), art.Config()) {
+		t.Errorf("config round trip: got %+v want %+v", got.Config(), art.Config())
+	}
+	if got.Config().LossEvery != -1 {
+		t.Errorf("frozen LossEvery = %d, want the serving default -1", got.Config().LossEvery)
+	}
+	if !reflect.DeepEqual(got.Model(), art.Model()) {
+		t.Error("model lost in round trip")
+	}
+	if !got.Graph().Equal(art.Graph()) {
+		t.Error("graph lost in round trip")
+	}
+	if !reflect.DeepEqual(got.Beliefs(), art.Beliefs()) {
+		t.Error("beliefs lost in round trip")
+	}
+	if !reflect.DeepEqual(got.names, art.names) {
+		t.Error("alphabet lost in round trip")
+	}
+	if !reflect.DeepEqual(got.xref, art.xref) {
+		t.Error("reference distributions lost in round trip")
+	}
+	if !reflect.DeepEqual(got.Transitions(), art.Transitions()) {
+		t.Error("transitions differ after round trip")
+	}
+	if len(got.FrozenCorpus().Sentences) != len(test.Sentences) {
+		t.Fatalf("frozen corpus has %d sentences, want %d",
+			len(got.FrozenCorpus().Sentences), len(test.Sentences))
+	}
+
+	// The reconstructed system must reproduce the frozen TEST labels.
+	loaded, err := got.System(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := loaded.Test(got.FrozenCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Tags, out2.Tags) {
+		t.Error("reconstructed system labels the frozen corpus differently")
+	}
+}
+
+// TestArtifactDeterministic locks in the byte-determinism contract: two
+// writes of the same artifact are identical files with identical
+// checksums.
+func TestArtifactDeterministic(t *testing.T) {
+	sys, test, out := frozenSystem(t)
+	art, err := sys.Freeze(test, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if _, err := art.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	sum := art.Checksum()
+	if _, err := art.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of the same artifact differ")
+	}
+	if art.Checksum() != sum {
+		t.Fatal("checksum changed between identical writes")
+	}
+}
+
+func TestFreezeValidates(t *testing.T) {
+	sys, test, out := frozenSystem(t)
+	if _, err := sys.Freeze(corpus.New(), nil); err == nil {
+		t.Error("empty frozen corpus accepted")
+	}
+	if _, err := sys.Freeze(test, &Output{}); err == nil {
+		t.Error("output without graph accepted")
+	}
+	bad := *out
+	bad.VertexBeliefs = out.VertexBeliefs[:1]
+	if _, err := sys.Freeze(test, &bad); err == nil {
+		t.Error("belief/vertex count mismatch accepted")
+	}
+}
+
+// wantReadError writes the artifact, applies corrupt to the bytes, and
+// asserts ReadArtifact fails mentioning substr.
+func wantReadError(t *testing.T, art *Artifact, corrupt func([]byte) []byte, substr string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := art.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := corrupt(append([]byte(nil), buf.Bytes()...))
+	_, err := ReadArtifact(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatalf("corrupted artifact (%s) accepted", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not mention %q", err, substr)
+	}
+}
+
+func TestArtifactReadFailures(t *testing.T) {
+	sys, test, out := frozenSystem(t)
+	art, err := sys.Freeze(test, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ident := func(b []byte) []byte { return b }
+
+	wantReadError(t, art, func(b []byte) []byte { return b[:10] }, "truncated header")
+	wantReadError(t, art, func(b []byte) []byte { return b[:len(b)-7] }, "truncated payload")
+	wantReadError(t, art, func(b []byte) []byte { b[0] = 'X'; return b }, "magic")
+	wantReadError(t, art, func(b []byte) []byte { b[8] = 99; return b }, "version")
+	wantReadError(t, art, func(b []byte) []byte { b[len(b)-1] ^= 1; return b }, "checksum")
+
+	// Structural failures: encode a deliberately inconsistent artifact
+	// (same package, so the fields are reachable) and verify the decoder
+	// rejects it rather than building a partial artifact.
+	short := *art
+	short.beliefs = art.beliefs[:len(art.beliefs)-corpus.NumTags]
+	wantReadError(t, &short, ident, "belief matrix")
+
+	badModel := *art
+	m := *art.model
+	m.W = m.W[:len(m.W)-1]
+	badModel.model = &m
+	wantReadError(t, &badModel, ident, "emission weights")
+
+	badNames := *art
+	badNames.names = art.names[:len(art.names)-1]
+	wantReadError(t, &badNames, ident, "alphabet")
+
+	badTags := *art
+	badTags.train = corpus.New()
+	badTags.train.Sentences = append(badTags.train.Sentences, &corpus.Sentence{
+		ID: "bad", Text: "a b c", Tokens: tokenize.Sentence("a b c"),
+		Tags: []corpus.Tag{corpus.O},
+	})
+	wantReadError(t, &badTags, ident, "tags for")
+
+	// A model-less artifact must fail at write time.
+	if _, err := (&Artifact{}).WriteTo(&bytes.Buffer{}); err == nil {
+		t.Error("artifact without model serialized")
+	}
+}

@@ -71,6 +71,14 @@ type Config struct {
 	// keeps the single-shard pipeline; results are bit-identical for
 	// every value.
 	Shards int
+	// LossEvery forwards propagate.Config.LossEvery: how often the
+	// diagnostic Equation-1 objective is evaluated during propagation.
+	// The loss never influences the labels — it costs a full edge pass,
+	// comparable to a sweep itself. 0 (the default) keeps the legacy
+	// every-sweep schedule; -1 skips the loss entirely (the serving
+	// default — see Freeze); N > 0 evaluates every Nth sweep plus the
+	// final one.
+	LossEvery int
 
 	// TransitionPower tempers the transition log-probabilities in the
 	// final Viterbi re-decode (Algorithm 1 line 9). The node potentials
@@ -455,6 +463,7 @@ func (s *System) testOnUnion(test, union *corpus.Corpus, ins []*crf.Instance, g 
 		Nu:         s.cfg.Nu,
 		Iterations: s.cfg.Iterations,
 		Workers:    s.cfg.Workers,
+		LossEvery:  s.cfg.LossEvery,
 	}
 	var prop propagate.Result
 	var err error

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/corpus"
 	"repro/internal/crf"
@@ -18,7 +19,11 @@ import (
 // averaging over D_l ∪ D_u, graph construction, gold transitions).
 // Function-valued and interface-valued configuration (the feature
 // extractor and its distributional classers) is not serializable; Load
-// takes the reconstructed extractor as an argument.
+// takes the reconstructed extractor as an argument. Workers is likewise
+// not persisted: it is a machine-local parallelism bound, not a model
+// parameter — a snapshot trained on a 64-core box must not pin a 4-core
+// box to 64 workers, so Load lets Config.defaults() re-derive it from
+// GOMAXPROCS on the loading machine.
 type snapshot struct {
 	Alpha, Mu, Nu   float64
 	Iterations      int
@@ -29,12 +34,24 @@ type snapshot struct {
 	L2              float64
 	CRFIterations   int
 	MaxDF           int
+	Shards          int
+	LossEvery       int
 	TransitionPower float64
 
 	Model         *crf.Model
 	AlphabetNames []string
-	Xref          map[corpus.NGram][]float64
-	Train         []savedSentence
+	// Xref is persisted as a slice sorted by 3-gram rather than the map
+	// the System holds: gob encodes maps in iteration order, which is
+	// randomized, so a map field would make two saves of the same system
+	// byte-different and defeat artifact checksums. The sorted slice makes
+	// Save byte-deterministic.
+	Xref  []xrefEntry
+	Train []savedSentence
+}
+
+type xrefEntry struct {
+	G corpus.NGram
+	D []float64
 }
 
 type savedSentence struct {
@@ -43,23 +60,91 @@ type savedSentence struct {
 	Tags []corpus.Tag
 }
 
-// Save serializes the trained system (model, feature alphabet, reference
-// distributions, hyper-parameters, and training corpus) to w.
-func (s *System) Save(w io.Writer) error {
-	snap := snapshot{
+// sortedXref flattens a reference-distribution map into a slice sorted by
+// 3-gram, the canonical order shared by Save and the Artifact encoder.
+func sortedXref(m map[corpus.NGram][]float64) []xrefEntry {
+	out := make([]xrefEntry, 0, len(m))
+	for g, d := range m {
+		out = append(out, xrefEntry{G: g, D: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].G < out[j].G })
+	return out
+}
+
+// xrefMap rebuilds the in-memory reference-distribution map from its
+// serialized sorted-slice form.
+func xrefMap(entries []xrefEntry) map[corpus.NGram][]float64 {
+	m := make(map[corpus.NGram][]float64, len(entries))
+	for _, e := range entries {
+		m[e.G] = e.D
+	}
+	return m
+}
+
+// savedCorpus flattens a corpus into its serializable sentence list.
+func savedCorpus(c *corpus.Corpus) []savedSentence {
+	out := make([]savedSentence, 0, len(c.Sentences))
+	for _, sent := range c.Sentences {
+		out = append(out, savedSentence{ID: sent.ID, Text: sent.Text, Tags: sent.Tags})
+	}
+	return out
+}
+
+// restoreCorpus re-tokenizes a saved sentence list, validating that
+// persisted tag sequences still align with the tokenization.
+func restoreCorpus(saved []savedSentence) (*corpus.Corpus, error) {
+	c := corpus.New()
+	for _, sv := range saved {
+		sent := &corpus.Sentence{ID: sv.ID, Text: sv.Text, Tokens: tokenize.Sentence(sv.Text), Tags: sv.Tags}
+		if sv.Tags != nil && len(sv.Tags) != len(sent.Tokens) {
+			return nil, fmt.Errorf("sentence %q has %d tags for %d tokens", sv.ID, len(sv.Tags), len(sent.Tokens))
+		}
+		c.Sentences = append(c.Sentences, sent)
+	}
+	return c, nil
+}
+
+// snapshotConfig extracts the serializable configuration fields. Workers
+// and Extractor are intentionally machine-local (see the snapshot type
+// comment) and stay zero here.
+func (s *System) snapshotFields() snapshot {
+	return snapshot{
 		Alpha: s.cfg.Alpha, Mu: s.cfg.Mu, Nu: s.cfg.Nu,
 		Iterations: s.cfg.Iterations, K: s.cfg.K,
 		Mode: int(s.cfg.Mode), MIThreshold: s.cfg.MIThreshold,
 		Order: int(s.cfg.Order), L2: s.cfg.L2,
 		CRFIterations: s.cfg.CRFIterations, MaxDF: s.cfg.MaxDF,
+		Shards: s.cfg.Shards, LossEvery: s.cfg.LossEvery,
 		TransitionPower: s.cfg.TransitionPower,
-		Model:           s.model,
-		AlphabetNames:   s.compiler.Alphabet.Names(),
-		Xref:            s.xref,
 	}
-	for _, sent := range s.train.Sentences {
-		snap.Train = append(snap.Train, savedSentence{ID: sent.ID, Text: sent.Text, Tags: sent.Tags})
+}
+
+// configOf reconstructs a Config from persisted snapshot fields.
+func (snap *snapshot) config(extractor *features.Extractor) Config {
+	cfg := Config{
+		Alpha: snap.Alpha, Mu: snap.Mu, Nu: snap.Nu,
+		Iterations: snap.Iterations, K: snap.K,
+		Mode: graph.FeatureMode(snap.Mode), MIThreshold: snap.MIThreshold,
+		Order: crf.Order(snap.Order), L2: snap.L2,
+		CRFIterations: snap.CRFIterations, MaxDF: snap.MaxDF,
+		Shards: snap.Shards, LossEvery: snap.LossEvery,
+		TransitionPower: snap.TransitionPower,
+		Extractor:       extractor,
 	}
+	cfg.defaults()
+	return cfg
+}
+
+// Save serializes the trained system (model, feature alphabet, reference
+// distributions, hyper-parameters, and training corpus) to w. The output
+// is byte-deterministic: two saves of the same system are identical, so
+// content checksums over the stream are meaningful.
+func (s *System) Save(w io.Writer) error {
+	snap := s.snapshotFields()
+	snap.Model = s.model
+	snap.AlphabetNames = s.compiler.Alphabet.Names()
+	snap.Xref = sortedXref(s.xref)
+	snap.Train = savedCorpus(s.train)
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("graphner: save: %w", err)
 	}
@@ -81,35 +166,19 @@ func Load(r io.Reader, extractor *features.Extractor) (*System, error) {
 	if extractor == nil {
 		extractor = features.NewExtractor(nil)
 	}
-	cfg := Config{
-		Alpha: snap.Alpha, Mu: snap.Mu, Nu: snap.Nu,
-		Iterations: snap.Iterations, K: snap.K,
-		Mode: graph.FeatureMode(snap.Mode), MIThreshold: snap.MIThreshold,
-		Order: crf.Order(snap.Order), L2: snap.L2,
-		CRFIterations: snap.CRFIterations, MaxDF: snap.MaxDF,
-		TransitionPower: snap.TransitionPower,
-		Extractor:       extractor,
+	train, err := restoreCorpus(snap.Train)
+	if err != nil {
+		return nil, fmt.Errorf("graphner: load: %w", err)
 	}
-	cfg.defaults()
-
-	train := corpus.New()
-	for _, sv := range snap.Train {
-		sent := &corpus.Sentence{ID: sv.ID, Text: sv.Text, Tokens: tokenize.Sentence(sv.Text), Tags: sv.Tags}
-		if sv.Tags != nil && len(sv.Tags) != len(sent.Tokens) {
-			return nil, fmt.Errorf("graphner: load: sentence %s has %d tags for %d tokens", sv.ID, len(sv.Tags), len(sent.Tokens))
-		}
-		train.Sentences = append(train.Sentences, sent)
-	}
-
 	comp := &crf.Compiler{
 		Extractor: extractor,
 		Alphabet:  features.NewAlphabetFromNames(snap.AlphabetNames),
 	}
 	return &System{
-		cfg:      cfg,
+		cfg:      snap.config(extractor),
 		compiler: comp,
 		model:    snap.Model,
 		train:    train,
-		xref:     snap.Xref,
+		xref:     xrefMap(snap.Xref),
 	}, nil
 }

@@ -2,10 +2,12 @@ package graphner
 
 import (
 	"bytes"
+	"encoding/gob"
 	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/corpus"
 	"repro/internal/corpus/synth"
 )
 
@@ -64,5 +66,120 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Load(bytes.NewReader(nil), nil); err == nil {
 		t.Error("want error for empty stream")
+	}
+}
+
+// TestSaveDeterministic locks in byte-deterministic saves: the reference
+// distributions are emitted in sorted 3-gram order rather than gob's
+// randomized map iteration order, so two consecutive saves of the same
+// system are identical byte streams.
+func TestSaveDeterministic(t *testing.T) {
+	sys, _, _ := frozenSystem(t)
+	var a, b bytes.Buffer
+	if err := sys.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two consecutive saves of the same system differ")
+	}
+}
+
+// TestSaveLoadFullConfigRoundTrip pins every persistable Config field
+// through Save/Load, including the ones a partial snapshot can silently
+// drop (Shards was dropped once). Workers is deliberately not persisted —
+// it is a machine-local parallelism bound re-derived from GOMAXPROCS at
+// load — and Extractor is reconstructed by the caller.
+func TestSaveLoadFullConfigRoundTrip(t *testing.T) {
+	cfg := synth.DefaultConfig(synth.AML, 33)
+	cfg.Sentences = 120
+	train, _ := synth.GenerateSplit(cfg)
+
+	gcfg := fastConfig()
+	gcfg.CRFIterations = 10
+	gcfg.Alpha = 0.17
+	gcfg.Mu = 3e-5
+	gcfg.Nu = 4e-6
+	gcfg.Iterations = 5
+	gcfg.K = 7
+	gcfg.MIThreshold = 0.125
+	gcfg.L2 = 2.5
+	gcfg.MaxDF = 123
+	gcfg.Shards = 3
+	gcfg.LossEvery = 4
+	gcfg.TransitionPower = 0.11
+	sys, err := Train(train, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := sys.Config()
+	got := loaded.Config()
+	// Machine-local fields: normalize before comparing the rest.
+	if got.Workers <= 0 {
+		t.Errorf("loaded Workers = %d, want a positive GOMAXPROCS-derived bound", got.Workers)
+	}
+	if got.Extractor == nil {
+		t.Error("loaded Extractor is nil, want the default extractor")
+	}
+	want.Workers, got.Workers = 0, 0
+	want.Extractor, got.Extractor = nil, nil
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("config round trip:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Shards != 3 {
+		t.Errorf("Shards = %d after round trip, want 3", got.Shards)
+	}
+	if got.LossEvery != 4 {
+		t.Errorf("LossEvery = %d after round trip, want 4", got.LossEvery)
+	}
+}
+
+// TestLoadFailurePaths exercises the distinct Load error cases beyond a
+// malformed stream: truncated gob data, a snapshot without a model, and a
+// snapshot whose persisted tags no longer align with the re-tokenized
+// sentence.
+func TestLoadFailurePaths(t *testing.T) {
+	sys, _, _ := frozenSystem(t)
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()/2]), nil); err == nil {
+		t.Error("truncated stream accepted")
+	}
+
+	encode := func(snap *snapshot) *bytes.Buffer {
+		var b bytes.Buffer
+		if err := gob.NewEncoder(&b).Encode(snap); err != nil {
+			t.Fatal(err)
+		}
+		return &b
+	}
+
+	empty := sys.snapshotFields()
+	if _, err := Load(encode(&empty), nil); err == nil || !strings.Contains(err.Error(), "no model") {
+		t.Errorf("model-less snapshot: err = %v, want mention of missing model", err)
+	}
+
+	bad := sys.snapshotFields()
+	bad.Model = sys.model
+	bad.AlphabetNames = sys.compiler.Alphabet.Names()
+	bad.Xref = sortedXref(sys.xref)
+	bad.Train = []savedSentence{{ID: "bad", Text: "a b c", Tags: []corpus.Tag{corpus.O}}}
+	if _, err := Load(encode(&bad), nil); err == nil || !strings.Contains(err.Error(), "tags for") {
+		t.Errorf("misaligned tags: err = %v, want tag/token mismatch", err)
 	}
 }

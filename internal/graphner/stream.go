@@ -218,6 +218,7 @@ func (st *Streamer) propConfig() propagate.Config {
 		Tolerance:  streamTolerance,
 		Iterations: streamSweepCap,
 		Workers:    st.sys.cfg.Workers,
+		LossEvery:  st.sys.cfg.LossEvery,
 	}
 }
 

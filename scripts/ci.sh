@@ -18,4 +18,7 @@ make bench-smoke
 echo "==> bench shard smoke"
 make bench-shard-smoke
 
+echo "==> bench serving smoke"
+make bench-serving-smoke
+
 echo "==> ci OK"
