@@ -5,7 +5,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/propagate ./internal/graph ./internal/crf ./internal/graphner ./internal/features ./internal/serving
 
-.PHONY: all build lint lint-json test race fuzz-smoke bench-smoke bench-shard-smoke bench-serving-smoke debug-test ci tier1
+.PHONY: all build lint lint-json lint-sarif test race fuzz-smoke bench-smoke bench-shard-smoke bench-serving-smoke debug-test ci tier1
 
 all: tier1
 
@@ -13,11 +13,14 @@ build:
 	$(GO) build ./...
 
 # The repo's own analyzer suite (internal/analysis): the syntactic checks
-# (poolescape, maporder, floatcmp, naninf, ctxloop) plus the flow-sensitive
+# (poolescape, maporder, floatcmp, naninf, ctxloop), the flow-sensitive
 # concurrency checks (lockbalance, sharedwrite, atomicmix,
-# waitgroupbalance) — graphnerlint runs everything analysis.All() returns,
-# so new analyzers are picked up here without Makefile changes. Exits
-# non-zero on findings.
+# waitgroupbalance), and the interprocedural checks (poollife, lockatcall,
+# determinism, errdrop) — graphnerlint runs everything analysis.All()
+# returns, so new analyzers are picked up here without Makefile changes.
+# Results are cached under .graphnerlint-cache/ keyed on file-content
+# hashes; an unchanged tree re-lints in milliseconds. Exit codes: 0 no
+# findings, 1 findings, 2 internal error.
 lint: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/graphnerlint ./...
@@ -27,6 +30,11 @@ lint: build
 lint-json: build
 	$(GO) run ./cmd/graphnerlint -json ./...
 
+# Same suite as a SARIF 2.1.0 log on stdout, for code-scanning uploads
+# and annotation tooling. Same exit codes as lint.
+lint-sarif: build
+	$(GO) run ./cmd/graphnerlint -sarif ./...
+
 test:
 	$(GO) test ./...
 
@@ -34,10 +42,13 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 # 10-second smoke of each fuzz target — catches shallow regressions
-# without a long fuzzing budget.
+# without a long fuzzing budget — plus a deterministic pass over the
+# interprocedural analyzer corpora (marker-checked buggy programs under
+# internal/analysis/testdata).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=10s ./internal/tokenize
 	$(GO) test -run='^$$' -fuzz=FuzzCompileSentence -fuzztime=10s ./internal/crf
+	$(GO) test -run 'TestPoolLife|TestLockAtCall|TestDeterminism|TestErrDrop|TestDiffRoundTrip' -count=1 ./internal/analysis ./cmd/graphnerlint
 
 # Fast performance-regression gate (<30s): the incremental-maintenance
 # smoke and golden tests, and the allocation guards on the propagation

@@ -65,7 +65,7 @@ func run() error {
 	}
 	t0 := time.Now()
 	art, err := graphner.ReadArtifact(f)
-	f.Close()
+	f.Close() // lint:checked errdrop: read-only artifact handle; the decode already validated the stream
 	if err != nil {
 		return err
 	}
@@ -133,7 +133,7 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "graphnerd: http shutdown:", err)
 	}
 	if lineLn != nil {
-		lineLn.Close()
+		lineLn.Close() // lint:checked errdrop: process shutdown; nothing is left to surface a close error to
 	}
 	srv.Close()
 	st := srv.Stats()

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The result cache: one entry per package directory, keyed by a hash
+// that covers the directory's own .go files and, transitively, every
+// module-internal dependency. Interprocedural summaries mean a package's
+// findings can change when a callee three imports away changes — the
+// transitive hash makes exactly that set of edits invalidating, nothing
+// less. A run over an unchanged tree therefore never loads or
+// type-checks anything: it re-emits the cached findings after a cheap
+// parse of import clauses.
+//
+// The analyzers themselves are part of the key (the salt below): editing
+// internal/analysis or this command invalidates everything.
+
+const cacheDirName = ".graphnerlint-cache"
+
+// cacheEntry is the stored result for one package directory.
+type cacheEntry struct {
+	Hash     string    `json:"hash"`
+	Findings []finding `json:"findings"` // File is module-root-relative
+}
+
+// cacheFile is the on-disk shape.
+type cacheFile struct {
+	Salt     string                `json:"salt"`
+	Packages map[string]cacheEntry `json:"packages"` // key: root-relative dir
+}
+
+// pkgDir is one scanned package directory.
+type pkgDir struct {
+	rel     string   // root-relative directory
+	deps    []string // root-relative dirs of module-internal imports
+	ownHash string
+}
+
+// scanModule walks the module tree and computes the per-directory
+// transitive content hashes. Parsing stops at the import clause, so the
+// scan costs milliseconds, not a type-check.
+func scanModule(root string) (map[string]string, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs := make(map[string]*pkgDir)
+	err = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			switch info.Name() {
+			case ".git", "testdata", cacheDirName:
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		d := dirs[rel]
+		if d == nil {
+			d = &pkgDir{rel: rel}
+			dirs[rel] = d
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// Filename-tagged file hashes accumulate here and are combined
+		// sorted below, so walk order cannot change the key.
+		sum := sha256.Sum256(data)
+		d.ownHash += filepath.Base(path) + ":" + hex.EncodeToString(sum[:]) + "\n"
+
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, data, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("graphnerlint: parse %s: %w", path, err)
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == modPath {
+				d.deps = append(d.deps, ".")
+			} else if strings.HasPrefix(p, modPath+"/") {
+				d.deps = append(d.deps, filepath.FromSlash(strings.TrimPrefix(p, modPath+"/")))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Canonicalize: file hashes sorted into the own hash, deps deduped.
+	for _, d := range dirs {
+		lines := strings.Split(strings.TrimSuffix(d.ownHash, "\n"), "\n")
+		sort.Strings(lines)
+		sum := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+		d.ownHash = hex.EncodeToString(sum[:])
+		sort.Strings(d.deps)
+		d.deps = dedupe(d.deps)
+	}
+
+	// Transitive hashes by memoized DFS. Compiling packages cannot form
+	// import cycles, but external test packages can (foo_test importing a
+	// package that imports foo), and this scan folds test imports into the
+	// dep edges. Inside a cycle the memoized hash depends on which member
+	// is visited first, so the roots below are walked in sorted order to
+	// pin the entry point; an unknown dep (pruned dir) contributes nothing.
+	memo := make(map[string]string)
+	var visit func(rel string, stack map[string]bool) string
+	visit = func(rel string, stack map[string]bool) string {
+		if h, ok := memo[rel]; ok {
+			return h
+		}
+		d := dirs[rel]
+		if d == nil || stack[rel] {
+			return ""
+		}
+		stack[rel] = true
+		parts := []string{d.ownHash}
+		for _, dep := range d.deps {
+			if dep == rel {
+				continue
+			}
+			if h := visit(dep, stack); h != "" {
+				parts = append(parts, dep+"="+h)
+			}
+		}
+		delete(stack, rel)
+		sum := sha256.Sum256([]byte(strings.Join(parts, "\n")))
+		memo[rel] = hex.EncodeToString(sum[:])
+		return memo[rel]
+	}
+	rels := make([]string, 0, len(dirs))
+	for rel := range dirs {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	out := make(map[string]string, len(dirs))
+	for _, rel := range rels {
+		out[rel] = visit(rel, make(map[string]bool))
+	}
+	return out, nil
+}
+
+func dedupe(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// cacheSalt keys the analyzers themselves: the transitive hashes of the
+// analysis packages and this command.
+func cacheSalt(hashes map[string]string) string {
+	var parts []string
+	for rel, h := range hashes {
+		slash := filepath.ToSlash(rel)
+		if strings.HasPrefix(slash, "internal/analysis") || slash == "cmd/graphnerlint" {
+			parts = append(parts, slash+"="+h)
+		}
+	}
+	sort.Strings(parts)
+	sum := sha256.Sum256([]byte(strings.Join(parts, "\n")))
+	return hex.EncodeToString(sum[:])
+}
+
+// modulePath reads the module path from go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("graphnerlint: no module line in %s/go.mod", root)
+}
+
+// loadCache returns the cached findings when every scanned directory has
+// a fresh entry — all-or-nothing, because the interprocedural run is
+// module-wide anyway. Findings come back root-relative.
+func loadCache(root string, hashes map[string]string, salt string) ([]finding, bool) {
+	data, err := os.ReadFile(filepath.Join(root, cacheDirName, "results.json"))
+	if err != nil {
+		return nil, false
+	}
+	var cf cacheFile
+	if err := json.Unmarshal(data, &cf); err != nil || cf.Salt != salt {
+		return nil, false
+	}
+	var out []finding
+	for rel, h := range hashes {
+		e, ok := cf.Packages[filepath.ToSlash(rel)]
+		if !ok || e.Hash != h {
+			return nil, false
+		}
+		out = append(out, e.Findings...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, true
+}
+
+// saveCache stores the run's findings against the scanned hashes.
+// Findings arrive root-relative; each is attached to its directory.
+func saveCache(root string, hashes map[string]string, salt string, findings []finding) error {
+	cf := cacheFile{Salt: salt, Packages: make(map[string]cacheEntry, len(hashes))}
+	rels := make([]string, 0, len(hashes))
+	for rel := range hashes {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		cf.Packages[filepath.ToSlash(rel)] = cacheEntry{Hash: hashes[rel], Findings: []finding{}}
+	}
+	for _, f := range findings {
+		rel := filepath.ToSlash(filepath.Dir(f.File))
+		e, ok := cf.Packages[rel]
+		if !ok {
+			continue // outside the scan (should not happen); recompute next run
+		}
+		e.Findings = append(e.Findings, f)
+		cf.Packages[rel] = e
+	}
+	data, err := json.MarshalIndent(&cf, "", " ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join(root, cacheDirName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "results.json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "results.json"))
+}

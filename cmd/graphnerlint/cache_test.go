@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScanModuleDeterministic guards the cache key against map-order
+// nondeterminism: external test packages create import cycles
+// (foo_test -> bar -> foo), and inside a cycle the memoized transitive
+// hash depends on the DFS entry point. A flapping hash would make every
+// other run a cache miss.
+func TestScanModuleDeterministic(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/m\n\ngo 1.22\n")
+	write("foo/foo.go", "package foo\n\nfunc F() {}\n")
+	write("bar/bar.go", "package bar\n\nimport \"example.com/m/foo\"\n\nfunc B() { foo.F() }\n")
+	// The external test package closes the cycle foo_test -> bar -> foo.
+	write("foo/foo_ext_test.go", "package foo_test\n\nimport \"example.com/m/bar\"\n\nfunc init() { bar.B() }\n")
+
+	first, err := scanModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := scanModule(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rel, h := range first {
+			if again[rel] != h {
+				t.Fatalf("run %d: hash of %s flapped: %s vs %s", i, rel, h, again[rel])
+			}
+		}
+		if cacheSalt(first) != cacheSalt(again) {
+			t.Fatalf("run %d: salt flapped", i)
+		}
+	}
+
+	// Editing a dependency must change the hash of its importers.
+	write("foo/foo.go", "package foo\n\nfunc F() { _ = 1 }\n")
+	changed, err := scanModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed["bar"] == first["bar"] {
+		t.Fatal("editing foo did not invalidate bar's transitive hash")
+	}
+}

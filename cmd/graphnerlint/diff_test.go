@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestDiffRoundTrip proves the -diff output is a working suppression
+// generator for any analyzer: lint a buggy corpus, emit the diff, apply
+// it, re-lint, and require zero findings. Two corpora from different
+// analyzers ride through one diff to show it is analyzer-agnostic.
+func TestDiffRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	for _, corpus := range []string{"floatcmp", "lockbalance"} {
+		src := filepath.Join("..", "..", "internal", "analysis", "testdata", "src", corpus)
+		dst := filepath.Join(root, corpus)
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		ents, err := os.ReadDir(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			data, err := os.ReadFile(filepath.Join(src, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	lint := func() []finding {
+		var pkgs []*analysis.Package
+		for _, corpus := range []string{"floatcmp", "lockbalance"} {
+			pkg, err := analysis.LoadDir(filepath.Join(root, corpus))
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", corpus, err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		diags, err := analysis.Run(pkgs, analysis.All())
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var out []finding
+		for _, d := range diags {
+			out = append(out, finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		return out
+	}
+
+	before := lint()
+	if len(before) < 2 {
+		t.Fatalf("corpus produced %d findings, want at least 2", len(before))
+	}
+	analyzers := make(map[string]bool)
+	for _, f := range before {
+		analyzers[f.Analyzer] = true
+	}
+	if len(analyzers) < 2 {
+		t.Fatalf("corpus findings cover %v, want at least two analyzers", analyzers)
+	}
+
+	var diff bytes.Buffer
+	if err := writeDiff(&diff, before); err != nil {
+		t.Fatalf("writeDiff: %v", err)
+	}
+	applyDiff(t, diff.String())
+
+	if after := lint(); len(after) != 0 {
+		t.Fatalf("after applying the suppression diff, %d finding(s) remain; first: %+v", len(after), after[0])
+	}
+}
+
+// applyDiff applies the insert-only unified diff writeDiff emits: for
+// each hunk, the "+" lines are inserted above the original line named in
+// the "@@ -L,1 ..." header.
+func applyDiff(t *testing.T, diff string) {
+	t.Helper()
+	type insertion struct {
+		line  int // 1-based original line the additions go above
+		added []string
+	}
+	inserts := make(map[string][]insertion)
+	var file string
+	lines := strings.Split(diff, "\n")
+	for i := 0; i < len(lines); i++ {
+		l := lines[i]
+		switch {
+		case strings.HasPrefix(l, "+++ b/"):
+			file = strings.TrimPrefix(l, "+++ b/")
+		case strings.HasPrefix(l, "@@ -"):
+			header := strings.TrimPrefix(l, "@@ -")
+			n, err := strconv.Atoi(header[:strings.Index(header, ",")])
+			if err != nil {
+				t.Fatalf("bad hunk header %q: %v", l, err)
+			}
+			ins := insertion{line: n}
+			for i+1 < len(lines) && strings.HasPrefix(lines[i+1], "+") {
+				i++
+				ins.added = append(ins.added, strings.TrimPrefix(lines[i], "+"))
+			}
+			inserts[file] = append(inserts[file], ins)
+		}
+	}
+	if len(inserts) == 0 {
+		t.Fatal("diff contained no hunks")
+	}
+	files := make([]string, 0, len(inserts))
+	for file := range inserts {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		ins := inserts[file]
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := strings.Split(string(data), "\n")
+		var out []string
+		for i, l := range src {
+			for _, in := range ins {
+				if in.line == i+1 {
+					out = append(out, in.added...)
+				}
+			}
+			out = append(out, l)
+		}
+		if err := os.WriteFile(file, []byte(strings.Join(out, "\n")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

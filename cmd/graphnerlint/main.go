@@ -3,24 +3,34 @@
 //
 // Usage:
 //
-//	graphnerlint [-list] [-json] [-diff] [packages]
+//	graphnerlint [-list] [-json|-sarif|-diff] [-workers N] [-nocache] [-cpuprofile f] [packages]
 //
 // With no arguments or "./..." it checks every package in the module.
 // Individual package directories (relative or absolute) narrow the run,
-// but cross-package facts are still computed module-wide so pool
-// helpers and mutex-guarded fields are recognized regardless of the
-// selection.
+// but cross-package facts, the call graph, and the effect summaries are
+// still computed module-wide, so pool helpers, mutex-guarded fields and
+// callee effects are recognized regardless of the selection.
+//
+// Results are cached under .graphnerlint-cache/, keyed per package
+// directory by a transitive content hash (own files plus every
+// module-internal dependency, plus the analyzers themselves). A run over
+// an unchanged tree skips loading and type-checking entirely; -nocache
+// bypasses and leaves the cache untouched.
 //
 // Output modes:
 //
 //	(default)  one "file:line:col: analyzer: message" line per finding
 //	-json      a JSON array of {file,line,col,analyzer,message} objects
+//	-sarif     a SARIF 2.1.0 log for CI annotation tooling; every
+//	           analyzer is listed as a rule, findings as "error"-level
+//	           results
 //	-diff      a unified diff that inserts a "// lint:checked TODO"
-//	           suppression comment above every finding, for triage:
-//	           apply it with `patch -p1`, then replace each TODO with a
-//	           real justification or fix the code and drop the comment
+//	           suppression comment above every finding — for any
+//	           registered analyzer — for triage: apply it with
+//	           `patch -p1`, then replace each TODO with a real
+//	           justification or fix the code and drop the comment
 //
-// Exit codes:
+// Exit codes (all output modes, -sarif included):
 //
 //	0  no findings
 //	1  at least one finding
@@ -31,8 +41,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -49,12 +62,20 @@ type finding struct {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
+	asSARIF := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
 	asDiff := flag.Bool("diff", false, "emit a unified diff adding lint:checked TODO suppressions")
+	workers := flag.Int("workers", 0, "package-level analyzer goroutines (0 = GOMAXPROCS)")
+	noCache := flag.Bool("nocache", false, "ignore and do not update the result cache")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the lint run to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: graphnerlint [-list] [-json] [-diff] [packages]\n\n"+
+			"usage: graphnerlint [-list] [-json|-sarif|-diff] [-workers N] [-nocache] [-cpuprofile file] [packages]\n\n"+
 				"exit codes: 0 no findings, 1 findings, 2 internal error\n\nAnalyzers:\n")
 		for _, a := range analysis.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
@@ -65,20 +86,38 @@ func main() {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
-	if *asJSON && *asDiff {
-		fmt.Fprintln(os.Stderr, "graphnerlint: -json and -diff are mutually exclusive")
-		os.Exit(2)
+	modes := 0
+	for _, m := range []bool{*asJSON, *asSARIF, *asDiff} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "graphnerlint: -json, -sarif and -diff are mutually exclusive")
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	root, err := moduleRoot()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	// "./..." (or nothing) means the whole module; otherwise the named
-	// directories. Facts want the full module either way, so selection
+	// directories. The analysis is module-wide either way, so selection
 	// only filters which packages' diagnostics are kept.
 	var only map[string]bool
 	for _, arg := range flag.Args() {
@@ -88,7 +127,7 @@ func main() {
 		}
 		abs, err := filepath.Abs(strings.TrimSuffix(arg, "/..."))
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if only == nil {
 			only = make(map[string]bool)
@@ -96,35 +135,71 @@ func main() {
 		only[abs] = true
 	}
 
-	pkgs, err := analysis.Load(root, nil)
-	if err != nil {
-		fatal(err)
-	}
-	diags, err := analysis.Run(pkgs, analysis.All())
-	if err != nil {
-		fatal(err)
-	}
-
-	cwd, _ := os.Getwd()
+	// The cache answers when every package directory's transitive hash is
+	// fresh; otherwise run the full module-wide analysis and store the
+	// results. Findings are module-root-relative throughout.
 	var findings []finding
-	for _, d := range diags {
-		if only != nil && !only[filepath.Dir(d.Pos.Filename)] {
-			continue
+	var hashes map[string]string
+	var salt string
+	cached := false
+	if !*noCache {
+		if hashes, err = scanModule(root); err == nil {
+			salt = cacheSalt(hashes)
+			findings, cached = loadCache(root, hashes, salt)
 		}
-		file := d.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+	}
+	if !cached {
+		pkgs, err := analysis.Load(root, nil)
+		if err != nil {
+			return fail(err)
+		}
+		n := *workers
+		if n < 1 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		diags, err := analysis.RunN(pkgs, analysis.All(), n)
+		if err != nil {
+			return fail(err)
+		}
+		for _, d := range diags {
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
 				file = rel
 			}
+			findings = append(findings, finding{
+				File:     file,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
 		}
-		findings = append(findings, finding{
-			File:     file,
-			Line:     d.Pos.Line,
-			Col:      d.Pos.Column,
-			Analyzer: d.Analyzer,
-			Message:  d.Message,
-		})
+		if !*noCache && hashes != nil {
+			if err := saveCache(root, hashes, salt, findings); err != nil {
+				fmt.Fprintln(os.Stderr, "graphnerlint: cache write:", err)
+			}
+		}
 	}
+
+	// Narrow to the selection and re-anchor paths to the working
+	// directory so they are clickable and patchable from where the user
+	// ran the command.
+	cwd, _ := os.Getwd()
+	out := findings[:0:0]
+	for _, f := range findings {
+		abs := filepath.Join(root, f.File)
+		if only != nil && !only[filepath.Dir(abs)] {
+			continue
+		}
+		f.File = abs
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, abs); err == nil && !strings.HasPrefix(rel, "..") {
+				f.File = rel
+			}
+		}
+		out = append(out, f)
+	}
+	findings = out
 
 	switch {
 	case *asJSON:
@@ -134,11 +209,15 @@ func main() {
 			findings = []finding{}
 		}
 		if err := enc.Encode(findings); err != nil {
-			fatal(err)
+			return fail(err)
+		}
+	case *asSARIF:
+		if err := writeSARIF(os.Stdout, findings); err != nil {
+			return fail(err)
 		}
 	case *asDiff:
 		if err := writeDiff(os.Stdout, findings); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	default:
 		for _, f := range findings {
@@ -147,15 +226,17 @@ func main() {
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "graphnerlint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // writeDiff renders the findings as a unified diff that inserts a
-// suppression comment above each finding line. Findings on the same line
-// collapse into one comment; the comment copies the line's indentation so
-// the patched file stays gofmt-clean.
-func writeDiff(w *os.File, findings []finding) error {
+// suppression comment above each finding line, whatever analyzer
+// produced it. Findings on the same line collapse into one comment per
+// message; the comment copies the line's indentation so the patched file
+// stays gofmt-clean.
+func writeDiff(w io.Writer, findings []finding) error {
 	byFile := make(map[string][]finding)
 	var files []string
 	for _, f := range findings {
@@ -227,7 +308,7 @@ func moduleRoot() (string, error) {
 	}
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, err)
-	os.Exit(2)
+	return 2
 }

@@ -45,6 +45,10 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
+
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/summary"
 )
 
 // Analyzer is one named check over a type-checked package.
@@ -72,6 +76,11 @@ type Pass struct {
 	// Facts carries cross-package knowledge accumulated in dependency
 	// order (pool sources and releasers).
 	Facts *Facts
+	// CallGraph is the module-wide call graph and Summaries the
+	// interprocedural effect summaries over it. Both are read-only and
+	// shared by every pass; nil only in reduced test harnesses.
+	CallGraph *callgraph.Graph
+	Summaries *summary.Set
 
 	suppress map[string]map[int]bool // filename -> suppressed lines
 	report   func(Diagnostic)
@@ -124,37 +133,100 @@ func buildSuppressions(fset *token.FileSet, files []*ast.File) map[string]map[in
 }
 
 // Run executes the analyzers over the loaded packages in order, honouring
-// AppliesTo, and returns all diagnostics sorted by position. Facts are
-// computed for every package (in load order, which Load guarantees is
-// dependency order) before any analyzer runs, so cross-package facts are
-// complete even for analyzers running on early packages.
+// AppliesTo, and returns all diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunN(pkgs, analyzers, 1)
+}
+
+// BuildInterprocedural constructs the module-wide call graph and effect
+// summaries over the loaded packages, shared read-only by every pass.
+func BuildInterprocedural(pkgs []*Package) (*callgraph.Graph, *summary.Set) {
+	units := make([]*callgraph.Unit, len(pkgs))
+	for i, p := range pkgs {
+		units[i] = &callgraph.Unit{Path: p.Path, Fset: p.Fset, Files: p.Files, Info: p.Info}
+	}
+	g := callgraph.Build(units)
+	return g, summary.Compute(g)
+}
+
+// RunN is Run with a package-level worker pool. Facts are computed for
+// every package first (in load order, which Load guarantees is
+// dependency order), then the call graph and summaries over all
+// packages; the per-package analyzer loops — the bulk of the wall clock
+// — then run on up to workers goroutines. Output is independent of
+// worker count: diagnostics are collected per package and merged in
+// load order before the final position sort.
+func RunN(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Diagnostic, error) {
 	facts := NewFacts()
 	for _, pkg := range pkgs {
 		facts.AddPackage(pkg)
 	}
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		supp := buildSuppressions(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
-				continue
+	graph, sums := BuildInterprocedural(pkgs)
+
+	if workers < 1 {
+		workers = 1
+	}
+	perPkg := make([][]Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				perPkg[i], errs[i] = runPackage(pkgs[i], analyzers, facts, graph, sums)
 			}
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				Facts:    facts,
-				suppress: supp,
-				report:   func(d Diagnostic) { diags = append(diags, d) },
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
-			}
+		}()
+	}
+	for i := range pkgs {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
+
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// runPackage runs every applicable analyzer over one package.
+func runPackage(pkg *Package, analyzers []*Analyzer, facts *Facts, graph *callgraph.Graph, sums *summary.Set) ([]Diagnostic, error) {
+	supp := buildSuppressions(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			Info:      pkg.Info,
+			Facts:     facts,
+			CallGraph: graph,
+			Summaries: sums,
+			suppress:  supp,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return diags, nil
+}
+
+// sortDiagnostics orders findings by position then analyzer name.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -168,7 +240,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }
 
 // All returns the full analyzer suite in stable order: the syntactic
@@ -177,6 +248,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		PoolEscape, MapOrder, FloatCmp, NanInf, CtxLoop,
 		LockBalance, SharedWrite, AtomicMix, WaitGroupBalance,
+		PoolLife, LockAtCall, Determinism, ErrDrop,
 	}
 }
 

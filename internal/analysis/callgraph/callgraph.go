@@ -1,0 +1,479 @@
+// Package callgraph builds a conservative, module-wide call graph over
+// the type-checked packages the analysis driver loads — the substrate of
+// the interprocedural layer (internal/analysis/summary and the poollife,
+// lockatcall and determinism analyzers). Standard library only, like the
+// rest of the suite.
+//
+// Nodes are function bodies: every named declaration (functions and
+// methods) and every function literal gets exactly one node. Edges are
+// call sites resolved to module nodes:
+//
+//   - static calls (pkg-level function identifiers) and method calls
+//     resolve through go/types (Uses/Selections);
+//   - function values are tracked intraprocedurally: a local variable
+//     assigned exactly one target — a named function, a method value, or
+//     a function literal — resolves calls through that variable to the
+//     target's node. A variable assigned two different targets, passed
+//     in as a parameter, or stored in a structure is not resolved;
+//   - an immediately invoked literal (func(){...}()) edges to the
+//     literal's node.
+//
+// Every call site carries a context kind: Call for plain synchronous
+// calls, Defer for calls registered by a defer statement (they still run
+// within the caller's activation, before control returns), and Go for
+// goroutine spawns (asynchronous — summary propagation excludes them
+// from synchronous effects such as lock acquisition).
+//
+// Soundness caveats, by construction: calls through interfaces, through
+// function-typed parameters, fields, map/slice elements, and anything
+// reached via reflection are not resolved. Each such site increments the
+// caller's Unresolved count so analyses can account for the blind spots;
+// the analyzers built on top stay conservative in the other direction
+// (they only report when a resolved path proves a problem, so an
+// unresolved call can cause a false negative, never a false positive).
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Unit is one loaded package's syntax and type information — the slice
+// of analysis.Package the builder needs (declared here so the package
+// has no dependency on the driver).
+type Unit struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+}
+
+// Kind classifies the context of a call edge.
+type Kind uint8
+
+const (
+	// Call is a plain synchronous call.
+	Call Kind = iota
+	// Defer is a call registered by a defer statement: it runs at the
+	// caller's return, still inside the caller's activation.
+	Defer
+	// Go is a goroutine spawn: asynchronous with respect to the caller.
+	Go
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Defer:
+		return "defer"
+	case Go:
+		return "go"
+	}
+	return "call"
+}
+
+// Node is one function body in the module.
+type Node struct {
+	// Func is the declared function object; nil for function literals.
+	Func *types.Func
+	// Decl is the declaration (nil for literals); Lit the literal (nil
+	// for declarations). Exactly one is set.
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	// Unit is the package the body lives in.
+	Unit *Unit
+	// Out lists this body's resolved call sites in source order; In the
+	// edges whose callee is this node.
+	Out []*Edge
+	In  []*Edge
+	// Unresolved counts call sites whose callee could not be resolved
+	// (interface calls, untracked function values, calls of parameters).
+	Unresolved int
+}
+
+// Body returns the node's function body.
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Name renders a stable human-readable name: the go/types full name for
+// declarations, "lit@file:line" for literals.
+func (n *Node) Name() string {
+	if n.Func != nil {
+		return n.Func.FullName()
+	}
+	pos := n.Unit.Fset.Position(n.Lit.Pos())
+	file := pos.Filename
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return fmt.Sprintf("lit@%s:%d", file, pos.Line)
+}
+
+// Edge is one resolved call site.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	Site   *ast.CallExpr
+	Kind   Kind
+}
+
+// Graph is the module-wide call graph.
+type Graph struct {
+	nodes    []*Node // deterministic order: units in load order, bodies in position order
+	byFunc   map[*types.Func]*Node
+	byBody   map[*ast.BlockStmt]*Node
+	bySite   map[*ast.CallExpr]*Edge
+	siteFunc map[*ast.CallExpr]*types.Func
+}
+
+// Nodes returns every node in deterministic order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// NodeOf returns the node of a declared function, or nil.
+func (g *Graph) NodeOf(fn *types.Func) *Node { return g.byFunc[fn] }
+
+// ByBody returns the node owning body, or nil.
+func (g *Graph) ByBody(body *ast.BlockStmt) *Node { return g.byBody[body] }
+
+// EdgeAt returns the resolved edge of a call site, or nil when the site
+// was not resolved (or is not a tracked call at all).
+func (g *Graph) EdgeAt(call *ast.CallExpr) *Edge { return g.bySite[call] }
+
+// CalleeFuncAt returns the named function a call site invokes — resolved
+// statically or through a tracked function value — whether or not the
+// function has a node in the graph. Extra-module callees (stdlib, e.g. a
+// bound (*sync.Pool).Put method value) resolve here even though they have
+// no edge; nil means the site is genuinely unresolved or not a function
+// call (conversion, builtin, literal invocation).
+func (g *Graph) CalleeFuncAt(call *ast.CallExpr) *types.Func { return g.siteFunc[call] }
+
+// Build constructs the call graph over units. Units must be type-checked
+// against each other (module-internal imports resolved), as the analysis
+// loader guarantees.
+func Build(units []*Unit) *Graph {
+	g := &Graph{
+		byFunc:   make(map[*types.Func]*Node),
+		byBody:   make(map[*ast.BlockStmt]*Node),
+		bySite:   make(map[*ast.CallExpr]*Edge),
+		siteFunc: make(map[*ast.CallExpr]*types.Func),
+	}
+	// Pass 1: one node per function body, literals included.
+	for _, u := range units {
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body == nil {
+						return true
+					}
+					node := &Node{Decl: n, Unit: u}
+					if fn, ok := u.Info.Defs[n.Name].(*types.Func); ok {
+						node.Func = fn
+						g.byFunc[fn] = node
+					}
+					g.addNode(node, n.Body)
+				case *ast.FuncLit:
+					g.addNode(&Node{Lit: n, Unit: u}, n.Body)
+				}
+				return true
+			})
+		}
+	}
+	// Pass 2: resolve call sites per node.
+	for _, node := range g.nodes {
+		g.resolveCalls(node)
+	}
+	return g
+}
+
+func (g *Graph) addNode(n *Node, body *ast.BlockStmt) {
+	if _, ok := g.byBody[body]; ok {
+		return
+	}
+	g.byBody[body] = n
+	g.nodes = append(g.nodes, n)
+}
+
+// funcValues tracks the single-assignment function values of one body:
+// variables bound exactly once to a named function, a method value, or a
+// literal. A second binding to a different target poisons the variable.
+type funcValues struct {
+	named map[*types.Var]*types.Func
+	lits  map[*types.Var]*ast.FuncLit
+	dirty map[*types.Var]bool
+}
+
+// funcValueTargets scans body (nested literals included: a literal may
+// call a value its enclosing function bound, and the binding scan is
+// per-variable, not per-scope) for function-value bindings.
+func funcValueTargets(info *types.Info, body *ast.BlockStmt) *funcValues {
+	fv := &funcValues{
+		named: make(map[*types.Var]*types.Func),
+		lits:  make(map[*types.Var]*ast.FuncLit),
+		dirty: make(map[*types.Var]bool),
+	}
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		v := varOf(info, id)
+		if v == nil {
+			return
+		}
+		if t := v.Type(); t == nil {
+			return
+		} else if _, ok := t.Underlying().(*types.Signature); !ok {
+			return
+		}
+		switch rhs := ast.Unparen(rhs).(type) {
+		case *ast.FuncLit:
+			if fv.named[v] != nil || (fv.lits[v] != nil && fv.lits[v] != rhs) {
+				fv.dirty[v] = true
+			}
+			fv.lits[v] = rhs
+		default:
+			if fn := staticCallee(info, rhs); fn != nil {
+				if fv.lits[v] != nil || (fv.named[v] != nil && fv.named[v] != fn) {
+					fv.dirty[v] = true
+				}
+				fv.named[v] = fn
+				return
+			}
+			// Bound to something we cannot resolve (a parameter, a call
+			// result, a field): poison.
+			fv.dirty[v] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					bind(n.Lhs[i], n.Rhs[i])
+				}
+			} else {
+				// Multi-value assignment from a call: poison any
+				// function-typed LHS (targets unknowable here).
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if v := varOf(info, id); v != nil {
+							if _, ok := v.Type().Underlying().(*types.Signature); ok {
+								fv.dirty[v] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					bind(name, n.Values[i])
+				}
+			}
+		case *ast.UnaryExpr:
+			// &f: the address escaping means any writer may rebind it.
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if v := varOf(info, id); v != nil {
+						fv.dirty[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fv
+}
+
+// resolveCalls walks node's body (stopping at nested literal bodies,
+// which own their call sites) and records one edge per resolvable call.
+func (g *Graph) resolveCalls(node *Node) {
+	info := node.Unit.Info
+	body := node.Body()
+	// Function-value bindings are scanned from the outermost enclosing
+	// body so a literal resolves values bound by the function it closes
+	// over.
+	fv := funcValueTargets(info, g.outermostBody(node))
+
+	kindStack := []Kind{Call}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false // its own node
+			case *ast.DeferStmt:
+				kindStack = append(kindStack, Defer)
+				walk(m.Call)
+				kindStack = kindStack[:len(kindStack)-1]
+				return false
+			case *ast.GoStmt:
+				kindStack = append(kindStack, Go)
+				walk(m.Call)
+				kindStack = kindStack[:len(kindStack)-1]
+				return false
+			case *ast.CallExpr:
+				g.addEdge(node, m, fv, kindStack[len(kindStack)-1])
+				// Arguments may contain further calls (and deferred/go
+				// calls evaluate arguments eagerly in the caller).
+				if len(kindStack) > 1 {
+					kindStack = append(kindStack, Call)
+					for _, arg := range m.Args {
+						walk(arg)
+					}
+					kindStack = kindStack[:len(kindStack)-1]
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+// outermostBody finds the outermost function body lexically enclosing
+// node (itself, for declarations).
+func (g *Graph) outermostBody(node *Node) *ast.BlockStmt {
+	if node.Decl != nil {
+		return node.Decl.Body
+	}
+	// Literals: find the enclosing declaration by position.
+	for _, f := range node.Unit.Files {
+		if f.Pos() <= node.Lit.Pos() && node.Lit.End() <= f.End() {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fd.Body.Pos() <= node.Lit.Pos() && node.Lit.End() <= fd.Body.End() {
+					return fd.Body
+				}
+			}
+		}
+	}
+	return node.Lit.Body
+}
+
+// addEdge resolves one call site and records the edge (or the
+// unresolved count).
+func (g *Graph) addEdge(caller *Node, call *ast.CallExpr, fv *funcValues, kind Kind) {
+	info := caller.Unit.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions and builtins are not calls we track.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			return
+		}
+	}
+
+	// Immediately invoked literal.
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		g.link(caller, g.byBody[lit.Body], call, kind)
+		return
+	}
+	// Static / method call.
+	if fn := staticCallee(info, call.Fun); fn != nil {
+		g.siteFunc[call] = fn
+		if callee := g.byFunc[fn]; callee != nil {
+			g.link(caller, callee, call, kind)
+		}
+		// A named callee outside the module (stdlib) is resolved but has
+		// no node; it is not "unresolved" — its effects are modelled by
+		// name (sync.Pool, sync.Mutex) where they matter.
+		return
+	}
+	// Function value: a tracked local variable.
+	if id, ok := fun.(*ast.Ident); ok {
+		if v := varOf(info, id); v != nil && !fv.dirty[v] {
+			if fn := fv.named[v]; fn != nil {
+				g.siteFunc[call] = fn
+				if callee := g.byFunc[fn]; callee != nil {
+					g.link(caller, callee, call, kind)
+					return
+				}
+				return // named but extra-module
+			}
+			if lit := fv.lits[v]; lit != nil {
+				if callee := g.byBody[lit.Body]; callee != nil {
+					g.link(caller, callee, call, kind)
+					return
+				}
+			}
+		}
+	}
+	caller.Unresolved++
+}
+
+func (g *Graph) link(caller, callee *Node, site *ast.CallExpr, kind Kind) {
+	if callee == nil {
+		caller.Unresolved++
+		return
+	}
+	e := &Edge{Caller: caller, Callee: callee, Site: site, Kind: kind}
+	caller.Out = append(caller.Out, e)
+	callee.In = append(callee.In, e)
+	g.bySite[site] = e
+}
+
+// staticCallee resolves an expression to the named function it denotes:
+// a function identifier, a selector method (value or call), or nil.
+// Conversions, builtins, and variables resolve to nil.
+func staticCallee(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[e].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[e.Sel].(*types.Func); ok {
+			return f // package-qualified function
+		}
+	}
+	return nil
+}
+
+// varOf resolves id to the variable it defines or uses.
+func varOf(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// Format renders the graph for golden tests: one sorted line per edge,
+// "caller -> callee [kind]", plus "caller ?N" lines for nodes with
+// unresolved sites.
+func (g *Graph) Format() string {
+	var lines []string
+	for _, n := range g.nodes {
+		for _, e := range n.Out {
+			lines = append(lines, fmt.Sprintf("%s -> %s [%s]", n.Name(), e.Callee.Name(), e.Kind))
+		}
+		if n.Unresolved > 0 {
+			lines = append(lines, fmt.Sprintf("%s ?%d", n.Name(), n.Unresolved))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,165 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+// loadCorpus type-checks one testdata corpus package and wraps it as a
+// callgraph unit.
+func loadCorpus(t *testing.T, name string) (*analysis.Package, *callgraph.Graph) {
+	t.Helper()
+	dir := filepath.Join("..", "testdata", "src", name)
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	g := callgraph.Build([]*callgraph.Unit{{
+		Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files, Info: pkg.Info,
+	}})
+	return pkg, g
+}
+
+// golden is the expected Format rendering of the corpus graph: every
+// resolvable edge with its context kind, and per-node unresolved counts.
+const golden = `callgraph.helper -> callgraph.work [call]
+callgraph.methods -> (*callgraph.T).lock [call]
+callgraph.methods -> (*callgraph.T).unlock [defer]
+callgraph.spawns -> callgraph.helper [defer]
+callgraph.spawns -> callgraph.work [go]
+callgraph.unresolved ?2
+callgraph.values -> callgraph.helper [call]
+callgraph.values -> lit@p.go:28 [call]
+callgraph.values -> lit@p.go:30 [call]
+lit@p.go:28 -> callgraph.work [call]
+lit@p.go:30 -> callgraph.helper [call]
+`
+
+func TestGolden(t *testing.T) {
+	_, g := loadCorpus(t, "callgraph")
+	if got := g.Format(); got != golden {
+		t.Errorf("call graph mismatch\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestNodeCoverage: every function body in the corpus — declaration or
+// literal — must have exactly one node.
+func TestNodeCoverage(t *testing.T) {
+	pkg, g := loadCorpus(t, "callgraph")
+	want := 0
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					want++
+					if g.ByBody(n.Body) == nil {
+						t.Errorf("no node for declaration %s", n.Name.Name)
+					}
+				}
+			case *ast.FuncLit:
+				want++
+				if g.ByBody(n.Body) == nil {
+					t.Errorf("no node for literal at %s", pkg.Fset.Position(n.Pos()))
+				}
+			}
+			return true
+		})
+	}
+	if got := len(g.Nodes()); got != want {
+		t.Errorf("got %d nodes, want %d", got, want)
+	}
+}
+
+// checkStaticEdgesPresent is the soundness property: for every call site
+// whose callee resolves statically through go/types to a function
+// declared in the analyzed units, the graph must contain that edge.
+func checkStaticEdgesPresent(t *testing.T, units []*callgraph.Unit, g *callgraph.Graph) {
+	t.Helper()
+	declared := make(map[*types.Func]bool)
+	for _, n := range g.Nodes() {
+		if n.Func != nil {
+			declared[n.Func] = true
+		}
+	}
+	for _, u := range units {
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := staticCalleeOf(u.Info, call)
+				if fn == nil || !declared[fn] {
+					return true
+				}
+				e := g.EdgeAt(call)
+				if e == nil {
+					t.Errorf("missing edge for static call to %s at %s", fn.FullName(), u.Fset.Position(call.Pos()))
+					return true
+				}
+				if e.Callee.Func != fn {
+					t.Errorf("edge at %s resolves to %s, want %s", u.Fset.Position(call.Pos()), e.Callee.Name(), fn.FullName())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// staticCalleeOf mirrors the resolution the property quantifies over:
+// calls the type checker itself names (idents and selector methods).
+func staticCalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func TestSoundnessCorpus(t *testing.T) {
+	pkg, g := loadCorpus(t, "callgraph")
+	checkStaticEdgesPresent(t, []*callgraph.Unit{{
+		Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files, Info: pkg.Info,
+	}}, g)
+}
+
+// TestSoundnessModule runs the same property over the entire module:
+// every static call edge between module functions must be present in
+// the graph the driver builds.
+func TestSoundnessModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load is not short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, nil)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var units []*callgraph.Unit
+	for _, p := range pkgs {
+		units = append(units, &callgraph.Unit{Path: p.Path, Fset: p.Fset, Files: p.Files, Info: p.Info})
+	}
+	g := callgraph.Build(units)
+	checkStaticEdgesPresent(t, units, g)
+}

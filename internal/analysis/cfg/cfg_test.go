@@ -107,6 +107,41 @@ retry:
 	}
 }
 
+func deferInLoop(xs []int) {
+	for _, x := range xs {
+		_ = x
+		defer cleanup()
+	}
+}
+
+func gotoIntoBlock(n int) int {
+	if n > 0 {
+		goto inner
+	}
+	n = -n
+inner:
+	{
+		n++
+	}
+	return n
+}
+
+func gotoOutOfBlock(xs []int) int {
+	s := 0
+loop:
+	for _, x := range xs {
+		if x < 0 {
+			goto done
+		}
+		if x == 0 {
+			continue loop
+		}
+		s += x
+	}
+done:
+	return s
+}
+
 func step()    {}
 func cleanup() {}
 `
@@ -188,6 +223,42 @@ b1 label.retry: {n++} {n < 3} => b2 b3
 b2 if.then: {goto retry} => b1
 b3 if.done: => b4
 b4 exit:
+`,
+
+	// A defer in a loop body is a straight-line statement of the body
+	// block — it does NOT edge anywhere, which is exactly why deferred
+	// obligations registered per iteration come due only at exit (the
+	// summary layer and lockbalance's defer-in-loop check rely on this).
+	"deferInLoop": `b0 entry: => b1
+b1 range.head: {xs} => b2 b3
+b2 range.body: {_ = x} {defer cleanup()} => b1
+b3 range.done: => b4
+b4 exit:
+`,
+
+	// goto forward INTO a labeled block: both the branch and the
+	// fall-through path converge on the label block.
+	"gotoIntoBlock": `b0 entry: {n > 0} => b1 b2
+b1 if.then: {goto inner} => b3
+b2 if.done: {n = -n} => b3
+b3 label.inner: {n++} {return n} => b4
+b4 exit:
+`,
+
+	// goto OUT of a labeled loop body: the goto edges straight to the
+	// label block past range.done; continue with the loop's own label
+	// still targets the range head.
+	"gotoOutOfBlock": `b0 entry: {s := 0} => b1
+b1 label.loop: => b2
+b2 range.head: {xs} => b3 b4
+b3 range.body: {x < 0} => b5 b6
+b4 range.done: => b7
+b5 if.then: {goto done} => b7
+b6 if.done: {x == 0} => b8 b9
+b7 label.done: {return s} => b10
+b8 if.then: {continue loop} => b2
+b9 if.done: {s += x} => b2
+b10 exit:
 `,
 }
 

@@ -111,3 +111,45 @@ func initialIn[F any](p Problem[F], b, boundary *cfg.Block) F {
 	}
 	return p.Init()
 }
+
+// Fixpoint is the dependency-driven worklist the interprocedural summary
+// layer runs on: Solve iterates blocks of one CFG, Fixpoint iterates
+// arbitrary keys (functions of a call graph) whose values depend on each
+// other.
+//
+// Every key is visited at least once, in the order given. update(k)
+// recomputes k's value from the current values of whatever it depends on
+// and reports whether the value changed; on change, dependents(k) — the
+// keys whose values consume k's (a function's callers) — are re-enqueued.
+// This is the summary-invalidation contract: when a callee's summary
+// grows mid-fixpoint, every caller is recomputed against the new summary,
+// transitively, until nothing changes.
+//
+// Termination is the caller's obligation, exactly as with Solve: update
+// must be monotone over a finite-height lattice. Returns the number of
+// update calls (tests assert invalidation actually re-runs callers).
+func Fixpoint[K comparable](keys []K, update func(K) bool, dependents func(K) []K) int {
+	queue := make([]K, len(keys))
+	copy(queue, keys)
+	queued := make(map[K]bool, len(keys))
+	for _, k := range queue {
+		queued[k] = true
+	}
+	calls := 0
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		queued[k] = false
+		calls++
+		if !update(k) {
+			continue
+		}
+		for _, d := range dependents(k) {
+			if !queued[d] {
+				queued[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	return calls
+}

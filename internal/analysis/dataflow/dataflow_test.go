@@ -254,6 +254,61 @@ func TestMustAnalysisNilTop(t *testing.T) {
 	}
 }
 
+// TestFixpointInvalidation models the interprocedural summary fixpoint:
+// three "functions" where A calls B calls C, C and B are mutually
+// recursive, and summaries are capped depth counts. B's and C's values
+// keep changing for the first few visits, and every change must
+// re-enqueue the caller — A's final value is correct only if the
+// invalidation actually re-ran it after B settled.
+func TestFixpointInvalidation(t *testing.T) {
+	const cap = 5
+	vals := map[string]int{"A": 0, "B": 0, "C": 0}
+	updates := map[string]int{}
+	update := func(k string) bool {
+		updates[k]++
+		old := vals[k]
+		switch k {
+		case "A":
+			vals[k] = vals["B"] // A copies its callee's summary
+		case "B":
+			vals[k] = min(cap, vals["C"]+1)
+		case "C":
+			vals[k] = min(cap, vals["B"]+1)
+		}
+		return vals[k] != old
+	}
+	// dependents = callers: A calls B; B and C call each other.
+	deps := map[string][]string{"B": {"A", "C"}, "C": {"B"}}
+	calls := Fixpoint([]string{"A", "B", "C"}, update, func(k string) []string { return deps[k] })
+
+	if vals["A"] != cap || vals["B"] != cap || vals["C"] != cap {
+		t.Errorf("fixpoint values = %v, want all %d", vals, cap)
+	}
+	// A must have been recomputed after its initial visit: its first run
+	// saw B=0, so without caller invalidation it would end at 0.
+	if updates["A"] < 2 {
+		t.Errorf("A updated %d times; callee changes must re-enqueue callers", updates["A"])
+	}
+	if calls < updates["A"]+updates["B"]+updates["C"] {
+		t.Errorf("Fixpoint reported %d calls, fewer than observed %v", calls, updates)
+	}
+}
+
+// TestFixpointVisitsEveryKey: keys with no dependencies and no changes
+// are still visited exactly once.
+func TestFixpointVisitsEveryKey(t *testing.T) {
+	visited := map[int]int{}
+	calls := Fixpoint([]int{1, 2, 3}, func(k int) bool { visited[k]++; return false }, func(int) []int { return nil })
+	if calls != 3 {
+		t.Errorf("Fixpoint made %d calls, want 3", calls)
+	}
+	for _, k := range []int{1, 2, 3} {
+		if visited[k] != 1 {
+			t.Errorf("key %d visited %d times, want 1", k, visited[k])
+		}
+	}
+}
+
 // TestTransferCallCounts guards the solver against a quadratic or
 // non-terminating regression: on a straight-line graph the fixpoint must
 // settle with at most two transfer evaluations per block (the priming

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/summary"
+)
+
+// Determinism flags order-nondeterminism reaching floating-point
+// outputs — the property GraphNER's bit-reproducible beliefs, losses,
+// and posteriors rest on. Two orders are untrusted: map iteration order
+// (randomized per run) and goroutine scheduling order (a mutex makes a
+// shared fold safe, not ordered). Because float addition is not
+// associative, folding the same values in a different order produces a
+// different bit pattern, and the artifact-digest machinery downstream
+// treats that as corruption.
+//
+// The taint itself comes from the interprocedural summaries
+// (summary.TaintedVars / TaintedResults): values accumulated under a map
+// range or by loop-spawned goroutines, propagated through assignments
+// and call results across function boundaries. The analyzer's job is the
+// sinks, reported in the function where the nondeterminism becomes
+// observable:
+//
+//   - returning a tainted float (or an expression computed from one),
+//     including bare returns of tainted named results and returns of the
+//     iteration variables themselves from inside a map range;
+//   - assigning or accumulating a tainted float into memory that
+//     outlives the function's locals (a field, a global, a container
+//     element);
+//   - folding directly into such memory in map-iteration order, or from
+//     goroutines spawned in a loop — destinations the variable-level
+//     taint cannot represent.
+//
+// maporder catches ordered *output* built under a map range (appends,
+// encoders); this analyzer catches ordered *arithmetic*, which survives
+// any amount of downstream sorting. Intentional order-insensitive uses
+// (max/min selection, error-tolerant diagnostics) take the lint:checked
+// hatch with the insensitivity argument.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "map-iteration or goroutine-scheduling order must not reach float outputs",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if pass.Summaries == nil {
+		return nil // taint lives in the summaries; nothing to check without them
+	}
+	funcBodies(pass.Files, func(body *ast.BlockStmt, _ bool) {
+		checkDeterminism(pass, body)
+	})
+	return nil
+}
+
+func checkDeterminism(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Info
+	node := pass.Summaries.Graph().ByBody(body)
+	if node == nil {
+		return
+	}
+	tainted := pass.Summaries.TaintedVars(node)
+	ranges := pass.Summaries.MapRanges(node)
+
+	inRange := func(pos token.Pos) (summary.MapRange, bool) {
+		for _, r := range ranges {
+			if r.Stmt.Body.Pos() <= pos && pos < r.Stmt.Body.End() {
+				return r, true
+			}
+		}
+		return summary.MapRange{}, false
+	}
+
+	// nonLocalDest renders an assignment target that outlives the
+	// function's locals; plain local variables return ok=false (their
+	// taint is tracked by variable instead).
+	nonLocalDest := func(lhs ast.Expr) (string, bool) {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			return writeKey(l), true
+		case *ast.IndexExpr:
+			return writeKey(l), true
+		case *ast.Ident:
+			if v, ok := info.Uses[l].(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+				return l.Name, true
+			}
+		}
+		return "", false
+	}
+
+	// Named float results, for bare returns.
+	var results *ast.FieldList
+	if node.Decl != nil {
+		results = node.Decl.Type.Results
+	} else {
+		results = node.Lit.Type.Results
+	}
+	namedFloat := make(map[*types.Var]bool)
+	if results != nil {
+		for _, f := range results.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok && isFloat(v.Type()) {
+					namedFloat[v] = true
+				}
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != body {
+				return false // its own body via funcBodies
+			}
+		case *ast.ReturnStmt:
+			if len(n.Results) == 0 {
+				var vs []*types.Var
+				for v := range namedFloat {
+					if _, ok := tainted[v]; ok {
+						vs = append(vs, v)
+					}
+				}
+				sort.Slice(vs, func(i, j int) bool { return vs[i].Pos() < vs[j].Pos() })
+				for _, v := range vs {
+					pass.Report(n.Pos(), "returned float %s depends on %s", v.Name(), tainted[v].Taint)
+				}
+				return true
+			}
+			for _, res := range n.Results {
+				if t := info.TypeOf(res); t == nil || !isFloat(t) {
+					continue
+				}
+				if rt, ok := pass.Summaries.ExprTaint(node, tainted, res); ok {
+					pass.Report(res.Pos(), "returned float depends on %s", rt.Taint)
+				} else if r, ok := inRange(n.Pos()); ok && usesAnyVar(info, res, r.Vars) {
+					pass.Report(res.Pos(), "returned float depends on map iteration order (first element visited)")
+				}
+			}
+		case *ast.AssignStmt:
+			if isAccumAssign(n.Tok) && len(n.Lhs) == 1 {
+				dest, ok := nonLocalDest(n.Lhs[0])
+				if !ok {
+					return true
+				}
+				if t := info.TypeOf(n.Lhs[0]); t == nil || !isFloat(t) {
+					return true
+				}
+				if rt, ok := pass.Summaries.ExprTaint(node, tainted, n.Rhs[0]); ok {
+					pass.Report(n.Pos(), "float %s accumulates a value that depends on %s", dest, rt.Taint)
+				} else if r, ok := inRange(n.Pos()); ok && usesAnyVar(info, n.Rhs[0], r.Vars) {
+					pass.Report(n.Pos(), "float %s is folded in map iteration order", dest)
+				}
+				return true
+			}
+			if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				dest, ok := nonLocalDest(n.Lhs[i])
+				if !ok {
+					continue
+				}
+				if t := info.TypeOf(n.Lhs[i]); t == nil || !isFloat(t) {
+					continue
+				}
+				if rt, ok := pass.Summaries.ExprTaint(node, tainted, n.Rhs[i]); ok {
+					pass.Report(n.Pos(), "float %s is assigned a value that depends on %s", dest, rt.Taint)
+				}
+			}
+		}
+		return true
+	})
+
+	// Goroutine folds into captured longer-lived memory: the variable
+	// seed in the summaries only covers plain locals, so fields, globals
+	// and container elements are checked here, at the spawn structure.
+	var walkLoops func(root ast.Node, depth int)
+	walkLoops = func(root ast.Node, depth int) {
+		ast.Inspect(root, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				walkLoops(m.Body, depth+1)
+				return false
+			case *ast.RangeStmt:
+				walkLoops(m.Body, depth+1)
+				return false
+			case *ast.GoStmt:
+				lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit)
+				if !ok || depth == 0 {
+					return false
+				}
+				ast.Inspect(lit.Body, func(gn ast.Node) bool {
+					as, ok := gn.(*ast.AssignStmt)
+					if !ok || !isAccumAssign(as.Tok) || len(as.Lhs) != 1 {
+						return true
+					}
+					dest, ok := nonLocalDest(as.Lhs[0])
+					if !ok {
+						return true
+					}
+					if base := rootIdent(ast.Unparen(as.Lhs[0])); base != nil {
+						if bv, ok := info.Uses[base].(*types.Var); !ok || !capturedVar(bv, lit) {
+							return true // goroutine-private destination
+						}
+					}
+					if t := info.TypeOf(as.Lhs[0]); t != nil && isFloat(t) {
+						pass.Report(as.Pos(), "float %s is folded by goroutines spawned in a loop; the order depends on goroutine scheduling", dest)
+					}
+					return true
+				})
+				return false
+			case *ast.FuncLit:
+				if ast.Node(m.Body) != root {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walkLoops(body, 0)
+}
+
+// isAccumAssign reports whether tok is an order-sensitive compound
+// assignment (+=, -=, *=, /=).
+func isAccumAssign(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// usesAnyVar reports whether e mentions any of the given variables.
+func usesAnyVar(info *types.Info, e ast.Expr, vars map[*types.Var]bool) bool {
+	for _, v := range exprIdents(info, e) {
+		if vars[v] {
+			return true
+		}
+	}
+	return false
+}

@@ -24,16 +24,19 @@ func runOnTestdata(t *testing.T, a *Analyzer) {
 	}
 	facts := NewFacts()
 	facts.AddPackage(pkg)
+	graph, sums := BuildInterprocedural([]*Package{pkg})
 	var diags []Diagnostic
 	pass := &Pass{
-		Analyzer: a,
-		Fset:     pkg.Fset,
-		Files:    pkg.Files,
-		Pkg:      pkg.Types,
-		Info:     pkg.Info,
-		Facts:    facts,
-		suppress: buildSuppressions(pkg.Fset, pkg.Files),
-		report:   func(d Diagnostic) { diags = append(diags, d) },
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		Info:      pkg.Info,
+		Facts:     facts,
+		CallGraph: graph,
+		Summaries: sums,
+		suppress:  buildSuppressions(pkg.Fset, pkg.Files),
+		report:    func(d Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s.Run: %v", a.Name, err)
@@ -88,6 +91,11 @@ func TestMapOrder(t *testing.T)   { runOnTestdata(t, MapOrder) }
 func TestFloatCmp(t *testing.T)   { runOnTestdata(t, FloatCmp) }
 func TestNanInf(t *testing.T)     { runOnTestdata(t, NanInf) }
 func TestCtxLoop(t *testing.T)    { runOnTestdata(t, CtxLoop) }
+
+func TestPoolLife(t *testing.T)    { runOnTestdata(t, PoolLife) }
+func TestLockAtCall(t *testing.T)  { runOnTestdata(t, LockAtCall) }
+func TestDeterminism(t *testing.T) { runOnTestdata(t, Determinism) }
+func TestErrDrop(t *testing.T)     { runOnTestdata(t, ErrDrop) }
 
 func TestLockBalance(t *testing.T)      { runOnTestdata(t, LockBalance) }
 func TestSharedWrite(t *testing.T)      { runOnTestdata(t, SharedWrite) }

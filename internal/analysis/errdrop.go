@@ -1,0 +1,439 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+	"strings"
+
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// ErrDrop flags error returns that vanish along the serving and
+// artifact-decode paths — the places where a swallowed decode or I/O
+// failure turns into a silently wrong tagging response instead of a 5xx.
+// Four shapes are reported:
+//
+//   - a call statement (plain, go, or defer) discarding a callee's error
+//     result entirely;
+//   - an error result assigned to the blank identifier;
+//   - a dead store: an error written to a variable that no path reads
+//     before it is overwritten or goes out of scope — solved as backward
+//     liveness over the function's CFG, so a check reached only through
+//     a loop back edge still counts;
+//   - a := that shadows an error variable still read after the inner
+//     scope closes (the classic typo that returns the outer, never-set
+//     error).
+//
+// Infallible-by-contract writers (the fmt print family, bytes.Buffer,
+// strings.Builder) are exempt. Deliberate drops — a best-effort cache
+// warm, a Close on a read-only file — take the lint:checked hatch with
+// the reason spelled out, like every other analyzer here.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "dropped, blank-discarded, dead-stored, or shadowed error returns",
+	AppliesTo: func(pkgPath string) bool {
+		switch pkgPath {
+		case "repro/internal/serving", "repro/internal/graphner", "repro/cmd/graphnerd":
+			return true
+		}
+		return false
+	},
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkErrDrop(pass, n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				checkErrDrop(pass, n.Type, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+func checkErrDrop(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	// Statement-level shapes: dropped calls, blank discards, shadows.
+	// Nested literals run their own checkErrDrop; skip their subtrees.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != body {
+				return false
+			}
+		case *ast.ExprStmt:
+			reportDroppedCall(pass, n.X)
+		case *ast.GoStmt:
+			reportDroppedCall(pass, n.Call)
+		case *ast.DeferStmt:
+			reportDroppedCall(pass, n.Call)
+		case *ast.AssignStmt:
+			checkBlankErr(pass, n)
+			checkErrShadow(pass, body, n)
+		}
+		return true
+	})
+
+	checkErrDeadStores(pass, ft, body)
+}
+
+// reportDroppedCall flags e when it is a call whose final result is an
+// error that no one receives.
+func reportDroppedCall(pass *Pass, e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	res := sig.Results()
+	if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
+		return
+	}
+	if errDropExempt(pass.Info, call) {
+		return
+	}
+	pass.Report(call.Pos(), "the error result of %s is dropped", calleeLabel(pass.Info, call))
+}
+
+// errDropExempt lists the callees whose error results are dead by
+// contract: the fmt print family and the in-memory writers that document
+// a nil error unconditionally.
+func errDropExempt(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type().String()
+	return strings.HasSuffix(recv, "bytes.Buffer") || strings.HasSuffix(recv, "strings.Builder")
+}
+
+// calleeLabel renders the called function for a diagnostic.
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		return fn.Name()
+	}
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return "the call"
+}
+
+// checkBlankErr flags error results assigned to the blank identifier.
+func checkBlankErr(pass *Pass, as *ast.AssignStmt) {
+	info := pass.Info
+	blankAt := func(i int) (*ast.Ident, bool) {
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if ok && id.Name == "_" {
+			return id, true
+		}
+		return nil, false
+	}
+	// Multi-assign from one call: match result indices against the
+	// callee's signature.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+		if !ok || errDropExempt(info, call) {
+			return
+		}
+		for i := 0; i < len(as.Lhs) && i < sig.Results().Len(); i++ {
+			if id, ok := blankAt(i); ok && isErrorType(sig.Results().At(i).Type()) {
+				pass.Report(id.Pos(), "the error result of %s is discarded as _", calleeLabel(info, call))
+			}
+		}
+		return
+	}
+	for i := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		id, ok := blankAt(i)
+		if !ok || !isErrorType(info.TypeOf(as.Rhs[i])) {
+			continue
+		}
+		if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+			if errDropExempt(info, call) {
+				continue
+			}
+			pass.Report(id.Pos(), "the error result of %s is discarded as _", calleeLabel(info, call))
+		}
+	}
+}
+
+// checkErrShadow flags a := declaring a fresh error variable under a name
+// an enclosing scope also binds to an error that is still read after the
+// inner scope closes — the path where the outer error is returned without
+// ever being set.
+func checkErrShadow(pass *Pass, body *ast.BlockStmt, as *ast.AssignStmt) {
+	if as.Tok != token.DEFINE {
+		return
+	}
+	info := pass.Info
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		v, ok := info.Defs[id].(*types.Var)
+		if !ok || !isErrorType(v.Type()) || v.Parent() == nil {
+			continue
+		}
+		outerScope := v.Parent().Parent()
+		if outerScope == nil {
+			continue
+		}
+		_, obj := outerScope.LookupParent(id.Name, v.Pos())
+		outer, ok := obj.(*types.Var)
+		if !ok || !isErrorType(outer.Type()) || outer.Pos() < body.Pos() || outer.Pos() > body.End() {
+			continue
+		}
+		// The shadow is dangerous only when the outer variable's next
+		// mention after the inner scope closes is a read — a rebind first
+		// means the two were never confused. First-mention is source
+		// order; a conditional rebind ahead of the read under-reports,
+		// the right failure mode for a heuristic with an annotation hatch.
+		scopeEnd := v.Parent().End()
+		writes := assignTargets(body)
+		var next *ast.Ident
+		ast.Inspect(body, func(n ast.Node) bool {
+			use, ok := n.(*ast.Ident)
+			if !ok || use.Pos() <= scopeEnd || info.Uses[use] != outer {
+				return true
+			}
+			if next == nil || use.Pos() < next.Pos() {
+				next = use
+			}
+			return true
+		})
+		if next != nil && !writes[next] {
+			pass.Report(id.Pos(), "%s shadows an error variable that is still read after this block", id.Name)
+		}
+	}
+}
+
+// checkErrDeadStores reports error values stored into variables no path
+// reads again: backward liveness over the CFG, so checks reached through
+// loop back edges count and stores that every successor path overwrites
+// do not.
+func checkErrDeadStores(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	info := pass.Info
+
+	// The error-typed local variables of this body.
+	errVars := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok && isErrorType(v.Type()) {
+			errVars[v] = true
+		}
+		return true
+	})
+	// Named error results are written by plain assignment, not Defs.
+	boundary := make(map[*types.Var]bool)
+	if ft.Results != nil {
+		for _, f := range ft.Results.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok && isErrorType(v.Type()) {
+					errVars[v] = true
+					boundary[v] = true // live at exit: bare returns yield it
+				}
+			}
+		}
+	}
+	if len(errVars) == 0 {
+		return
+	}
+
+	// Per-node gen/kill. Reads inside nested literals and deferred calls
+	// count as reads — a deferred closure inspecting err keeps every
+	// earlier store live. Kills are direct assignments in the body's own
+	// flow only.
+	directLhs := make(map[*ast.Ident]bool)
+	collectLhs := func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						directLhs[id] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	collectLhs(body)
+
+	genOf := func(root ast.Node, after token.Pos) map[*types.Var]bool {
+		out := make(map[*types.Var]bool)
+		ast.Inspect(root, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Pos() <= after || directLhs[id] {
+				return true
+			}
+			if v, ok := info.Uses[id].(*types.Var); ok && errVars[v] {
+				out[v] = true
+			}
+			return true
+		})
+		return out
+	}
+	killOf := func(root ast.Node) map[*types.Var]bool {
+		out := make(map[*types.Var]bool)
+		ast.Inspect(root, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if v := localVarOf(info, id); v != nil && errVars[v] {
+					out[v] = true
+				}
+			}
+			return true
+		})
+		return out
+	}
+	step := func(live map[*types.Var]bool, n ast.Node) map[*types.Var]bool {
+		out := maps.Clone(live)
+		for v := range killOf(n) {
+			delete(out, v)
+		}
+		for v := range genOf(n, token.NoPos) {
+			out[v] = true
+		}
+		return out
+	}
+
+	g := cfg.New(body)
+	res := dataflow.Solve(g, dataflow.Problem[map[*types.Var]bool]{
+		Dir:      dataflow.Backward,
+		Boundary: func() map[*types.Var]bool { return maps.Clone(boundary) },
+		Init:     func() map[*types.Var]bool { return map[*types.Var]bool{} },
+		Join: func(a, b map[*types.Var]bool) map[*types.Var]bool {
+			out := maps.Clone(a)
+			for v := range b {
+				out[v] = true
+			}
+			return out
+		},
+		Transfer: func(blk *cfg.Block, in map[*types.Var]bool) map[*types.Var]bool {
+			out := in
+			for i := len(blk.Nodes) - 1; i >= 0; i-- {
+				out = step(out, blk.Nodes[i])
+			}
+			return out
+		},
+		Equal: func(a, b map[*types.Var]bool) bool { return maps.Equal(a, b) },
+	})
+
+	// liveAfter replays the block backward to the statement: the live set
+	// just after stmt runs. When the store sits inside a compound node
+	// (an if-init, say), the rest of that node still counts as reads but,
+	// conservatively, not as kills.
+	liveAfter := func(stmt ast.Node) map[*types.Var]bool {
+		blk := g.BlockOf(stmt.Pos())
+		if blk == nil {
+			return nil
+		}
+		live := res.In[blk] // backward-flow entry: live at the block's program end
+		for i := len(blk.Nodes) - 1; i >= 0; i-- {
+			n := blk.Nodes[i]
+			if n == stmt {
+				return live
+			}
+			if n.Pos() <= stmt.Pos() && stmt.End() <= n.End() {
+				out := maps.Clone(live)
+				for v := range genOf(n, stmt.End()) {
+					out[v] = true
+				}
+				return out
+			}
+			live = step(live, n)
+		}
+		return live
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// Only stores of fresh error values are obligations: a call (or
+		// comma-ok) result. Copies and nil resets are bookkeeping.
+		fromCall := false
+		for _, rhs := range as.Rhs {
+			if _, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				fromCall = true
+			}
+		}
+		if !fromCall {
+			return true
+		}
+		var live map[*types.Var]bool
+		computed := false
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			v := localVarOf(info, id)
+			if v == nil || !errVars[v] {
+				continue
+			}
+			if !computed {
+				live, computed = liveAfter(as), true
+			}
+			if live != nil && !live[v] {
+				pass.Report(id.Pos(), "the error stored in %s is never checked", id.Name)
+			}
+		}
+		return true
+	})
+}

@@ -148,7 +148,9 @@ func (fc *Facts) addConcurrencyFacts(pkg *Package) {
 						continue
 					}
 					if held == nil {
-						held = heldLocksAt(info, body)
+						// Facts are built before summaries exist; callee
+						// lock effects are invisible here by construction.
+						held = heldLocksAt(info, body, nil)
 					}
 					if held(lhs.Pos()) {
 						fc.guarded[fv] = true

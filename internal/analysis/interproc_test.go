@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// oldSuite is the analyzer set as it stood before the interprocedural
+// layer. Run with a nil call graph and nil summaries, these behave
+// exactly as they did then (the summary-aware hooks degrade to no-ops),
+// so a corpus file these stay silent on is a provable blind spot of the
+// intraprocedural suite.
+func oldSuite() []*Analyzer {
+	return []*Analyzer{
+		PoolEscape, MapOrder, FloatCmp, NanInf, CtxLoop,
+		LockBalance, SharedWrite, AtomicMix, WaitGroupBalance,
+	}
+}
+
+// oldSuiteFindings runs the pre-interprocedural suite over a corpus
+// package and returns the diagnostics landing in the named file.
+func oldSuiteFindings(t *testing.T, corpus, file string) []Diagnostic {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", corpus)
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	facts := NewFacts()
+	facts.AddPackage(pkg)
+	var out []Diagnostic
+	for _, a := range oldSuite() {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Facts:    facts,
+			suppress: buildSuppressions(pkg.Fset, pkg.Files),
+			report: func(d Diagnostic) {
+				if filepath.Base(d.Pos.Filename) == file {
+					out = append(out, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s.Run: %v", a.Name, err)
+		}
+	}
+	return out
+}
+
+// TestPoolLifeOldSuiteBlind proves the poollife true positives in
+// interproc.go are invisible to the intraprocedural suite: function-value
+// Get/Put resolution and loop-carried release state both need the call
+// graph. (That poollife itself catches them is asserted by the want
+// markers in TestPoolLife.)
+func TestPoolLifeOldSuiteBlind(t *testing.T) {
+	for _, d := range oldSuiteFindings(t, "poollife", "interproc.go") {
+		t.Errorf("pre-interprocedural suite should be blind here: %s", d)
+	}
+}
+
+// TestLockAtCallOldSuiteBlind: every body in the lockatcall interproc
+// corpus is individually lock-balanced; the deadlock exists only across
+// the call edge, which needs the summaries.
+func TestLockAtCallOldSuiteBlind(t *testing.T) {
+	for _, d := range oldSuiteFindings(t, "lockatcall", "interproc.go") {
+		t.Errorf("pre-interprocedural suite should be blind here: %s", d)
+	}
+}
+
+// TestDeterminismOldSuiteBlind: halfLoss imports its nondeterminism
+// through a callee's results, and goFold satisfies every intraprocedural
+// concurrency check (mutex held, WaitGroup balanced, loop joined).
+func TestDeterminismOldSuiteBlind(t *testing.T) {
+	for _, d := range oldSuiteFindings(t, "determinism", "interproc.go") {
+		t.Errorf("pre-interprocedural suite should be blind here: %s", d)
+	}
+}
+
+// TestErrDropOldSuiteBlind: the pre-interprocedural suite has no notion
+// of error results at all, and drain's dead store needs the CFG besides.
+func TestErrDropOldSuiteBlind(t *testing.T) {
+	for _, d := range oldSuiteFindings(t, "errdrop", "interproc.go") {
+		t.Errorf("pre-interprocedural suite should be blind here: %s", d)
+	}
+}

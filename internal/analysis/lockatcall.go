@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/summary"
+)
+
+// LockAtCall flags synchronous calls made while a mutex is (possibly)
+// held when the callee's effect summary says it may acquire the same
+// mutex. Go's sync.Mutex and sync.RWMutex are not reentrant, so the
+// shape
+//
+//	s.mu.Lock()
+//	defer s.mu.Unlock()
+//	s.helper()        // helper locks s.mu internally
+//
+// deadlocks the calling goroutine — and no intraprocedural check can see
+// it, because both bodies are individually perfectly balanced. The
+// analyzer intersects the caller's may-held lock set at each resolved
+// call site (the same dataflow lockbalance solves, callee net effects
+// included) with the callee's MayAcquire summary, substituted into the
+// caller's terms.
+//
+// Conflict rules: a callee write-acquire conflicts with any held
+// acquisition of the same mutex (write-write recurses, read-write blocks
+// behind the caller's own read hold); a callee read-acquire conflicts
+// with a held write lock. Read-read is admitted — RLock is shared — even
+// though a writer arriving between the two acquisitions can still wedge
+// it; that pattern is pervasive and legitimate enough that reporting it
+// would bury the real findings.
+//
+// The held set is a may-analysis and the summary is control-blind inside
+// the callee, so a callee that only locks on branches the caller
+// excludes is a false positive by design; the lint:checked hatch records
+// the exclusion argument.
+var LockAtCall = &Analyzer{
+	Name: "lockatcall",
+	Doc:  "calling a function that may acquire a mutex the caller already holds",
+	Run:  runLockAtCall,
+}
+
+func runLockAtCall(pass *Pass) error {
+	if pass.Summaries == nil {
+		return nil // no interprocedural layer, nothing to intersect
+	}
+	funcBodies(pass.Files, func(body *ast.BlockStmt, _ bool) {
+		checkLockAtCall(pass, body)
+	})
+	return nil
+}
+
+func checkLockAtCall(pass *Pass, body *ast.BlockStmt) {
+	g := pass.Summaries.Graph()
+	node := g.ByBody(body)
+	if node == nil {
+		return
+	}
+	own, names := ownParamNames(node)
+	resolve := pass.lockResolver(body)
+	var factAt func(pos ast.Node) lockFact // built lazily: most bodies hold nothing
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != body {
+				return false // its own body via funcBodies
+			}
+		case *ast.GoStmt, *ast.DeferStmt:
+			// A go'd callee runs under its own flow; a deferred one runs
+			// at return, when the held set here no longer applies.
+			return false
+		case *ast.CallExpr:
+			e := g.EdgeAt(n)
+			if e == nil || e.Kind != callgraph.Call {
+				return true
+			}
+			acquires := pass.Summaries.Of(e.Callee).MayAcquire
+			if len(acquires) == 0 {
+				return true
+			}
+			if factAt == nil {
+				at := lockFactAt(pass.Info, body, false, resolve)
+				factAt = func(site ast.Node) lockFact { return at(site.Pos()) }
+			}
+			held := factAt(n)
+			if len(held) == 0 {
+				return true
+			}
+			reported := make(map[string]bool)
+			for _, a := range acquires {
+				k, ok := summary.SubstituteKey(pass.Info, own, n, a.Key)
+				if !ok {
+					continue
+				}
+				key, ok := renderLockKey(k, names)
+				if !ok || reported[key] {
+					continue
+				}
+				conflict := held[key] > 0 // a write hold conflicts with either side
+				if !a.Read && held[key+"#r"] > 0 {
+					conflict = true // callee write-acquire behind our read hold
+				}
+				if !conflict {
+					continue
+				}
+				reported[key] = true
+				disp := key
+				if a.Read {
+					disp += " (read)"
+				}
+				via := ""
+				if a.Via != "" {
+					via = " via " + a.Via
+				}
+				pass.Report(n.Pos(), "call to %s acquires %s%s, which may already be held at this call site (self-deadlock)",
+					e.Callee.Name(), disp, via)
+			}
+		}
+		return true
+	})
+}

@@ -43,13 +43,14 @@ func runLockBalance(pass *Pass) error {
 
 func checkLockBalance(pass *Pass, body *ast.BlockStmt, lit bool) {
 	info := pass.Info
-	if !mentionsMutex(info, body) {
+	resolve := pass.lockResolver(body)
+	if !mentionsMutex(info, body, resolve) {
 		return
 	}
-	checkDeferInLoop(pass, body)
+	checkDeferInLoop(pass, body, resolve)
 
 	g := cfg.New(body)
-	res := dataflow.Solve(g, lockProblem(info, false))
+	res := dataflow.Solve(g, lockProblem(info, false, resolve))
 
 	// Reporting pass: replay each reachable block once from its fixpoint
 	// in-fact, diagnosing the operations in flow context.
@@ -60,7 +61,7 @@ func checkLockBalance(pass *Pass, body *ast.BlockStmt, lit bool) {
 		}
 		f := cloneLockFact(res.In[blk])
 		for _, n := range blk.Nodes {
-			for _, op := range nodeLockOps(info, n) {
+			for _, op := range nodeLockOps(info, n, resolve) {
 				if op.lock && !op.deferred {
 					if _, ok := firstLock[op.key]; !ok {
 						firstLock[op.key] = op.pos
@@ -102,7 +103,7 @@ func checkLockBalance(pass *Pass, body *ast.BlockStmt, lit bool) {
 // checkDeferInLoop flags deferred mutex operations inside for/range
 // bodies: defers accumulate and fire only at function return, so the
 // lock outlives the iteration that took it.
-func checkDeferInLoop(pass *Pass, body *ast.BlockStmt) {
+func checkDeferInLoop(pass *Pass, body *ast.BlockStmt, resolve opResolver) {
 	var inspectLoop func(n ast.Node, inLoop bool)
 	inspectLoop = func(n ast.Node, inLoop bool) {
 		ast.Inspect(n, func(m ast.Node) bool {
@@ -125,7 +126,7 @@ func checkDeferInLoop(pass *Pass, body *ast.BlockStmt) {
 				if !inLoop {
 					return true
 				}
-				for _, op := range nodeLockOps(pass.Info, m) {
+				for _, op := range nodeLockOps(pass.Info, m, resolve) {
 					verb := "Unlock"
 					if op.lock {
 						verb = "Lock"
@@ -141,8 +142,9 @@ func checkDeferInLoop(pass *Pass, body *ast.BlockStmt) {
 }
 
 // mentionsMutex is a cheap pre-filter: does the body call any tracked
-// mutex method at all (at any nesting)?
-func mentionsMutex(info *types.Info, body *ast.BlockStmt) bool {
+// mutex method, or any callee with a known net lock effect, at any
+// nesting?
+func mentionsMutex(info *types.Info, body *ast.BlockStmt, resolve opResolver) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -150,6 +152,8 @@ func mentionsMutex(info *types.Info, body *ast.BlockStmt) bool {
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
 			if _, ok := mutexOp(info, call); ok {
+				found = true
+			} else if resolve != nil && len(resolve(call)) > 0 {
 				found = true
 			}
 		}

@@ -6,8 +6,10 @@ import (
 	"go/types"
 	"maps"
 
+	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/cfg"
 	"repro/internal/analysis/dataflow"
+	"repro/internal/analysis/summary"
 )
 
 // This file holds the mutex-tracking machinery shared by the
@@ -88,12 +90,21 @@ func exprKey(e ast.Expr) string {
 	return ""
 }
 
+// opResolver maps a call site to the lock operations its callee is known
+// to perform as seen by the caller — the interprocedural hook. The
+// driver builds one per function body from the effect summaries (see
+// Pass.lockResolver); nil means "no interprocedural knowledge" and every
+// call is opaque, the pre-summary behaviour.
+type opResolver func(call *ast.CallExpr) []lockOp
+
 // nodeLockOps collects the mutex operations of one CFG node in source
 // order. Function literals and go statements are opaque (their bodies
 // run under a different flow); a defer registers its operations as
 // deferred, whether the deferral is direct (defer mu.Unlock()) or
-// through a literal (defer func() { mu.Unlock() }()).
-func nodeLockOps(info *types.Info, n ast.Node) []lockOp {
+// through a literal (defer func() { mu.Unlock() }()). Calls whose
+// callee has a known net lock effect contribute that effect at the call
+// site through resolve.
+func nodeLockOps(info *types.Info, n ast.Node, resolve opResolver) []lockOp {
 	var out []lockOp
 	var walk func(n ast.Node, deferred bool)
 	walk = func(n ast.Node, deferred bool) {
@@ -116,6 +127,11 @@ func nodeLockOps(info *types.Info, n ast.Node) []lockOp {
 				if op, ok := mutexOp(info, m); ok {
 					op.deferred = deferred
 					out = append(out, op)
+				} else if resolve != nil {
+					for _, op := range resolve(m) {
+						op.deferred = deferred
+						out = append(out, op)
+					}
 				}
 			}
 			return true
@@ -172,7 +188,7 @@ func lockApply(f lockFact, op lockOp) {
 // what lockbalance needs to find leaks and double-locks); with must=true
 // it is a per-key minimum over paths ("held on every path" — what a
 // guard proof needs before trusting a write).
-func lockProblem(info *types.Info, must bool) dataflow.Problem[lockFact] {
+func lockProblem(info *types.Info, must bool, resolve opResolver) dataflow.Problem[lockFact] {
 	join := func(a, b lockFact) lockFact {
 		if a == nil {
 			return b
@@ -213,7 +229,7 @@ func lockProblem(info *types.Info, must bool) dataflow.Problem[lockFact] {
 			}
 			out := maps.Clone(in)
 			for _, n := range blk.Nodes {
-				for _, op := range nodeLockOps(info, n) {
+				for _, op := range nodeLockOps(info, n, resolve) {
 					lockApply(out, op)
 				}
 			}
@@ -232,36 +248,125 @@ func lockProblem(info *types.Info, must bool) dataflow.Problem[lockFact] {
 // predicate reporting whether some lock is held on every path reaching a
 // position. The predicate replays the containing block's operations up
 // to pos, so it is exact within a block, not just at block boundaries.
-func heldLocksAt(info *types.Info, body *ast.BlockStmt) func(pos token.Pos) bool {
-	g := cfg.New(body)
-	res := dataflow.Solve(g, lockProblem(info, true))
+func heldLocksAt(info *types.Info, body *ast.BlockStmt, resolve opResolver) func(pos token.Pos) bool {
+	factAt := lockFactAt(info, body, true, resolve)
 	return func(pos token.Pos) bool {
-		blk := g.BlockOf(pos)
-		if blk == nil || res.In[blk] == nil {
-			return false
-		}
-		f := maps.Clone(res.In[blk])
-		for _, n := range blk.Nodes {
-			if n.Pos() <= pos && pos <= n.End() {
-				// Apply only the ops preceding pos inside this node.
-				for _, op := range nodeLockOps(info, n) {
-					if op.pos < pos {
-						lockApply(f, op)
-					}
-				}
-				break
-			}
-			for _, op := range nodeLockOps(info, n) {
-				lockApply(f, op)
-			}
-		}
-		for k, v := range f {
+		for k, v := range factAt(pos) {
 			if v > 0 && k[0] != '~' {
 				return true
 			}
 		}
 		return false
 	}
+}
+
+// lockFactAt solves the held-locks dataflow (must or may) over body and
+// returns the fact at any position, replaying the containing block's
+// operations up to it so the answer is exact within a block. A nil fact
+// means the position is unreachable.
+func lockFactAt(info *types.Info, body *ast.BlockStmt, must bool, resolve opResolver) func(pos token.Pos) lockFact {
+	g := cfg.New(body)
+	res := dataflow.Solve(g, lockProblem(info, must, resolve))
+	return func(pos token.Pos) lockFact {
+		blk := g.BlockOf(pos)
+		if blk == nil || res.In[blk] == nil {
+			return nil
+		}
+		f := maps.Clone(res.In[blk])
+		for _, n := range blk.Nodes {
+			if n.Pos() <= pos && pos <= n.End() {
+				// Apply only the ops preceding pos inside this node.
+				for _, op := range nodeLockOps(info, n, resolve) {
+					if op.pos < pos {
+						lockApply(f, op)
+					}
+				}
+				break
+			}
+			for _, op := range nodeLockOps(info, n, resolve) {
+				lockApply(f, op)
+			}
+		}
+		return f
+	}
+}
+
+// lockResolver builds the opResolver for one function body from the
+// interprocedural effect summaries: at every resolved, synchronous call
+// site, the callee's net lock deltas are substituted into the caller's
+// terms and rendered against the caller's receiver/parameter names so
+// they compose with the intraprocedural keys. Returns nil when the
+// interprocedural layer is absent (facts construction, corpus loads
+// without a graph) or the body has no node.
+func (p *Pass) lockResolver(body *ast.BlockStmt) opResolver {
+	if p.Summaries == nil {
+		return nil
+	}
+	g := p.Summaries.Graph()
+	node := g.ByBody(body)
+	if node == nil {
+		return nil
+	}
+	own, names := ownParamNames(node)
+	return func(call *ast.CallExpr) []lockOp {
+		e := g.EdgeAt(call)
+		if e == nil || e.Kind == callgraph.Go {
+			return nil
+		}
+		var ops []lockOp
+		for _, d := range p.Summaries.Of(e.Callee).NetHeld {
+			k, ok := summary.SubstituteKey(p.Info, own, call, d.Key)
+			if !ok {
+				continue
+			}
+			key, ok := renderLockKey(k, names)
+			if !ok {
+				continue
+			}
+			if d.Read {
+				key += "#r"
+			}
+			n, lock := d.Delta, true
+			if n < 0 {
+				n, lock = -n, false
+			}
+			for i := 0; i < n; i++ {
+				ops = append(ops, lockOp{key: key, lock: lock, read: d.Read, pos: call.Pos()})
+			}
+		}
+		return ops
+	}
+}
+
+// ownParamNames returns a node's receiver/parameter index map alongside
+// the inverse index→name map the key renderer consumes.
+func ownParamNames(node *callgraph.Node) (map[*types.Var]int, map[int]string) {
+	own := summary.OwnParams(node)
+	names := make(map[int]string, len(own))
+	// lint:checked index rebuild of a bijection; iteration order cannot change the result
+	for v, idx := range own {
+		names[idx] = v.Name()
+	}
+	return own, names
+}
+
+// renderLockKey renders a summary key against a caller's parameter
+// names, producing the same string the intraprocedural exprKey renderer
+// would for the equivalent source expression. Global keys use the
+// variable's declared name, which matches same-package usage only —
+// cross-package global-mutex helpers are a documented blind spot.
+func renderLockKey(k summary.Key, names map[int]string) (string, bool) {
+	if k.Param == summary.GlobalParam {
+		return k.Path, true
+	}
+	base, ok := names[k.Param]
+	if !ok || base == "" || base == "_" {
+		return "", false
+	}
+	if k.Path == "" {
+		return base, true
+	}
+	return base + "." + k.Path, true
 }
 
 // funcBodies visits every function body of the files — named declarations

@@ -1,0 +1,446 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+	"sort"
+
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// PoolLife is the flow-sensitive, interprocedural companion to
+// poolescape. Where poolescape compares source positions — a mention of
+// a pooled value lexically after its earliest Put — poollife solves a
+// forward dataflow over the function's CFG, so it understands what the
+// lexical check cannot:
+//
+//   - a Put on a loop body's last statement reaches the *top* of the
+//     loop through the back edge, so the "earlier" use runs on recycled
+//     memory from the second iteration on;
+//   - a release on an early-return branch does not poison the
+//     fall-through path (poolescape's lexical rule would);
+//   - rebinding the variable to a fresh Get clears the obligation.
+//
+// It is also interprocedural on both ends of the lifetime: values born
+// from callees whose summaries say ReturnsPooled, released by callees
+// whose summaries put the corresponding parameter — including calls
+// through tracked function values (get := pool.Get; put := pool.Put),
+// which the fact-based resolution in poolescape cannot see at all.
+//
+// Three findings: a (possible) use after release, a second release of
+// the same ownership, and a release while a reference stored into
+// longer-lived memory (field, global, container) still outlives the
+// ownership window. The dataflow is a may-analysis: released-on-some-path
+// followed by a use is reported, because the interleaving is
+// input-dependent; exclusive-branch idioms take the lint:checked hatch.
+var PoolLife = &Analyzer{
+	Name: "poollife",
+	Doc:  "flow-sensitive pool lifetime: use after Put, double Put, Put of escaped value",
+	Run:  runPoolLife,
+}
+
+func runPoolLife(pass *Pass) error {
+	walkFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		checkPoolLife(pass, fd)
+	})
+	return nil
+}
+
+// poolState is the per-ownership-class dataflow fact.
+type poolState uint8
+
+const (
+	poolReleased poolState = 1 << iota // put back on some path reaching here
+	poolEscaped                        // stored into longer-lived memory on some path
+)
+
+// poolOpKind classifies one state transition.
+type poolOpKind uint8
+
+const (
+	opPut poolOpKind = iota
+	opEscape
+	opAcquire // rebinding to a fresh pooled value clears the class
+)
+
+// poolOp is one state transition at a point in the body. pos is the
+// replay-ordering position (the end of the producing expression, so the
+// operands of the expression itself are not "after" it); rpos anchors
+// diagnostics.
+type poolOp struct {
+	kind poolOpKind
+	rep  *types.Var
+	pos  token.Pos
+	rpos token.Pos
+}
+
+func checkPoolLife(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	pooled := pass.poolLifeLocals(fd)
+	if len(pooled) == 0 {
+		return
+	}
+	reps := aliasClasses(info, fd.Body, pooled)
+
+	// opsIn collects the state transitions of one CFG node in position
+	// order. Nested literals run under their own node, go bodies under a
+	// different flow, and deferred puts release at return — none change
+	// the state the body itself observes.
+	opsIn := func(root ast.Node) []poolOp {
+		var out []poolOp
+		escape := func(rid *ast.Ident, rv *types.Var, end token.Pos) {
+			out = append(out, poolOp{kind: opEscape, rep: reps[rv], pos: end, rpos: rid.Pos()})
+		}
+		ast.Inspect(root, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+				return false
+			case *ast.AssignStmt:
+				if len(m.Lhs) != len(m.Rhs) {
+					return true
+				}
+				for i, rhs := range m.Rhs {
+					rhs = unwrap(rhs)
+					if rid, ok := rhs.(*ast.Ident); ok {
+						if rv, ok := info.Uses[rid].(*types.Var); ok && pooled[rv] {
+							switch lhs := ast.Unparen(m.Lhs[i]).(type) {
+							case *ast.SelectorExpr, *ast.IndexExpr:
+								escape(rid, rv, m.End())
+							case *ast.Ident:
+								if lv, ok := info.Uses[lhs].(*types.Var); ok && lv.Parent() == lv.Pkg().Scope() {
+									escape(rid, rv, m.End())
+								}
+							}
+						}
+					}
+					if lid, ok := m.Lhs[i].(*ast.Ident); ok {
+						if lv := localVarOf(info, lid); lv != nil && pooled[lv] {
+							if call, ok := rhs.(*ast.CallExpr); ok && pass.poolGetLike(call) {
+								out = append(out, poolOp{kind: opAcquire, rep: reps[lv], pos: m.End(), rpos: lid.Pos()})
+							}
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range m.Elts {
+					val := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						val = kv.Value
+					}
+					if rid, ok := unwrap(val).(*ast.Ident); ok {
+						if rv, ok := info.Uses[rid].(*types.Var); ok && pooled[rv] {
+							escape(rid, rv, m.End())
+						}
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range pass.poolPutArgs(m) {
+					if v, ok := info.Uses[arg].(*types.Var); ok && pooled[v] {
+						out = append(out, poolOp{kind: opPut, rep: reps[v], pos: m.End(), rpos: m.Pos()})
+					}
+				}
+			}
+			return true
+		})
+		sort.SliceStable(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+		return out
+	}
+
+	apply := func(f map[*types.Var]poolState, op poolOp) {
+		switch op.kind {
+		case opPut:
+			f[op.rep] |= poolReleased
+		case opEscape:
+			f[op.rep] |= poolEscaped
+		case opAcquire:
+			delete(f, op.rep)
+		}
+	}
+
+	g := cfg.New(fd.Body)
+	res := dataflow.Solve(g, dataflow.Problem[map[*types.Var]poolState]{
+		Dir:      dataflow.Forward,
+		Boundary: func() map[*types.Var]poolState { return map[*types.Var]poolState{} },
+		Init:     func() map[*types.Var]poolState { return nil }, // top: unreachable
+		Join: func(a, b map[*types.Var]poolState) map[*types.Var]poolState {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			out := maps.Clone(a)
+			for v, s := range b {
+				out[v] |= s
+			}
+			return out
+		},
+		Transfer: func(blk *cfg.Block, in map[*types.Var]poolState) map[*types.Var]poolState {
+			if in == nil {
+				return nil
+			}
+			out := maps.Clone(in)
+			for _, n := range blk.Nodes {
+				for _, op := range opsIn(n) {
+					apply(out, op)
+				}
+			}
+			return out
+		},
+		Equal: func(a, b map[*types.Var]poolState) bool {
+			if (a == nil) != (b == nil) {
+				return false
+			}
+			return maps.Equal(a, b)
+		},
+	})
+
+	// Release-site checks: a Put whose incoming state is already released
+	// is a double Put; one whose value escaped earlier outlives the
+	// ownership it is giving up.
+	for _, blk := range g.Blocks {
+		if res.In[blk] == nil {
+			continue
+		}
+		f := maps.Clone(res.In[blk])
+		for _, n := range blk.Nodes {
+			for _, op := range opsIn(n) {
+				if op.kind == opPut {
+					switch {
+					case f[op.rep]&poolReleased != 0:
+						pass.Report(op.rpos, "%s may be returned to its sync.Pool twice", op.rep.Name())
+					case f[op.rep]&poolEscaped != 0:
+						pass.Report(op.rpos, "%s escaped to longer-lived memory before being returned to its sync.Pool", op.rep.Name())
+					}
+				}
+				apply(f, op)
+			}
+		}
+	}
+
+	// Use-after-release: any read of a pooled variable whose class may be
+	// released on a path reaching it. The incoming block fact is replayed
+	// up to the use, so the answer is exact within the block. Put
+	// arguments are the hand-back, not a use; direct assignment targets
+	// are writes that rebind, not reads of pooled memory.
+	putArgs := pass.poolPutArgIdents(fd.Body)
+	writes := assignTargets(fd.Body)
+	factAt := func(pos token.Pos) map[*types.Var]poolState {
+		blk := g.BlockOf(pos)
+		if blk == nil || res.In[blk] == nil {
+			return nil
+		}
+		f := maps.Clone(res.In[blk])
+		for _, n := range blk.Nodes {
+			if n.Pos() <= pos && pos <= n.End() {
+				for _, op := range opsIn(n) {
+					if op.pos < pos {
+						apply(f, op)
+					}
+				}
+				break
+			}
+			for _, op := range opsIn(n) {
+				apply(f, op)
+			}
+		}
+		return f
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // captured uses are poolescape's goroutine/escape beat
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || !pooled[v] || putArgs[id] || writes[id] {
+			return true
+		}
+		if f := factAt(id.Pos()); f[reps[v]]&poolReleased != 0 {
+			pass.Report(id.Pos(), "%s may be used after being returned to its sync.Pool", id.Name)
+		}
+		return true
+	})
+}
+
+// poolLifeLocals collects the variables of fd that hold pool-owned
+// values: locals bound to Get-like calls (propagated through aliases),
+// plus fd's own parameters when fd itself releases them (per its facts
+// or its effect summary — the body of a releaser handles pooled memory).
+func (p *Pass) poolLifeLocals(fd *ast.FuncDecl) map[*types.Var]bool {
+	info := p.Info
+	pooled := make(map[*types.Var]bool)
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		rel := p.Facts.ReleasedParams(obj)
+		var sum map[int]bool
+		if p.Summaries != nil {
+			if s := p.Summaries.OfFunc(obj); s != nil {
+				sum = s.PutsParams
+			}
+		}
+		for v, idx := range ownParams(info, fd) {
+			if rel[idx] || sum[idx] {
+				pooled[v] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v := localVarOf(info, id)
+				if v == nil || pooled[v] {
+					continue
+				}
+				isP := false
+				if call, ok := unwrap(rhs).(*ast.CallExpr); ok {
+					isP = p.poolGetLike(call)
+				} else if rid, ok := unwrap(rhs).(*ast.Ident); ok {
+					if rv, ok := info.Uses[rid].(*types.Var); ok && pooled[rv] {
+						isP = true
+					}
+				}
+				if isP {
+					pooled[v] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return pooled
+}
+
+// poolGetLike reports whether call returns a pool-derived value: the
+// stdlib Get, a fact-level pool source, or — through the call graph — a
+// callee (named, or reached via a tracked function value) whose summary
+// says ReturnsPooled.
+func (p *Pass) poolGetLike(call *ast.CallExpr) bool {
+	if p.Facts.IsSource(calleeFunc(p.Info, call)) {
+		return true
+	}
+	if p.Summaries == nil {
+		return false
+	}
+	g := p.Summaries.Graph()
+	if fn := g.CalleeFuncAt(call); fn != nil {
+		if fn.FullName() == "(*sync.Pool).Get" {
+			return true
+		}
+		if s := p.Summaries.OfFunc(fn); s != nil {
+			return s.ReturnsPooled
+		}
+		return false
+	}
+	if e := g.EdgeAt(call); e != nil {
+		return p.Summaries.Of(e.Callee).ReturnsPooled
+	}
+	return false
+}
+
+// poolPutsOf resolves the put-parameter set of one call (receiver = -1),
+// merging the fact-level releasers with the interprocedural summaries —
+// the latter also resolve tracked function values (put := pool.Put) and
+// deferred releases inside the callee, which the facts exclude.
+func (p *Pass) poolPutsOf(call *ast.CallExpr) map[int]bool {
+	var out map[int]bool
+	add := func(m map[int]bool) {
+		for i := range m {
+			if out == nil {
+				out = make(map[int]bool)
+			}
+			out[i] = true
+		}
+	}
+	add(p.Facts.ReleasedParams(calleeFunc(p.Info, call)))
+	if p.Summaries != nil {
+		g := p.Summaries.Graph()
+		if fn := g.CalleeFuncAt(call); fn != nil {
+			if fn.FullName() == "(*sync.Pool).Put" {
+				add(map[int]bool{0: true})
+			} else if s := p.Summaries.OfFunc(fn); s != nil {
+				add(s.PutsParams)
+			}
+		} else if e := g.EdgeAt(call); e != nil {
+			add(p.Summaries.Of(e.Callee).PutsParams)
+		}
+	}
+	return out
+}
+
+// poolPutArgs returns the identifiers call hands back to a pool, in
+// parameter-index order.
+func (p *Pass) poolPutArgs(call *ast.CallExpr) []*ast.Ident {
+	puts := p.poolPutsOf(call)
+	if len(puts) == 0 {
+		return nil
+	}
+	idxs := make([]int, 0, len(puts))
+	for idx := range puts {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	var out []*ast.Ident
+	for _, idx := range idxs {
+		var arg ast.Expr
+		if idx == -1 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				arg = sel.X
+			}
+		} else if idx >= 0 && idx < len(call.Args) {
+			arg = call.Args[idx]
+		}
+		if id, ok := unwrap(arg).(*ast.Ident); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// poolPutArgIdents collects every identifier handed to a put-like call
+// anywhere in body — deferred and go'd calls included, since the
+// hand-back argument is not a "use" regardless of when the call runs.
+func (p *Pass) poolPutArgIdents(body ast.Node) map[*ast.Ident]bool {
+	out := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			for _, id := range p.poolPutArgs(call) {
+				out[id] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// assignTargets collects the identifiers that appear as direct
+// assignment LHS in body: writes that rebind the variable, not reads.
+func assignTargets(body ast.Node) map[*ast.Ident]bool {
+	out := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				out[id] = true
+			}
+		}
+		return true
+	})
+	return out
+}

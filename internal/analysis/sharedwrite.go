@@ -79,7 +79,7 @@ func checkSharedWrite(pass *Pass, body *ast.BlockStmt) {
 		if len(writes) == 0 {
 			continue
 		}
-		held := heldLocksAt(info, lit.Body)
+		held := heldLocksAt(info, lit.Body, pass.lockResolver(lit.Body))
 		inLoop := false
 		for _, lr := range loops {
 			if lr[0] <= g.Pos() && g.End() <= lr[1] {

@@ -1,0 +1,182 @@
+package summary
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/callgraph"
+)
+
+// Key identifies a lock in caller-substitutable form. Param-relative
+// keys (Param >= ReceiverParam) name a lock reached from the receiver or
+// a parameter and are re-expressed in the caller's terms at each call
+// site; global keys (Param == GlobalParam) name a package-level variable
+// and pass through call boundaries unchanged. Locks reached only from
+// local variables have no key — their acquisition is invisible to
+// callers, which is conservative for every consumer (a missing key can
+// only suppress a report).
+type Key struct {
+	// Param is ReceiverParam (-1) for the receiver, a parameter index
+	// (>= 0), or GlobalParam (-2) for package-level variables.
+	Param int
+	// Path is the dotted selector path from the base value to the mutex
+	// ("mu", "state.mu"); empty when the base itself is the mutex. For
+	// global keys it is the full rendered chain including the variable
+	// name.
+	Path string
+	// Var is the package-level variable identity for global keys; nil
+	// otherwise.
+	Var *types.Var
+}
+
+const (
+	ReceiverParam = -1
+	GlobalParam   = -2
+)
+
+// maxKeyDepth caps the selector depth of a key. Substitution through a
+// recursive call chain (f(x) calling f(x.next)) would otherwise grow
+// paths without bound and defeat the fixpoint.
+const maxKeyDepth = 4
+
+// String renders the key for diagnostics, with placeholder bases for
+// param-relative keys ("recv.mu", "arg0.state.mu").
+func (k Key) String() string {
+	var base string
+	switch {
+	case k.Param == GlobalParam:
+		return k.Path
+	case k.Param == ReceiverParam:
+		base = "recv"
+	default:
+		base = "arg" + strconv.Itoa(k.Param)
+	}
+	if k.Path == "" {
+		return base
+	}
+	return base + "." + k.Path
+}
+
+// OwnParams maps a node's receiver (ReceiverParam) and parameters to
+// their indices. Literals have parameters but no receiver.
+func OwnParams(n *callgraph.Node) map[*types.Var]int {
+	info := n.Unit.Info
+	out := make(map[*types.Var]int)
+	var ftype *ast.FuncType
+	if n.Decl != nil {
+		ftype = n.Decl.Type
+		if n.Decl.Recv != nil {
+			for _, f := range n.Decl.Recv.List {
+				for _, name := range f.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						out[v] = ReceiverParam
+					}
+				}
+			}
+		}
+	} else {
+		ftype = n.Lit.Type
+	}
+	i := 0
+	if ftype.Params != nil {
+		for _, f := range ftype.Params.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					out[v] = i
+				}
+				i++
+			}
+			if len(f.Names) == 0 {
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// splitChain decomposes an identifier chain (with pointers, parens, and
+// address-of stripped) into its base identifier and the selector names
+// after it. Expressions that are not pure chains (calls, index
+// expressions) yield a nil base.
+func splitChain(e ast.Expr) (*ast.Ident, []string) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e, nil
+	case *ast.SelectorExpr:
+		base, path := splitChain(e.X)
+		if base == nil {
+			return nil, nil
+		}
+		return base, append(path, e.Sel.Name)
+	case *ast.ParenExpr:
+		return splitChain(e.X)
+	case *ast.StarExpr:
+		return splitChain(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return splitChain(e.X)
+		}
+	}
+	return nil, nil
+}
+
+// classifyChain turns a base identifier + selector path into a Key
+// relative to the given parameter map, or reports that the chain is not
+// caller-visible (local base).
+func classifyChain(info *types.Info, own map[*types.Var]int, base *ast.Ident, path []string) (Key, bool) {
+	if base == nil || len(path) >= maxKeyDepth {
+		return Key{}, false
+	}
+	v, _ := info.Uses[base].(*types.Var)
+	if v == nil {
+		v, _ = info.Defs[base].(*types.Var)
+	}
+	if v == nil {
+		return Key{}, false
+	}
+	if idx, ok := own[v]; ok {
+		return Key{Param: idx, Path: strings.Join(path, ".")}, true
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		full := append([]string{v.Name()}, path...)
+		return Key{Param: GlobalParam, Path: strings.Join(full, "."), Var: v}, true
+	}
+	return Key{}, false
+}
+
+// SubstituteKey re-expresses a callee's key in the caller's terms at one
+// call site: the callee's receiver/parameter base is replaced by the
+// argument expression the caller passes there, then re-classified
+// against the caller's own parameters. Global keys pass through
+// unchanged. The second result is false when the substitution cannot be
+// rendered (non-chain argument, local base, missing receiver, depth
+// overflow) — consumers must drop the effect, which is conservative.
+func SubstituteKey(info *types.Info, callerOwn map[*types.Var]int, call *ast.CallExpr, k Key) (Key, bool) {
+	if k.Param == GlobalParam {
+		return k, true
+	}
+	var arg ast.Expr
+	if k.Param == ReceiverParam {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return Key{}, false
+		}
+		arg = sel.X
+	} else {
+		if k.Param >= len(call.Args) {
+			return Key{}, false
+		}
+		arg = call.Args[k.Param]
+	}
+	base, path := splitChain(arg)
+	if base == nil {
+		return Key{}, false
+	}
+	if k.Path != "" {
+		path = append(path, strings.Split(k.Path, ".")...)
+	}
+	return classifyChain(info, callerOwn, base, path)
+}

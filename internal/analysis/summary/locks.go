@@ -1,0 +1,309 @@
+package summary
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// mutexMethods duplicates the recognition table of the intraprocedural
+// lock machinery (internal/analysis/locks.go). The duplication is the
+// price of the layering: analysis imports summary, so summary cannot
+// import analysis. TryLock/TryRLock are ignored for the same reason as
+// there — their success is conditional.
+var mutexMethods = map[string]struct{ lock, read bool }{
+	"(*sync.Mutex).Lock":      {lock: true},
+	"(*sync.Mutex).Unlock":    {},
+	"(*sync.RWMutex).Lock":    {lock: true},
+	"(*sync.RWMutex).Unlock":  {},
+	"(*sync.RWMutex).RLock":   {lock: true, read: true},
+	"(*sync.RWMutex).RUnlock": {read: true},
+}
+
+// netID names one lock (key + read side) in a net-balance fact.
+type netID struct {
+	key  Key
+	read bool
+}
+
+// poisonDepth marks a key whose exit depth differs between paths: the
+// net effect is path-dependent, so no caller-visible delta is claimed.
+const poisonDepth = int(-1) << 30
+
+// computeLocks fills sum.MayAcquire and sum.NetHeld from n's body and
+// the current summaries of its callees.
+//
+// MayAcquire: every direct, non-deferred mutex Lock/RLock whose receiver
+// classifies to a key, plus every callee MayAcquire entry (over Call and
+// Defer edges — both run within the caller's activation) substituted
+// into n's terms. Go edges are excluded: the spawned body runs
+// asynchronously.
+//
+// NetHeld: per key, the hold-depth change between call entry and return,
+// computed by a forward must-analysis over the body's CFG. Depths start
+// at zero (and may go negative: an unlock() helper nets -1); direct
+// non-deferred Locks count +1, Unlocks -1 whether deferred or not (a
+// deferred unlock has run by the time the caller resumes), deferred
+// Locks are ignored (pathological, flagged by lockbalance); callee
+// NetHeld deltas apply at their call sites. A key whose depth differs
+// between two paths joining — or between the paths reaching return — is
+// poisoned and claims nothing, so branchy lock/release code (early
+// returns that unlock first) summarizes to zero effect rather than a
+// bogus net.
+func (s *Set) computeLocks(n *callgraph.Node, own map[*types.Var]int, sum *Summary) {
+	info := n.Unit.Info
+	body := n.Body()
+
+	// MayAcquire: linear walk in source order.
+	type acqID struct {
+		key  Key
+		read bool
+	}
+	seen := make(map[acqID]bool)
+	mayAdd := func(a Acquire) {
+		id := acqID{a.Key, a.Read}
+		if !seen[id] {
+			seen[id] = true
+			sum.MayAcquire = append(sum.MayAcquire, a)
+		}
+	}
+	var walk func(n ast.Node, deferred bool)
+	walk = func(node ast.Node, deferred bool) {
+		ast.Inspect(node, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if ast.Node(m.Body) != node {
+					return false // its own node; effects flow through edges
+				}
+			case *ast.GoStmt:
+				return false // asynchronous
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, true)
+				} else {
+					walk(m.Call, true)
+				}
+				return false
+			case *ast.CallExpr:
+				if deferred {
+					return true // a deferred acquire is not "during the call"
+				}
+				if id, read, ok := s.directMutexOp(info, own, m); ok {
+					if isLockName(info, s.graph.CalleeFuncAt(m)) {
+						mayAdd(Acquire{Key: id.key, Read: read, Pos: m.Pos()})
+					}
+					return true
+				}
+				if e := s.graph.EdgeAt(m); e != nil && e.Kind != callgraph.Go {
+					for _, a := range s.byNode[e.Callee].MayAcquire {
+						if key, ok := SubstituteKey(info, own, m, a.Key); ok {
+							via := a.Via
+							if via == "" {
+								via = e.Callee.Name()
+							}
+							mayAdd(Acquire{Key: key, Read: a.Read, Pos: a.Pos, Via: via})
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	// NetHeld: must-analysis over the CFG. First positions, for messages.
+	firstPos := make(map[netID]token.Pos)
+	posOf := func(id netID, pos token.Pos) token.Pos {
+		if p, ok := firstPos[id]; ok {
+			return p
+		}
+		firstPos[id] = pos
+		return pos
+	}
+
+	g := cfg.New(body)
+	join := func(a, b map[netID]int) map[netID]int {
+		if a == nil {
+			return b
+		}
+		if b == nil {
+			return a
+		}
+		out := make(map[netID]int, len(a)+len(b))
+		for id, v := range a {
+			if bv := b[id]; bv != v {
+				out[id] = poisonDepth
+			} else {
+				out[id] = v
+			}
+		}
+		for id, v := range b {
+			if _, ok := a[id]; !ok {
+				if v != 0 {
+					out[id] = poisonDepth
+				}
+			}
+		}
+		return out
+	}
+	res := dataflow.Solve(g, dataflow.Problem[map[netID]int]{
+		Dir:      dataflow.Forward,
+		Boundary: func() map[netID]int { return map[netID]int{} },
+		Init:     func() map[netID]int { return nil }, // top: unreachable
+		Join:     join,
+		Transfer: func(blk *cfg.Block, in map[netID]int) map[netID]int {
+			if in == nil {
+				return nil
+			}
+			out := maps.Clone(in)
+			for _, stmt := range blk.Nodes {
+				for _, op := range s.nodeNetOps(n, own, stmt) {
+					if out[op.id] == poisonDepth {
+						continue
+					}
+					next := out[op.id] + op.delta
+					if next == 0 {
+						delete(out, op.id)
+					} else {
+						out[op.id] = next
+					}
+					posOf(op.id, op.pos)
+				}
+			}
+			return out
+		},
+		Equal: func(a, b map[netID]int) bool {
+			if (a == nil) != (b == nil) {
+				return false
+			}
+			return maps.Equal(a, b)
+		},
+	})
+
+	exit := res.In[g.Exit]
+	var order []netID
+	seenID := make(map[netID]bool)
+	// Emit in first-occurrence source order for determinism.
+	collect := func(blk *cfg.Block) {
+		for _, stmt := range blk.Nodes {
+			for _, op := range s.nodeNetOps(n, own, stmt) {
+				if !seenID[op.id] {
+					seenID[op.id] = true
+					order = append(order, op.id)
+				}
+			}
+		}
+	}
+	for _, blk := range g.Blocks {
+		collect(blk)
+	}
+	for _, id := range order {
+		d := exit[id]
+		if d == 0 || d == poisonDepth {
+			continue
+		}
+		sum.NetHeld = append(sum.NetHeld, HeldDelta{Key: id.key, Read: id.read, Delta: d, Pos: firstPos[id]})
+	}
+}
+
+// netOp is one caller-visible depth change at a point in the body.
+type netOp struct {
+	id    netID
+	delta int
+	pos   token.Pos
+}
+
+// nodeNetOps collects the net depth changes of one CFG node: direct
+// mutex operations (deferred unlocks included, deferred locks ignored),
+// and callee NetHeld deltas substituted at call sites. Nested literals
+// and go statements are opaque, except deferred literals, whose bodies
+// run in this activation at return.
+func (s *Set) nodeNetOps(n *callgraph.Node, own map[*types.Var]int, node ast.Node) []netOp {
+	info := n.Unit.Info
+	var out []netOp
+	var walk func(m ast.Node, deferred bool)
+	walk = func(root ast.Node, deferred bool) {
+		ast.Inspect(root, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, true)
+				} else {
+					walk(m.Call, true)
+				}
+				return false
+			case *ast.FuncLit:
+				if ast.Node(m.Body) != root {
+					return false
+				}
+			case *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if id, _, ok := s.directMutexOp(info, own, m); ok {
+					lock := isLockName(info, s.graph.CalleeFuncAt(m))
+					switch {
+					case lock && !deferred:
+						out = append(out, netOp{id: id, delta: +1, pos: m.Pos()})
+					case !lock:
+						out = append(out, netOp{id: id, delta: -1, pos: m.Pos()})
+					}
+					return true
+				}
+				if e := s.graph.EdgeAt(m); e != nil && e.Kind != callgraph.Go {
+					for _, d := range s.byNode[e.Callee].NetHeld {
+						if key, ok := SubstituteKey(info, own, m, d.Key); ok {
+							out = append(out, netOp{id: netID{key, d.Read}, delta: d.Delta, pos: m.Pos()})
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if ds, ok := node.(*ast.DeferStmt); ok {
+		if lit, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok {
+			walk(lit.Body, true)
+		} else {
+			walk(ds.Call, true)
+		}
+		return out
+	}
+	walk(node, false)
+	return out
+}
+
+// directMutexOp recognises a direct sync mutex method call and
+// classifies its receiver to a key. The bool results are (read, ok).
+func (s *Set) directMutexOp(info *types.Info, own map[*types.Var]int, call *ast.CallExpr) (netID, bool, bool) {
+	fn := s.graph.CalleeFuncAt(call)
+	if fn == nil {
+		return netID{}, false, false
+	}
+	mm, ok := mutexMethods[fn.FullName()]
+	if !ok {
+		return netID{}, false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return netID{}, false, false
+	}
+	base, path := splitChain(sel.X)
+	key, ok := classifyChain(info, own, base, path)
+	if !ok {
+		return netID{}, false, false
+	}
+	return netID{key: key, read: mm.read}, mm.read, true
+}
+
+// isLockName reports whether fn is a Lock/RLock (vs Unlock/RUnlock).
+func isLockName(info *types.Info, fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	return mutexMethods[fn.FullName()].lock
+}

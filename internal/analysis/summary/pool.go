@@ -1,0 +1,193 @@
+package summary
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/callgraph"
+)
+
+// computePool fills sum.PutsParams and sum.ReturnsPooled.
+//
+// A parameter (or the receiver) is "put" when the body hands it —
+// unwrapped through parens and type assertions — to (*sync.Pool).Put or
+// to a callee that puts the corresponding position, in plain, deferred,
+// or go'd calls alike: in every case the value may be back in the pool
+// once the caller resumes, so the caller must not touch it. Unlike the
+// intraprocedural releaser facts (which exclude deferred Puts because
+// the function still owns the value for its own body), this is the
+// caller's view.
+//
+// ReturnsPooled holds when some return statement yields a Get-derived
+// value: a direct (*sync.Pool).Get call, a call to a ReturnsPooled
+// callee, or a local previously bound to either (propagated through
+// aliasing assignments to a fixpoint, as the releaser facts do).
+func (s *Set) computePool(n *callgraph.Node, own map[*types.Var]int, sum *Summary) {
+	info := n.Unit.Info
+	body := n.Body()
+
+	// putsOf resolves the put-parameter set of one call: by name for the
+	// stdlib method, by summary for module callees (function-value calls
+	// to bound Put method values resolve through CalleeFuncAt).
+	putsOf := func(call *ast.CallExpr) map[int]bool {
+		if fn := s.graph.CalleeFuncAt(call); fn != nil {
+			if fn.FullName() == "(*sync.Pool).Put" {
+				return map[int]bool{0: true}
+			}
+			if node := s.graph.NodeOf(fn); node != nil {
+				return s.byNode[node].PutsParams
+			}
+			return nil
+		}
+		if e := s.graph.EdgeAt(call); e != nil {
+			return s.byNode[e.Callee].PutsParams
+		}
+		return nil
+	}
+	isGetLike := func(call *ast.CallExpr) bool {
+		if fn := s.graph.CalleeFuncAt(call); fn != nil {
+			if fn.FullName() == "(*sync.Pool).Get" {
+				return true
+			}
+			if node := s.graph.NodeOf(fn); node != nil {
+				return s.byNode[node].ReturnsPooled
+			}
+			return false
+		}
+		if e := s.graph.EdgeAt(call); e != nil {
+			return s.byNode[e.Callee].ReturnsPooled
+		}
+		return false
+	}
+
+	inOwnBody := func(m *ast.FuncLit) bool { return ast.Node(m.Body) == body }
+
+	// PutsParams: every put-like call whose released argument is one of
+	// n's own parameters.
+	ast.Inspect(body, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok && !inOwnBody(lit) {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		puts := putsOf(call)
+		idxs := make([]int, 0, len(puts))
+		for idx := range puts {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			var arg ast.Expr
+			if idx == ReceiverParam {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					arg = sel.X
+				}
+			} else if idx >= 0 && idx < len(call.Args) {
+				arg = call.Args[idx]
+			}
+			id, ok := unwrap(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				if ownIdx, ok := own[v]; ok {
+					if sum.PutsParams == nil {
+						sum.PutsParams = make(map[int]bool)
+					}
+					sum.PutsParams[ownIdx] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// ReturnsPooled: propagate Get-derived values through local aliases,
+	// then look at the returns.
+	pooled := make(map[*types.Var]bool)
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v := localVar(info, id)
+				if v == nil || pooled[v] {
+					continue
+				}
+				isP := false
+				if call, ok := unwrap(rhs).(*ast.CallExpr); ok {
+					isP = isGetLike(call)
+				} else if rid, ok := unwrap(rhs).(*ast.Ident); ok {
+					if rv, ok := info.Uses[rid].(*types.Var); ok && pooled[rv] {
+						isP = true
+					}
+				}
+				if isP {
+					pooled[v] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(m ast.Node) bool {
+		if sum.ReturnsPooled {
+			return false
+		}
+		if lit, ok := m.(*ast.FuncLit); ok && !inOwnBody(lit) {
+			return false // returns inside nested literals are not n's
+		}
+		ret, ok := m.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if call, ok := unwrap(res).(*ast.CallExpr); ok && isGetLike(call) {
+				sum.ReturnsPooled = true
+				return false
+			}
+			if id, ok := unwrap(res).(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && pooled[v] {
+					sum.ReturnsPooled = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// localVar resolves id to the non-package-level variable it defines or
+// uses.
+func localVar(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok && v.Pkg() != nil && v.Parent() != v.Pkg().Scope() {
+		return v
+	}
+	return nil
+}
+
+// unwrap strips parentheses and type assertions.
+func unwrap(e ast.Expr) ast.Expr {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.TypeAssertExpr:
+			e = t.X
+		default:
+			return e
+		}
+	}
+}

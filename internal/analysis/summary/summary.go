@@ -1,0 +1,172 @@
+// Package summary computes caller-visible effect summaries for every
+// node of a callgraph.Graph, iterated to an interprocedural fixpoint.
+// The analyzers consume summaries at call sites: what a callee may lock
+// (lockatcall), the net lock balance it leaves behind (lockbalance via
+// the driver's op resolver), which parameters it hands back to a
+// sync.Pool and whether its results come from one (poollife), and which
+// results depend on map iteration order or goroutine scheduling
+// (determinism).
+//
+// The fixpoint runs on dataflow.Fixpoint: each node's summary is a pure
+// function of its callees' current summaries; when a recompute changes a
+// summary, every caller is re-enqueued, transitively, until nothing
+// changes. Effects grow monotonically from empty summaries, and every
+// lattice here is finite (lock keys are capped in path depth, the other
+// effects are bounded by the syntax of one body), so the iteration
+// terminates even through recursion.
+//
+// Soundness caveats mirror the call graph's: effects reached only
+// through interface calls, untracked function values, or reflection are
+// invisible, and goroutine spawns are excluded from synchronous effects
+// (a lock taken inside `go f()` is not "acquired during the call").
+// Consumers must therefore treat summaries as lower bounds — fit for
+// proving a problem exists, never for proving its absence.
+package summary
+
+import (
+	"go/token"
+	"go/types"
+	"maps"
+	"slices"
+
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/dataflow"
+)
+
+// Acquire is one lock acquisition a function may perform during a
+// synchronous call, directly or through a callee.
+type Acquire struct {
+	Key  Key
+	Read bool      // RLock-style shared acquisition
+	Pos  token.Pos // position of the Lock call itself
+	Via  string    // immediate callee the acquisition flows through; "" when direct
+}
+
+// HeldDelta is the net caller-visible change a call makes to a lock's
+// hold depth: +1 for a lock() helper that returns holding the mutex, -1
+// for the matching unlock() helper. Balanced acquire/release pairs
+// inside the callee cancel to zero and are not recorded.
+type HeldDelta struct {
+	Key   Key
+	Read  bool
+	Delta int
+	Pos   token.Pos
+}
+
+// Taint classifies sources of run-to-run nondeterminism.
+type Taint uint8
+
+const (
+	// MapOrder marks values folded over (or selected by) map iteration
+	// order.
+	MapOrder Taint = 1 << iota
+	// GoOrder marks values folded over an unsynchronized-order set of
+	// goroutine contributions (mutual exclusion does not fix the order).
+	GoOrder
+)
+
+func (t Taint) String() string {
+	switch {
+	case t&MapOrder != 0 && t&GoOrder != 0:
+		return "map iteration and goroutine scheduling order"
+	case t&GoOrder != 0:
+		return "goroutine scheduling order"
+	default:
+		return "map iteration order"
+	}
+}
+
+// ResultTaint records why (and where) one result is nondeterministic.
+type ResultTaint struct {
+	Taint Taint
+	Pos   token.Pos // where the order dependence is introduced
+}
+
+// Summary is the caller-visible effect summary of one function body.
+type Summary struct {
+	// MayAcquire lists locks the function may acquire while the call is
+	// in flight, even if released before return. Deduplicated by
+	// (Key, Read); source order, direct acquisitions first.
+	MayAcquire []Acquire
+	// NetHeld lists locks whose hold depth differs between call entry
+	// and return (the lock()/unlock() helper pattern).
+	NetHeld []HeldDelta
+	// PutsParams marks the receiver (-1) and parameter indices the
+	// function may hand to (*sync.Pool).Put — directly, through a
+	// releasing callee, or by a deferred release (which has run by the
+	// time the caller resumes).
+	PutsParams map[int]bool
+	// ReturnsPooled reports that some return value originates from a
+	// (*sync.Pool).Get, directly or through a pooled-source callee.
+	ReturnsPooled bool
+	// TaintedResults maps result indices to the nondeterminism of their
+	// values.
+	TaintedResults map[int]ResultTaint
+}
+
+func (s *Summary) equal(o *Summary) bool {
+	return slices.Equal(s.MayAcquire, o.MayAcquire) &&
+		slices.Equal(s.NetHeld, o.NetHeld) &&
+		maps.Equal(s.PutsParams, o.PutsParams) &&
+		s.ReturnsPooled == o.ReturnsPooled &&
+		maps.Equal(s.TaintedResults, o.TaintedResults)
+}
+
+// Set holds the fixpoint summaries of one call graph.
+type Set struct {
+	graph  *callgraph.Graph
+	byNode map[*callgraph.Node]*Summary
+}
+
+// Graph returns the call graph the summaries were computed over.
+func (s *Set) Graph() *callgraph.Graph { return s.graph }
+
+// Of returns the summary of a node (never nil for nodes of the graph).
+func (s *Set) Of(n *callgraph.Node) *Summary { return s.byNode[n] }
+
+// OfFunc returns the summary of a declared function, or nil when the
+// function has no node (extra-module or bodyless).
+func (s *Set) OfFunc(fn *types.Func) *Summary {
+	if n := s.graph.NodeOf(fn); n != nil {
+		return s.byNode[n]
+	}
+	return nil
+}
+
+// Compute runs the interprocedural fixpoint and returns the summaries.
+func Compute(g *callgraph.Graph) *Set {
+	s := &Set{graph: g, byNode: make(map[*callgraph.Node]*Summary, len(g.Nodes()))}
+	for _, n := range g.Nodes() {
+		s.byNode[n] = &Summary{}
+	}
+	dataflow.Fixpoint(g.Nodes(), func(n *callgraph.Node) bool {
+		fresh := s.compute(n)
+		if fresh.equal(s.byNode[n]) {
+			return false
+		}
+		s.byNode[n] = fresh
+		return true
+	}, func(n *callgraph.Node) []*callgraph.Node {
+		callers := make([]*callgraph.Node, 0, len(n.In))
+		seen := make(map[*callgraph.Node]bool, len(n.In))
+		for _, e := range n.In {
+			if !seen[e.Caller] {
+				seen[e.Caller] = true
+				callers = append(callers, e.Caller)
+			}
+		}
+		return callers
+	})
+	return s
+}
+
+// compute rebuilds one node's summary from its body and the current
+// summaries of its callees.
+func (s *Set) compute(n *callgraph.Node) *Summary {
+	sum := &Summary{}
+	own := OwnParams(n)
+	s.computeLocks(n, own, sum)
+	s.computePool(n, own, sum)
+	s.computeTaint(n, sum)
+	return sum
+}

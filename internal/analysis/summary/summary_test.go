@@ -1,0 +1,143 @@
+package summary_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/summary"
+)
+
+func computeCorpus(t *testing.T) (*analysis.Package, *summary.Set) {
+	t.Helper()
+	dir := filepath.Join("..", "testdata", "src", "summaryt")
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	g := callgraph.Build([]*callgraph.Unit{{
+		Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files, Info: pkg.Info,
+	}})
+	return pkg, summary.Compute(g)
+}
+
+// of finds a function's summary by suffix of its full name.
+func of(t *testing.T, pkg *analysis.Package, s *summary.Set, name string) *summary.Summary {
+	t.Helper()
+	for _, n := range s.Graph().Nodes() {
+		if n.Func != nil && strings.HasSuffix(n.Func.FullName(), name) {
+			return s.Of(n)
+		}
+	}
+	t.Fatalf("no summary for %s", name)
+	return nil
+}
+
+func TestLockSummaries(t *testing.T) {
+	pkg, s := computeCorpus(t)
+
+	lock := of(t, pkg, s, "server).lock")
+	if len(lock.MayAcquire) != 1 || lock.MayAcquire[0].Key.String() != "recv.mu" {
+		t.Errorf("lock MayAcquire = %+v, want one recv.mu", lock.MayAcquire)
+	}
+	if len(lock.NetHeld) != 1 || lock.NetHeld[0].Delta != 1 {
+		t.Errorf("lock NetHeld = %+v, want one +1", lock.NetHeld)
+	}
+
+	unlock := of(t, pkg, s, "server).unlock")
+	if len(unlock.NetHeld) != 1 || unlock.NetHeld[0].Delta != -1 {
+		t.Errorf("unlock NetHeld = %+v, want one -1", unlock.NetHeld)
+	}
+	if len(unlock.MayAcquire) != 0 {
+		t.Errorf("unlock MayAcquire = %+v, want none", unlock.MayAcquire)
+	}
+
+	rlock := of(t, pkg, s, "server).rlock")
+	if len(rlock.MayAcquire) != 1 || !rlock.MayAcquire[0].Read {
+		t.Errorf("rlock MayAcquire = %+v, want one read acquire", rlock.MayAcquire)
+	}
+
+	balanced := of(t, pkg, s, "server).balanced")
+	if len(balanced.MayAcquire) != 1 {
+		t.Errorf("balanced MayAcquire = %+v, want one entry", balanced.MayAcquire)
+	}
+	if len(balanced.NetHeld) != 0 {
+		t.Errorf("balanced NetHeld = %+v, want none (acquire cancels deferred release)", balanced.NetHeld)
+	}
+
+	via := of(t, pkg, s, "server).viaHelper")
+	if len(via.MayAcquire) != 1 || via.MayAcquire[0].Via == "" {
+		t.Errorf("viaHelper MayAcquire = %+v, want one transitive entry with Via set", via.MayAcquire)
+	}
+	if via.MayAcquire[0].Key.String() != "recv.mu" {
+		t.Errorf("viaHelper key = %s, want recv.mu (substituted through the call)", via.MayAcquire[0].Key)
+	}
+	if len(via.NetHeld) != 0 {
+		t.Errorf("viaHelper NetHeld = %+v, want none (helper lock cancels deferred unlock)", via.NetHeld)
+	}
+
+	nested := of(t, pkg, s, "summaryt.nested")
+	if len(nested.MayAcquire) != 1 || nested.MayAcquire[0].Key.String() != "arg0.state.mu" {
+		t.Errorf("nested MayAcquire = %+v, want one arg0.state.mu", nested.MayAcquire)
+	}
+
+	spawned := of(t, pkg, s, "server).spawned")
+	if len(spawned.MayAcquire) != 0 || len(spawned.NetHeld) != 0 {
+		t.Errorf("spawned = %+v/%+v, want no synchronous lock effects", spawned.MayAcquire, spawned.NetHeld)
+	}
+}
+
+func TestPoolSummaries(t *testing.T) {
+	pkg, s := computeCorpus(t)
+
+	for _, name := range []string{"summaryt.acquire", "summaryt.acquireVia"} {
+		if sum := of(t, pkg, s, name); !sum.ReturnsPooled {
+			t.Errorf("%s: ReturnsPooled = false, want true", name)
+		}
+	}
+	for name, idx := range map[string]int{
+		"summaryt.release":         0,
+		"summaryt.releaseDeferred": 0,
+		"summaryt.releaseVia":      0,
+		"scratch).release":         summary.ReceiverParam,
+	} {
+		if sum := of(t, pkg, s, name); !sum.PutsParams[idx] {
+			t.Errorf("%s: PutsParams = %v, want index %d", name, sum.PutsParams, idx)
+		}
+	}
+	if sum := of(t, pkg, s, "summaryt.sumMap"); len(sum.PutsParams) != 0 || sum.ReturnsPooled {
+		t.Errorf("sumMap has pool effects: %+v", sum)
+	}
+}
+
+func TestTaintSummaries(t *testing.T) {
+	pkg, s := computeCorpus(t)
+
+	sumMap := of(t, pkg, s, "summaryt.sumMap")
+	if rt, ok := sumMap.TaintedResults[0]; !ok || rt.Taint&summary.MapOrder == 0 {
+		t.Errorf("sumMap result taint = %+v, want MapOrder on result 0", sumMap.TaintedResults)
+	}
+
+	first := of(t, pkg, s, "summaryt.first")
+	for i := 0; i < 2; i++ {
+		if rt, ok := first.TaintedResults[i]; !ok || rt.Taint&summary.MapOrder == 0 {
+			t.Errorf("first result %d taint = %+v, want MapOrder", i, first.TaintedResults)
+		}
+	}
+
+	if countMap := of(t, pkg, s, "summaryt.countMap"); len(countMap.TaintedResults) != 0 {
+		t.Errorf("countMap folds a loop-invariant value, want no taint: %+v", countMap.TaintedResults)
+	}
+
+	sumVia := of(t, pkg, s, "summaryt.sumVia")
+	if rt, ok := sumVia.TaintedResults[0]; !ok || rt.Taint&summary.MapOrder == 0 {
+		t.Errorf("sumVia result taint = %+v, want MapOrder through the callee", sumVia.TaintedResults)
+	}
+
+	gather := of(t, pkg, s, "summaryt.gather")
+	if rt, ok := gather.TaintedResults[0]; !ok || rt.Taint&summary.GoOrder == 0 {
+		t.Errorf("gather result taint = %+v, want GoOrder", gather.TaintedResults)
+	}
+}

@@ -1,0 +1,524 @@
+package summary
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/callgraph"
+)
+
+// This file computes order-nondeterminism taint. Two sources exist:
+//
+//   - MapOrder: a floating-point accumulation (x += v and friends)
+//     executed inside a range over a map, folding loop-varying values in
+//     iteration order — float addition is not associative, so the result
+//     differs run to run. A range variable escaping its loop (assigned
+//     to an outer variable, or returned) is likewise tainted: it holds
+//     "whichever element iteration happened to visit".
+//
+//   - GoOrder: a floating-point accumulation inside a goroutine launched
+//     in a loop, writing a variable of the enclosing function. Mutual
+//     exclusion makes the write safe but not ordered — the fold order
+//     still depends on scheduling.
+//
+// Taint then propagates through assignments and call results (via
+// callee TaintedResults) to a fixpoint, and computeTaint projects it
+// onto the function's own results.
+
+// TaintedVars computes the order-tainted variables of one body: seeds
+// from the two sources above plus propagation through aliasing
+// assignments and calls to taint-returning callees. Exported for the
+// determinism analyzer, which replays the same computation to locate
+// sinks inside one function.
+func (s *Set) TaintedVars(n *callgraph.Node) map[*types.Var]ResultTaint {
+	tainted, _ := s.taintLocals(n)
+	return tainted
+}
+
+// MapRange is the exported view of one range-over-map: the statement
+// and its loop-derived variable set (iteration variables plus in-loop
+// locals assigned from them). The determinism analyzer uses it to spot
+// order-dependent folds whose destination is not a local variable and
+// therefore never enters the tainted-variable set.
+type MapRange struct {
+	Stmt *ast.RangeStmt
+	Vars map[*types.Var]bool
+}
+
+// MapRanges lists the map ranges of n's body.
+func (s *Set) MapRanges(n *callgraph.Node) []MapRange {
+	var out []MapRange
+	for _, r := range s.mapRanges(n) {
+		out = append(out, MapRange{Stmt: r.stmt, Vars: r.vars})
+	}
+	return out
+}
+
+// mapRange describes one range-over-map in a body.
+type mapRange struct {
+	stmt *ast.RangeStmt
+	vars map[*types.Var]bool // the iteration variables and their in-loop derivatives
+}
+
+func (r *mapRange) contains(pos token.Pos) bool {
+	return r.stmt.Body.Pos() <= pos && pos < r.stmt.Body.End()
+}
+
+func (s *Set) taintLocals(n *callgraph.Node) (map[*types.Var]ResultTaint, []*mapRange) {
+	info := n.Unit.Info
+	body := n.Body()
+	tainted := make(map[*types.Var]ResultTaint)
+	add := func(v *types.Var, t Taint, pos token.Pos) bool {
+		cur, ok := tainted[v]
+		if ok && cur.Taint&t == t {
+			return false
+		}
+		if !ok {
+			cur = ResultTaint{Pos: pos}
+		}
+		cur.Taint |= t
+		tainted[v] = cur
+		return true
+	}
+
+	ranges := s.mapRanges(n)
+	sortedAfter := sortSanitized(info, body)
+
+	// Seed 1: map-order accumulations and range-variable escapes.
+	for _, r := range ranges {
+		ast.Inspect(r.stmt.Body, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			lhsVar := func(i int) *types.Var {
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					return localVar(info, id)
+				}
+				return nil
+			}
+			if isAccumOp(as.Tok) && len(as.Lhs) == 1 {
+				v := lhsVar(0)
+				if v != nil && isFloat(v.Type()) && usesAny(info, as.Rhs[0], r.vars) {
+					add(v, MapOrder, as.Pos())
+				}
+				return true
+			}
+			if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+				for i := range as.Lhs {
+					if i >= len(as.Rhs) {
+						break
+					}
+					v := lhsVar(i)
+					if v == nil {
+						continue
+					}
+					// x = x + v inside the loop is the spelled-out
+					// accumulation.
+					if isFloat(v.Type()) && selfReferential(info, as.Lhs[i], as.Rhs[i]) && usesAny(info, as.Rhs[i], r.vars) {
+						add(v, MapOrder, as.Pos())
+						continue
+					}
+					// An outer variable capturing a range variable
+					// escapes the iteration order — unless the body later
+					// hands it to sort.*, the repo's sanctioned
+					// collect-then-sort idiom, which erases arrival order.
+					if v.Pos() < r.stmt.Pos() && usesAny(info, as.Rhs[i], r.vars) {
+						if sp, ok := sortedAfter[v]; ok && sp > as.Pos() {
+							continue
+						}
+						add(v, MapOrder, as.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Seed 2: goroutine-order accumulations. Track loop depth; inside a
+	// `go func(...) {...}(...)` under a loop, a float accumulation to a
+	// variable of the enclosing function is fold-order tainted.
+	var walkLoops func(m ast.Node, depth int)
+	walkLoops = func(node ast.Node, depth int) {
+		ast.Inspect(node, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				walkLoops(m.Body, depth+1)
+				return false
+			case *ast.RangeStmt:
+				walkLoops(m.Body, depth+1)
+				return false
+			case *ast.GoStmt:
+				lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit)
+				if !ok || depth == 0 {
+					return false
+				}
+				ast.Inspect(lit.Body, func(g ast.Node) bool {
+					as, ok := g.(*ast.AssignStmt)
+					if !ok || !isAccumOp(as.Tok) || len(as.Lhs) != 1 {
+						return true
+					}
+					id, ok := as.Lhs[0].(*ast.Ident)
+					if !ok {
+						return true
+					}
+					v := localVar(info, id)
+					// Only variables declared outside the literal carry
+					// the fold across goroutines.
+					if v != nil && isFloat(v.Type()) && v.Pos() < lit.Pos() {
+						add(v, GoOrder, as.Pos())
+					}
+					return true
+				})
+				return false
+			case *ast.FuncLit:
+				if ast.Node(m.Body) != node {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walkLoops(body, 0)
+
+	// Propagation: copies of tainted values and results of
+	// taint-returning callees, to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(m ast.Node) bool {
+			if lit, ok := m.(*ast.FuncLit); ok && ast.Node(lit.Body) != ast.Node(body) {
+				return false
+			}
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			// Multi-assign from one call: match result indices.
+			if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+				if call, ok := unwrap(as.Rhs[0]).(*ast.CallExpr); ok {
+					for i, lhs := range as.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						v := localVar(info, id)
+						if v == nil {
+							continue
+						}
+						if rt, ok := s.calleeResultTaint(n, call, i); ok {
+							if add(v, rt.Taint, rt.Pos) {
+								changed = true
+							}
+						}
+					}
+				}
+				return true
+			}
+			for i := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v := localVar(info, id)
+				if v == nil {
+					continue
+				}
+				if rt, ok := s.exprTaint(n, tainted, as.Rhs[i]); ok {
+					if add(v, rt.Taint, rt.Pos) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted, ranges
+}
+
+// mapRanges finds every range-over-map in n's body (nested literals
+// excluded) with its loop-derived variable set: the iteration variables
+// plus locals assigned from them within the loop.
+func (s *Set) mapRanges(n *callgraph.Node) []*mapRange {
+	info := n.Unit.Info
+	body := n.Body()
+	var out []*mapRange
+	ast.Inspect(body, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok && ast.Node(lit.Body) != ast.Node(body) {
+			return false
+		}
+		rs, ok := m.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return true
+		}
+		r := &mapRange{stmt: rs, vars: make(map[*types.Var]bool)}
+		for _, e := range []ast.Expr{rs.Key, rs.Value} {
+			if id, ok := e.(*ast.Ident); ok && id != nil {
+				if v := localVar(info, id); v != nil {
+					r.vars[v] = true
+				}
+			}
+		}
+		// Loop-derived locals: assigned within the body from loop vars.
+		for changed := true; changed; {
+			changed = false
+			ast.Inspect(rs.Body, func(g ast.Node) bool {
+				as, ok := g.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i := range as.Lhs {
+					if i >= len(as.Rhs) {
+						break
+					}
+					id, ok := as.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v := localVar(info, id)
+					if v == nil || r.vars[v] || v.Pos() < rs.Pos() {
+						continue // outer vars are escapes, not derivations
+					}
+					if usesAny(info, as.Rhs[i], r.vars) {
+						r.vars[v] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// exprTaint reports whether e's value is order-tainted given the current
+// tainted-variable set: it mentions a tainted variable, or is a call
+// whose first result the callee taints.
+func (s *Set) exprTaint(n *callgraph.Node, tainted map[*types.Var]ResultTaint, e ast.Expr) (ResultTaint, bool) {
+	info := n.Unit.Info
+	var found ResultTaint
+	ok := false
+	ast.Inspect(e, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if v := localVar(info, m); v != nil {
+				if rt, is := tainted[v]; is {
+					found.Taint |= rt.Taint
+					if !ok {
+						found.Pos = rt.Pos
+					}
+					ok = true
+				}
+			}
+		case *ast.CallExpr:
+			if rt, is := s.calleeResultTaint(n, m, 0); is {
+				found.Taint |= rt.Taint
+				if !ok {
+					found.Pos = rt.Pos
+				}
+				ok = true
+			}
+		}
+		return true
+	})
+	return found, ok
+}
+
+// ExprTaint is exprTaint for consumers outside the package (the
+// determinism analyzer).
+func (s *Set) ExprTaint(n *callgraph.Node, tainted map[*types.Var]ResultTaint, e ast.Expr) (ResultTaint, bool) {
+	return s.exprTaint(n, tainted, e)
+}
+
+// calleeResultTaint looks up the taint of result idx of the function a
+// call site invokes, through the callee's summary.
+func (s *Set) calleeResultTaint(n *callgraph.Node, call *ast.CallExpr, idx int) (ResultTaint, bool) {
+	var node *callgraph.Node
+	if e := s.graph.EdgeAt(call); e != nil {
+		node = e.Callee
+	} else if fn := s.graph.CalleeFuncAt(call); fn != nil {
+		node = s.graph.NodeOf(fn)
+	}
+	if node == nil {
+		return ResultTaint{}, false
+	}
+	rt, ok := s.byNode[node].TaintedResults[idx]
+	return rt, ok
+}
+
+// computeTaint projects the tainted-variable fixpoint onto n's results.
+func (s *Set) computeTaint(n *callgraph.Node, sum *Summary) {
+	info := n.Unit.Info
+	body := n.Body()
+	tainted, ranges := s.taintLocals(n)
+
+	var results *ast.FieldList
+	if n.Decl != nil {
+		results = n.Decl.Type.Results
+	} else {
+		results = n.Lit.Type.Results
+	}
+	if results == nil {
+		return
+	}
+	record := func(idx int, rt ResultTaint) {
+		if sum.TaintedResults == nil {
+			sum.TaintedResults = make(map[int]ResultTaint)
+		}
+		cur, ok := sum.TaintedResults[idx]
+		if !ok {
+			sum.TaintedResults[idx] = rt
+			return
+		}
+		cur.Taint |= rt.Taint
+		sum.TaintedResults[idx] = cur
+	}
+	// Named results assigned tainted values surface on bare returns; map
+	// them once.
+	named := make(map[*types.Var]int)
+	idx := 0
+	for _, f := range results.List {
+		for _, name := range f.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				named[v] = idx
+			}
+			idx++
+		}
+		if len(f.Names) == 0 {
+			idx++
+		}
+	}
+
+	ast.Inspect(body, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok && ast.Node(lit.Body) != ast.Node(body) {
+			return false
+		}
+		ret, ok := m.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) == 0 {
+			for v, i := range named {
+				if rt, ok := tainted[v]; ok {
+					record(i, rt)
+				}
+			}
+			return true
+		}
+		for i, res := range ret.Results {
+			if rt, ok := s.exprTaint(n, tainted, res); ok {
+				record(i, rt)
+				continue
+			}
+			// A return inside a map-range body yielding the iteration
+			// variables returns "whichever element came first".
+			for _, r := range ranges {
+				if r.contains(ret.Pos()) && usesAny(info, res, r.vars) {
+					record(i, ResultTaint{Taint: MapOrder, Pos: ret.Pos()})
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortSanitized records, per variable, the last position at which the
+// body passes it to a sort.* canonicalization. A collection that escapes
+// a map range but is sorted before further use carries no iteration
+// order — that collect-then-sort shape is exactly the fix the maporder
+// analyzer demands, so the taint engine must not re-flag it.
+func sortSanitized(info *types.Info, body *ast.BlockStmt) map[*types.Var]token.Pos {
+	out := make(map[*types.Var]token.Pos)
+	ast.Inspect(body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := info.Uses[pkg].(*types.PkgName)
+		if !ok || pn.Imported().Path() != "sort" {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+		default:
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if v := localVar(info, id); v != nil && call.Pos() > out[v] {
+				out[v] = call.Pos()
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isAccumOp reports whether tok is an order-sensitive compound
+// assignment for floats.
+func isAccumOp(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// isFloat reports whether t is a floating-point or complex type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// usesAny reports whether e mentions any of the given variables.
+func usesAny(info *types.Info, e ast.Expr, vars map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(e, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && vars[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// selfReferential reports whether rhs mentions the variable lhs names —
+// the x = x + v accumulation shape.
+func selfReferential(info *types.Info, lhs, rhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v := localVar(info, id)
+	if v == nil {
+		return false
+	}
+	return usesAny(info, rhs, map[*types.Var]bool{v: true})
+}

@@ -1,0 +1,47 @@
+// Golden corpus for the call-graph builder: one function per resolution
+// mechanism (static, method, function value, literal, defer/go context,
+// unresolvable sites).
+package callgraph
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new(int) }}
+
+func work() {}
+
+func helper() { work() }
+
+type T struct{ mu sync.Mutex }
+
+func (t *T) lock() { t.mu.Lock() }
+
+func (t *T) unlock() { t.mu.Unlock() }
+
+func methods(t *T) {
+	t.lock()
+	defer t.unlock()
+}
+
+func values() {
+	f := helper
+	f()
+	g := func() { work() }
+	g()
+	func() { helper() }()
+}
+
+func spawns() {
+	go work()
+	defer helper()
+}
+
+func unresolved(cb func()) {
+	cb() // parameter value: never resolved
+	var h func()
+	if pool.Get() == nil {
+		h = work
+	} else {
+		h = helper
+	}
+	h() // two possible targets: never resolved
+}

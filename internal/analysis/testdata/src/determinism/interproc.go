@@ -1,0 +1,34 @@
+// interproc.go holds the true positives the intraprocedural suite
+// provably misses (see TestDeterminismOldSuiteBlind): nondeterminism
+// imported through a callee's results, and a goroutine fold that every
+// concurrency analyzer individually approves of.
+package determinism
+
+import "sync"
+
+// halfLoss never ranges a map itself: the order dependence arrives
+// through pick's summary.
+func halfLoss(m map[string]float64) float64 {
+	_, v := pick(m)
+	return v / 2 // want "map iteration order"
+}
+
+// goFold is mutex-guarded and WaitGroup-joined — sharedwrite, ctxloop,
+// lockbalance and waitgroupbalance all pass it — yet the sum's bit
+// pattern follows the scheduler.
+func goFold(xs []float64) float64 {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	total := 0.0
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			mu.Lock()
+			total += x
+			mu.Unlock()
+		}(x)
+	}
+	wg.Wait()
+	return total // want "goroutine scheduling order"
+}

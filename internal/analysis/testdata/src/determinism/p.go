@@ -1,0 +1,105 @@
+// Test corpus for the determinism analyzer: map-iteration and
+// goroutine-scheduling order reaching float outputs. Marked lines must
+// produce a diagnostic containing the quoted substring; unmarked lines
+// must stay silent.
+package determinism
+
+import (
+	"sort"
+	"sync"
+)
+
+type model struct{ loss float64 }
+
+// fieldFold is the belief-update bug: gradients folded into a field in
+// map iteration order.
+func (mo *model) fieldFold(grads map[string]float64) {
+	for _, g := range grads {
+		mo.loss += g // want "folded in map iteration order"
+	}
+}
+
+// sliceFold is deterministic: slice order is fixed.
+func (mo *model) sliceFold(grads []float64) {
+	for _, g := range grads {
+		mo.loss += g
+	}
+}
+
+// choose only taints the map-fed branch; the slice branch stays clean.
+func choose(m map[string]float64, xs []float64) float64 {
+	if len(xs) > 0 {
+		s := 0.0
+		for _, v := range xs {
+			s += v
+		}
+		return s
+	}
+	t := 0.0
+	for _, v := range m {
+		t += v
+	}
+	return t // want "map iteration order"
+}
+
+// countMap accumulates a loop-invariant: the result does not vary with
+// the order.
+func countMap(m map[string]float64) float64 {
+	n := 0.0
+	for range m {
+		n += 1.0
+	}
+	return n
+}
+
+// pick returns whichever entry iteration visits first.
+func pick(m map[string]float64) (string, float64) {
+	for k, v := range m {
+		return k, v // want "first element visited"
+	}
+	return "", 0
+}
+
+// goFieldFold: the mutex orders nothing; the fold follows the scheduler.
+func (mo *model) goFieldFold(xs []float64) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			mu.Lock()
+			mo.loss += x // want "goroutine scheduling"
+			mu.Unlock()
+		}(x)
+	}
+	wg.Wait()
+}
+
+// sortedFold is the sanctioned collect-then-sort idiom: the keys escape
+// the map range, but the sort erases arrival order before the fold, so
+// the sum is bit-deterministic and must stay unflagged.
+func sortedFold(m map[string]float64) float64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := 0.0
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// maxBelief trips the range-variable escape rule, but max is
+// order-independent: the documented false positive.
+func maxBelief(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best // lint:checked determinism: max over a map is order-independent; the escape rule cannot see the monotone guard
+}

@@ -1,0 +1,28 @@
+// interproc.go holds the true positives the pre-interprocedural suite
+// provably misses (see TestErrDropOldSuiteBlind): no analyzer of that
+// suite models error results at all, and the dead-store case additionally
+// needs the CFG — the in-loop store is only read through the back edge.
+package errdrop
+
+func flush() error { return nil }
+
+// indirectDrop loses the error through a function value; the fact-based
+// callee resolution of the old suite sees only a *types.Var here.
+func indirectDrop() {
+	f := load
+	f() // want "the error result of f is dropped"
+}
+
+// drain: the store inside the loop is checked by the next iteration's
+// test (clean, via the back edge); the final store falls off the end of
+// the function unread.
+func drain(n int) {
+	var err error
+	for i := 0; i < n; i++ {
+		if err != nil {
+			return
+		}
+		err = flush()
+	}
+	err = flush() // want "the error stored in err is never checked"
+}

@@ -1,0 +1,110 @@
+// Test corpus for the errdrop analyzer: error returns that vanish.
+// Marked lines must produce a diagnostic containing the quoted
+// substring; unmarked lines must stay silent.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+)
+
+func load() error        { return nil }
+func save() (int, error) { return 0, nil }
+func mkErr() error       { return fmt.Errorf("boom") }
+func use(int)            {}
+
+// dropped: the call statement swallows the only result.
+func dropped() {
+	load() // want "the error result of load is dropped"
+}
+
+// blankSingle and blankMulti discard the error explicitly; explicit is
+// still dropped.
+func blankSingle() {
+	_ = load() // want "the error result of load is discarded as _"
+}
+
+func blankMulti() int {
+	n, _ := save() // want "the error result of save is discarded as _"
+	return n
+}
+
+// deadOverwrite: the first store is killed by the second before any read.
+func deadOverwrite() error {
+	err := load() // want "the error stored in err is never checked"
+	err = load()
+	return err
+}
+
+// modal is the branch-sensitive true positive: the err assigned on the
+// b-branch falls off that path unread, while the fall-through store is
+// checked.
+func modal(b bool) error {
+	var err error
+	if b {
+		err = load() // want "the error stored in err is never checked"
+		return nil
+	}
+	err = load()
+	return err
+}
+
+// branchChecked is the branch-sensitive clean case: one path reads the
+// store, so the may-liveness keeps it.
+func branchChecked(b bool) error {
+	err := load()
+	if b {
+		return err
+	}
+	return nil
+}
+
+// lastWins: the first err is overwritten before any path reads it; the
+// second survives to the return.
+func lastWins() error {
+	n, err := save() // want "the error stored in err is never checked"
+	use(n)
+	_, err = save()
+	return err
+}
+
+// shadowed: the inner := creates a second err; the outer one, read at the
+// final return, is never set on the b path.
+func shadowed(b bool) error {
+	var err error
+	if b {
+		n, err := save() // want "shadows an error variable"
+		if err != nil {
+			return err
+		}
+		use(n)
+	}
+	return err
+}
+
+// shadowHarmless re-binds err in the if-init scope but nothing reads the
+// outer one afterwards, so the two cannot be confused.
+func shadowHarmless() error {
+	err := load()
+	if err != nil {
+		return err
+	}
+	if _, err := save(); err != nil {
+		return mkErr()
+	}
+	return nil
+}
+
+// infallible writers are exempt by contract.
+func format(x int) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%d", x)
+	b.WriteString("!")
+	return b.String()
+}
+
+// warm is the annotated false positive: a best-effort prefill whose
+// failure costs latency, not correctness.
+func warm() {
+	load() // lint:checked errdrop: cache warm is best-effort; a failed warm only costs a recompute
+}

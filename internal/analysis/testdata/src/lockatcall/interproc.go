@@ -1,0 +1,27 @@
+// interproc.go holds the true positives the intraprocedural suite
+// provably misses: every body below is individually lock-balanced, so
+// the pre-summary analyzers have nothing to object to (see
+// TestLockAtCallOldSuiteBlind), while the deadlock only exists across
+// the call edge.
+package lockatcall
+
+// update holds s.mu across a call to bump, which locks s.mu itself:
+// the goroutine deadlocks on its own mutex.
+func (s *server) update() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump() // want "acquires s.mu"
+}
+
+// relay adds a hop: the acquisition reaches audit only transitively,
+// through relay's summary.
+func (s *server) relay() {
+	s.bump()
+}
+
+func (s *server) audit() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.relay() // want "acquires s.mu"
+	return s.n
+}

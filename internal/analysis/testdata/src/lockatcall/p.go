@@ -1,0 +1,104 @@
+// Test corpus for the lockatcall analyzer: calling into a function that
+// may acquire a mutex the caller already holds. Marked lines must
+// produce a diagnostic containing the quoted substring; unmarked lines
+// must stay silent.
+package lockatcall
+
+import "sync"
+
+type server struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump is individually balanced — invisible to any per-body check.
+func (s *server) bump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// branchy holds the lock on one path only: the locked call conflicts,
+// the unlocked one is clean.
+func (s *server) branchy(cond bool) {
+	if cond {
+		s.mu.Lock()
+		s.bump() // want "acquires s.mu"
+		s.mu.Unlock()
+		return
+	}
+	s.bump()
+}
+
+// sequenced releases before the call: clean.
+func (s *server) sequenced() int {
+	s.mu.Lock()
+	v := s.n
+	s.mu.Unlock()
+	s.bump()
+	return v
+}
+
+// crossInstance locks its own mutex but calls into a different server:
+// distinct keys, clean.
+func (s *server) crossInstance(t *server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.bump()
+}
+
+type cache struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (c *cache) get(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[k]
+}
+
+// readRead: a read-acquiring callee under a read hold is admitted.
+func (c *cache) readRead(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.get(k) + 1
+}
+
+// writeThenRead: RLock blocks behind the write hold the caller owns.
+func (c *cache) writeThenRead(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.get(k) // want "acquires c.mu"
+}
+
+func (c *cache) rebuild() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = map[string]int{}
+}
+
+// readThenWrite: a write-acquiring callee behind the caller's read hold
+// wedges against it.
+func (c *cache) readThenWrite() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.rebuild() // want "acquires c.mu"
+}
+
+// bumpIf only locks when the caller did not: MayAcquire is
+// control-blind, so the locked-path call below is the analyzer's
+// documented false positive.
+func (s *server) bumpIf(locked bool) {
+	if !locked {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	s.n++
+}
+
+func (s *server) bumpLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bumpIf(true) // lint:checked lockatcall: bumpIf(true) takes the already-locked branch; the summary cannot see the flag
+}

@@ -1,0 +1,30 @@
+// interproc.go holds the true positives the intraprocedural suite
+// provably misses: TestPoolLifeOldSuiteBlind runs the pre-summary
+// analyzers over this package and requires them to stay silent on this
+// file, while the poollife markers below must all fire.
+package poollife
+
+// indirectPutUse reaches the pool through function values. The
+// fact-based resolution behind poolescape sees neither the Get (so sc is
+// never pooled to it) nor the Put (an identifier call resolves to a
+// variable, not a function); the call graph tracks both bindings.
+func indirectPutUse() float64 {
+	get := pool.Get
+	put := pool.Put
+	sc := get().(*scratch)
+	put(sc)
+	return sc.buf[0] // want "may be used after being returned"
+}
+
+// loopCarriedPut releases at the bottom of every iteration without
+// re-acquiring: from the second iteration on, the top-of-loop use reads
+// recycled memory and the release is a double Put. Lexically the use
+// precedes the Put, so the source-order rule in poolescape is blind; the
+// CFG back edge is not.
+func loopCarriedPut(n int) {
+	sc := acquire()
+	for i := 0; i < n; i++ {
+		sc.buf[0] = float64(i) // want "may be used after being returned"
+		release(sc)            // want "returned to its sync.Pool twice"
+	}
+}

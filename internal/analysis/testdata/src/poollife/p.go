@@ -1,0 +1,107 @@
+// Test corpus for the poollife analyzer: flow-sensitive pool lifetime.
+// Marked lines must produce a diagnostic containing the quoted
+// substring; unmarked lines must stay silent.
+package poollife
+
+import "sync"
+
+type scratch struct{ buf []float64 }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+var keep *scratch
+
+func acquire() *scratch { return pool.Get().(*scratch) }
+
+func release(sc *scratch) { pool.Put(sc) }
+
+// recycle is a releaser only transitively, through release.
+func recycle(sc *scratch) { release(sc) }
+
+// mayRelease releases on one branch only: the rejoining use may read
+// recycled memory, depending on cond.
+func mayRelease(cond bool) float64 {
+	sc := acquire()
+	if cond {
+		release(sc)
+	}
+	return sc.buf[0] // want "may be used after being returned"
+}
+
+// earlyRelease is the branch-sensitive clean case: the releasing path
+// returns before the use, so every path reaching the use still owns sc.
+// (The lexical use-after-Put rule in poolescape cannot tell these two
+// shapes apart.)
+func earlyRelease(cond bool) float64 {
+	sc := acquire()
+	if cond {
+		release(sc)
+		return 0
+	}
+	v := sc.buf[0]
+	release(sc)
+	return v
+}
+
+func doubleRelease(cond bool) {
+	sc := acquire()
+	if cond {
+		release(sc)
+	}
+	release(sc) // want "returned to its sync.Pool twice"
+}
+
+func viaTransitive() float64 {
+	sc := acquire()
+	recycle(sc)
+	return sc.buf[0] // want "may be used after being returned"
+}
+
+func putEscaped() {
+	sc := acquire()
+	keep = sc
+	release(sc) // want "escaped to longer-lived memory"
+}
+
+// aliasedRelease: releasing through an alias releases the whole
+// ownership class.
+func aliasedRelease() float64 {
+	sc := acquire()
+	alias := sc
+	release(alias)
+	return sc.buf[0] // want "may be used after being returned"
+}
+
+// deferredRelease keeps ownership for the whole body: the Put runs at
+// return.
+func deferredRelease() float64 {
+	sc := acquire()
+	defer release(sc)
+	return sc.buf[0]
+}
+
+// rebindInLoop re-acquires before the back edge, so every iteration
+// owns a fresh value and the loop-carried state stays clean.
+func rebindInLoop(n int) {
+	sc := acquire()
+	for i := 0; i < n; i++ {
+		sc.buf[0] = float64(i)
+		release(sc)
+		sc = acquire()
+	}
+	release(sc)
+}
+
+// modalUse trips the may-analysis: the two mode tests are exclusive, so
+// the released value is never the one read, but the dataflow joins the
+// branches. The annotation records why the report would be false.
+func modalUse(mode int) float64 {
+	sc := acquire()
+	if mode == 0 {
+		release(sc)
+	}
+	if mode != 0 {
+		return sc.buf[0] // lint:checked poollife: the mode tests are exclusive; sc is only read on the path that did not release it
+	}
+	return 0
+}

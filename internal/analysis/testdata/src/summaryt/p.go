@@ -1,0 +1,125 @@
+// Corpus for the effect-summary fixpoint: lock helpers, pool plumbing
+// and nondeterminism taints, each shaped to exercise one summary field.
+package summaryt
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+type server struct {
+	mu    sync.RWMutex
+	state struct{ mu sync.Mutex }
+	n     float64
+}
+
+// lock/unlock helpers: NetHeld +1 / -1 on the receiver's mutex.
+func (s *server) lock() { s.mu.Lock() }
+
+func (s *server) unlock() { s.mu.Unlock() }
+
+// rlock acquires the read side.
+func (s *server) rlock() { s.mu.RLock() }
+
+// balanced acquires and releases: MayAcquire yes, NetHeld no.
+func (s *server) balanced() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// viaHelper acquires transitively through lock(): MayAcquire propagates
+// with the receiver substituted, NetHeld cancels against the deferred
+// direct unlock.
+func (s *server) viaHelper() {
+	s.lock()
+	defer s.mu.Unlock()
+}
+
+// nested reaches a parameter's inner mutex: the key substitutes to
+// arg0.state.mu in callers.
+func nested(s *server) { s.state.mu.Lock() }
+
+// spawned locks only inside a goroutine: asynchronous, no summary
+// effect.
+func (s *server) spawned() {
+	go func() {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}()
+}
+
+// acquire returns a pooled value through the raw Get.
+func acquire() *[]byte { return pool.Get().(*[]byte) }
+
+// acquireVia aliases through a local before returning.
+func acquireVia() *[]byte {
+	buf := acquire()
+	return buf
+}
+
+// release puts its parameter back.
+func release(buf *[]byte) { pool.Put(buf) }
+
+// releaseDeferred puts at return: still caller-visible.
+func releaseDeferred(buf *[]byte) {
+	defer release(buf)
+}
+
+// releaseRecv is a receiver release.
+type scratch struct{ b []byte }
+
+func (sc *scratch) release() { pool.Put(sc) }
+
+// releaseVia releases the receiver through the helper.
+func releaseVia(sc *scratch) { sc.release() }
+
+// sumMap folds map values in iteration order: result 0 MapOrder.
+func sumMap(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// first returns whichever entry iteration visits first: both results
+// MapOrder.
+func first(m map[string]float64) (string, float64) {
+	for k, v := range m {
+		return k, v
+	}
+	return "", 0
+}
+
+// countMap folds a loop-invariant value: deterministic, no taint.
+func countMap(m map[string]float64) float64 {
+	n := 0.0
+	for range m {
+		n += 1.0
+	}
+	return n
+}
+
+// sumVia launders the taint through a callee and a local.
+func sumVia(m map[string]float64) float64 {
+	t := sumMap(m)
+	return t / 2
+}
+
+// gather folds goroutine contributions: GoOrder despite the mutex.
+func gather(xs []float64) float64 {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	total := 0.0
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			mu.Lock()
+			total += x
+			mu.Unlock()
+		}(x)
+	}
+	wg.Wait()
+	return total
+}

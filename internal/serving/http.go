@@ -146,13 +146,13 @@ func (s *Server) ServeLine(l net.Listener) error {
 // shutdown) closes the conn, unblocking the read loop so the goroutine
 // exits promptly instead of lingering on an idle client.
 func (s *Server) serveConn(conn net.Conn, done <-chan struct{}) {
-	defer conn.Close()
+	defer conn.Close() // lint:checked errdrop: connection teardown; there is no caller to surface a close error to
 	stop := make(chan struct{})
 	defer close(stop)
 	go func() {
 		select {
 		case <-done:
-			conn.Close()
+			conn.Close() // lint:checked errdrop: shutdown path; closing only to unblock the read loop
 		case <-stop:
 		}
 	}()
@@ -166,11 +166,11 @@ func (s *Server) serveConn(conn net.Conn, done <-chan struct{}) {
 		} else {
 			for j, t := range tags {
 				if j > 0 {
-					out.WriteByte(' ')
+					out.WriteByte(' ') // lint:checked errdrop: bufio errors are sticky; the Flush check below surfaces them
 				}
-				out.WriteString(t.String())
+				out.WriteString(t.String()) // lint:checked errdrop: bufio errors are sticky; the Flush check below surfaces them
 			}
-			out.WriteByte('\n')
+			out.WriteByte('\n') // lint:checked errdrop: bufio errors are sticky; the Flush check below surfaces them
 		}
 		if err := out.Flush(); err != nil {
 			return

@@ -373,14 +373,17 @@ func TestHTTPHandler(t *testing.T) {
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
-	body, _ := json.Marshal(TagRequest{Sentences: []string{
+	body, err := json.Marshal(TagRequest{Sentences: []string{
 		test.Sentences[0].Text, test.Sentences[1].Text,
 	}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	resp, err := srv.Client().Post(srv.URL+"/tag", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() // lint:checked errdrop: test teardown of the response read side
 	if resp.StatusCode != 200 {
 		t.Fatalf("POST /tag: status %d", resp.StatusCode)
 	}
@@ -405,7 +408,7 @@ func TestHTTPHandler(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	health.Body.Close()
+	health.Body.Close() // lint:checked errdrop: test teardown of the response read side
 	if health.StatusCode != 200 {
 		t.Errorf("GET /healthz: status %d", health.StatusCode)
 	}
@@ -417,7 +420,7 @@ func TestHTTPHandler(t *testing.T) {
 	if err := json.NewDecoder(status.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	status.Body.Close()
+	status.Body.Close() // lint:checked errdrop: test teardown of the response read side
 	if st.Served < 2 {
 		t.Errorf("statusz Served = %d, want ≥ 2", st.Served)
 	}
@@ -432,7 +435,7 @@ func TestLineProtocol(t *testing.T) {
 	defer s.Close()
 	client, server := net.Pipe()
 	go s.serveConn(server, s.done)
-	defer client.Close()
+	defer client.Close() // lint:checked errdrop: test teardown of the in-memory pipe
 
 	rd := bufio.NewReader(client)
 	for i := 0; i < 3; i++ {

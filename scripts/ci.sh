@@ -9,6 +9,39 @@ cd "$(dirname "$0")/.."
 echo "==> tier1 (build, lint, test, race)"
 make tier1
 
+echo "==> lint gate (cold vs warm cache)"
+# The lint suite must report zero findings, and the result cache must
+# answer for an unchanged tree: time a cold run (cache wiped) and a warm
+# one, and gate CI on the JSON output being the empty array both times.
+# (`time` is a bash keyword, not a dash builtin, so measure with date.)
+go build -o /tmp/graphnerlint-ci ./cmd/graphnerlint
+elapsed_ms() {
+    end=$(date +%s%N)
+    echo "$(( (end - $1) / 1000000 ))"
+}
+# Exit 1 just means findings — defer to the JSON check below so the
+# failure shows them; exit 2 (internal error) aborts immediately.
+lint_to() {
+    rc=0
+    /tmp/graphnerlint-ci -json ./... > "$1" || rc=$?
+    [ "$rc" -le 1 ] || exit "$rc"
+}
+rm -rf .graphnerlint-cache
+start=$(date +%s%N)
+lint_to /tmp/lint-cold.json
+echo "--- cold (cache wiped): $(elapsed_ms "$start") ms"
+start=$(date +%s%N)
+lint_to /tmp/lint-warm.json
+echo "--- warm (cached):      $(elapsed_ms "$start") ms"
+for f in /tmp/lint-cold.json /tmp/lint-warm.json; do
+    if [ "$(cat "$f")" != "[]" ]; then
+        echo "ci: lint findings in $f:" >&2
+        cat "$f" >&2
+        exit 1
+    fi
+done
+rm -f /tmp/graphnerlint-ci /tmp/lint-cold.json /tmp/lint-warm.json
+
 echo "==> fuzz smoke"
 make fuzz-smoke
 
