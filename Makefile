@@ -5,7 +5,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/propagate ./internal/graph ./internal/crf ./internal/graphner ./internal/features ./internal/serving
 
-.PHONY: all build lint lint-json lint-sarif test race fuzz-smoke bench-smoke bench-shard-smoke bench-serving-smoke debug-test ci tier1
+.PHONY: all build lint lint-json lint-sarif lint-baseline test race fuzz-smoke bench-smoke bench-lint-smoke bench-shard-smoke bench-serving-smoke debug-test ci tier1
 
 all: tier1
 
@@ -15,15 +15,24 @@ build:
 # The repo's own analyzer suite (internal/analysis): the syntactic checks
 # (poolescape, maporder, floatcmp, naninf, ctxloop), the flow-sensitive
 # concurrency checks (lockbalance, sharedwrite, atomicmix,
-# waitgroupbalance), and the interprocedural checks (poollife, lockatcall,
-# determinism, errdrop) — graphnerlint runs everything analysis.All()
-# returns, so new analyzers are picked up here without Makefile changes.
-# Results are cached under .graphnerlint-cache/ keyed on file-content
-# hashes; an unchanged tree re-lints in milliseconds. Exit codes: 0 no
-# findings, 1 findings, 2 internal error.
+# waitgroupbalance), the interprocedural checks (poollife, lockatcall,
+# determinism, errdrop), and the performance-contract checks (noalloc,
+# nonblocking, baddirective — `//graphner:` directives enforced over the
+# call graph) — graphnerlint runs everything analysis.All() returns, so
+# new analyzers are picked up here without Makefile changes. Results are
+# cached under .graphnerlint-cache/ keyed on file-content hashes plus the
+# analyzer sources themselves; an unchanged tree re-lints in milliseconds.
+# Exit codes: 0 no findings, 1 findings, 2 internal error.
 lint: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/graphnerlint ./...
+
+# Ratcheted lint: findings recorded in lint-baseline.json are tolerated,
+# anything new fails. `-update-baseline` rewrites the file but refuses to
+# let any per-symbol count grow — the baseline only shrinks as debt is
+# paid down. The committed baseline is empty; keep it that way.
+lint-baseline: build
+	$(GO) run ./cmd/graphnerlint -baseline lint-baseline.json ./...
 
 # Same suite, machine-readable: a JSON array of
 # {file,line,col,analyzer,message} on stdout for editor/CI integration.
@@ -58,6 +67,12 @@ bench-smoke:
 	$(GO) test -run 'TestIncrementalSmoke|TestKNNIncrementalOneBatchGolden|TestPatchCSRMatchesBuildCSR' -count=1 ./internal/graph
 	$(GO) test -run 'TestSweepAllocGuard|TestWarmSweepAllocGuard' -count=1 ./internal/propagate
 	$(GO) test -run 'TestDecodeAllocGuard|TestPosteriorsAllocGuard' -count=1 ./internal/crf
+
+# Linter self-benchmark: cold and warm whole-module graphnerlint runs
+# (wall time, packages analyzed, findings) written to BENCH_lint.json —
+# a warm-time cliff here means the result cache broke.
+bench-lint-smoke:
+	$(GO) run ./cmd/benchtables -lint
 
 # Sharded-path smoke (<2 s of test time): re-verifies that sharded k-NN
 # construction and SPMD propagation with halo exchange are bit-identical

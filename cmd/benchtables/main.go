@@ -47,6 +47,8 @@ func main() {
 	shardOut := flag.String("shard-out", "BENCH_shard.json", "output path for -shard (\"-\" for stdout)")
 	servingFlag := flag.Bool("serving", false, "benchmark the graphnerd batching server over a frozen artifact (golden identity and warm-allocation checks inline, latency sweep across worker counts) and write a JSON report")
 	servingOut := flag.String("serving-out", "BENCH_serving.json", "output path for -serving (\"-\" for stdout)")
+	lintFlag := flag.Bool("lint", false, "benchmark graphnerlint itself (cold and warm whole-module runs, packages analyzed, findings count) and write a JSON report")
+	lintOut := flag.String("lint-out", "BENCH_lint.json", "output path for -lint (\"-\" for stdout)")
 	seed := flag.Int64("seed", 1, "corpus seed")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Var(&tables, "table", "table number to regenerate (repeatable: 1-5)")
@@ -70,7 +72,7 @@ func main() {
 		figs = intList{2, 3, 4, 5}
 		*statsFlag = true
 	}
-	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly && !*hotpaths && !*incremental && !*shard && !*servingFlag {
+	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly && !*hotpaths && !*incremental && !*shard && !*servingFlag && !*lintFlag {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -103,6 +105,11 @@ func main() {
 	if *servingFlag {
 		if err := runServing(*servingOut, log); err != nil {
 			fail("serving", err)
+		}
+	}
+	if *lintFlag {
+		if err := runLint(*lintOut, log); err != nil {
+			fail("lint", err)
 		}
 	}
 	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly {

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The lint ratchet. A baseline file records the accepted findings as
+// per-{analyzer, package, symbol} counts — deliberately line-number-free
+// so unrelated edits that shift code around do not churn it. A run with
+// -baseline suppresses up to the recorded count per key and fails only
+// on findings beyond it; -update-baseline rewrites the file from the
+// current run but refuses to grow any count, so debt can only be paid
+// down through the ratchet, never added.
+
+// baselineVersion guards the on-disk shape.
+const baselineVersion = 1
+
+// baselineEntry is one accepted-debt record.
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"` // module-root-relative package directory
+	Symbol   string `json:"symbol"`  // enclosing declaration, "" at file scope
+	Count    int    `json:"count"`
+}
+
+// baselineData is the on-disk shape.
+type baselineData struct {
+	Version  int             `json:"version"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+// baselineKey buckets a root-relative finding. The package is the
+// finding's directory, the symbol the enclosing declaration: stable
+// under line churn, split on any real movement between declarations.
+func baselineKey(f finding) string {
+	return f.Analyzer + "\x00" + filepath.ToSlash(filepath.Dir(f.File)) + "\x00" + f.Symbol
+}
+
+// keyString renders a key for human-facing refusal messages.
+func keyString(key string) string {
+	parts := [3]string{}
+	copy(parts[:], splitKey(key))
+	sym := parts[2]
+	if sym == "" {
+		sym = "(file scope)"
+	}
+	return fmt.Sprintf("%s: %s: %s", parts[0], parts[1], sym)
+}
+
+func splitKey(key string) []string {
+	out := make([]string, 0, 3)
+	start := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == '\x00' {
+			out = append(out, key[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, key[start:])
+}
+
+// baselineCounts folds findings into per-key counts.
+func baselineCounts(findings []finding) map[string]int {
+	counts := make(map[string]int)
+	for _, f := range findings {
+		counts[baselineKey(f)]++
+	}
+	return counts
+}
+
+// loadBaseline reads a baseline file into a per-key budget. A missing
+// file is an empty budget (exists=false), not an error: a ratcheted run
+// before the first -update-baseline simply fails on every finding.
+func loadBaseline(path string) (map[string]int, bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]int{}, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	var bd baselineData
+	if err := json.Unmarshal(data, &bd); err != nil {
+		return nil, false, fmt.Errorf("graphnerlint: baseline %s: %w", path, err)
+	}
+	if bd.Version != baselineVersion {
+		return nil, false, fmt.Errorf("graphnerlint: baseline %s: unsupported version %d", path, bd.Version)
+	}
+	budget := make(map[string]int, len(bd.Findings))
+	for _, e := range bd.Findings {
+		budget[e.Analyzer+"\x00"+e.Package+"\x00"+e.Symbol] += e.Count
+	}
+	return budget, true, nil
+}
+
+// applyBaseline suppresses up to budget[key] findings per key, in
+// source order, and returns the remainder — the new debt.
+func applyBaseline(findings []finding, budget map[string]int) ([]finding, int) {
+	used := make(map[string]int)
+	kept := findings[:0:0]
+	suppressed := 0
+	for _, f := range findings {
+		k := baselineKey(f)
+		if used[k] < budget[k] {
+			used[k]++
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed
+}
+
+// writeBaseline stores the counts sorted by key, atomically.
+func writeBaseline(path string, counts map[string]int) error {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bd := baselineData{Version: baselineVersion, Findings: make([]baselineEntry, 0, len(keys))}
+	for _, k := range keys {
+		parts := splitKey(k)
+		bd.Findings = append(bd.Findings, baselineEntry{
+			Analyzer: parts[0], Package: parts[1], Symbol: parts[2], Count: counts[k],
+		})
+	}
+	data, err := json.MarshalIndent(&bd, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// runUpdateBaseline implements -update-baseline: rewrite the file from
+// the current findings, refusing (exit 2) if any per-key count would
+// grow — the ratchet only turns one way. New debt must be fixed or
+// suppressed with a justified lint:checked comment, not baselined away.
+func runUpdateBaseline(stderr io.Writer, path string, findings []finding) int {
+	counts := baselineCounts(findings)
+	old, exists, err := loadBaseline(path)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if exists {
+		var grown []string
+		for k, n := range counts {
+			if n > old[k] {
+				grown = append(grown, fmt.Sprintf("  %s: %d -> %d", keyString(k), old[k], n))
+			}
+		}
+		if len(grown) > 0 {
+			sort.Strings(grown)
+			fmt.Fprintf(stderr, "graphnerlint: refusing to grow the baseline (%d key(s)):\n", len(grown))
+			for _, g := range grown {
+				fmt.Fprintln(stderr, g)
+			}
+			return 2
+		}
+	}
+	if err := writeBaseline(path, counts); err != nil {
+		return fail(stderr, err)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	fmt.Fprintf(stderr, "graphnerlint: baseline %s written: %d finding(s) across %d key(s)\n",
+		filepath.Base(path), total, len(counts))
+	return 0
+}

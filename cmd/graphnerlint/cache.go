@@ -169,10 +169,12 @@ func dedupe(s []string) []string {
 	return out
 }
 
-// cacheSalt keys the analyzers themselves: the transitive hashes of the
-// analysis packages and this command.
-func cacheSalt(hashes map[string]string) string {
-	var parts []string
+// cacheSalt keys everything that can change findings without touching
+// the analyzed packages: the linter's own build fingerprint (the
+// transitive hashes of the analysis packages — directive parsing
+// included — and this command) plus the baseline file's content hash.
+func cacheSalt(hashes map[string]string, baselineHash string) string {
+	parts := []string{"baseline=" + baselineHash}
 	for rel, h := range hashes {
 		slash := filepath.ToSlash(rel)
 		if strings.HasPrefix(slash, "internal/analysis") || slash == "cmd/graphnerlint" {
@@ -181,6 +183,17 @@ func cacheSalt(hashes map[string]string) string {
 	}
 	sort.Strings(parts)
 	sum := sha256.Sum256([]byte(strings.Join(parts, "\n")))
+	return hex.EncodeToString(sum[:])
+}
+
+// hashFileContent hashes one file, "" when it does not exist — used to
+// fold the baseline into the cache salt.
+func hashFileContent(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:])
 }
 

@@ -42,7 +42,7 @@ func TestScanModuleDeterministic(t *testing.T) {
 				t.Fatalf("run %d: hash of %s flapped: %s vs %s", i, rel, h, again[rel])
 			}
 		}
-		if cacheSalt(first) != cacheSalt(again) {
+		if cacheSalt(first, "") != cacheSalt(again, "") {
 			t.Fatalf("run %d: salt flapped", i)
 		}
 	}
@@ -55,5 +55,57 @@ func TestScanModuleDeterministic(t *testing.T) {
 	}
 	if changed["bar"] == first["bar"] {
 		t.Fatal("editing foo did not invalidate bar's transitive hash")
+	}
+}
+
+// TestCacheSaltTracksAnalyzerSources guards against stale-cache bugs
+// where a rebuilt linter replays results recorded by an older analyzer
+// suite: editing any file under internal/analysis or cmd/graphnerlint
+// must change the salt, editing anything else must not, and the
+// baseline content is part of the key.
+func TestCacheSaltTracksAnalyzerSources(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/m\n\ngo 1.22\n")
+	write("internal/analysis/a.go", "package analysis\n\nfunc A() {}\n")
+	write("cmd/graphnerlint/main.go", "package main\n\nfunc main() {}\n")
+	write("internal/other/b.go", "package other\n\nfunc B() {}\n")
+
+	scan := func() map[string]string {
+		h, err := scanModule(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	base := cacheSalt(scan(), "")
+
+	write("internal/analysis/a.go", "package analysis\n\nfunc A() { _ = 1 }\n")
+	if cacheSalt(scan(), "") == base {
+		t.Fatal("editing an analyzer file did not change the cache salt")
+	}
+	afterAnalyzer := cacheSalt(scan(), "")
+
+	write("cmd/graphnerlint/main.go", "package main\n\nfunc main() { _ = 2 }\n")
+	if cacheSalt(scan(), "") == afterAnalyzer {
+		t.Fatal("editing the driver did not change the cache salt")
+	}
+	afterDriver := cacheSalt(scan(), "")
+
+	write("internal/other/b.go", "package other\n\nfunc B() { _ = 3 }\n")
+	if cacheSalt(scan(), "") != afterDriver {
+		t.Fatal("editing a non-analyzer file churned the cache salt")
+	}
+
+	if cacheSalt(scan(), "deadbeef") == afterDriver {
+		t.Fatal("baseline content does not enter the cache salt")
 	}
 }

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	graphnerlint [-list] [-json|-sarif|-diff] [-workers N] [-nocache] [-cpuprofile f] [packages]
+//	graphnerlint [-list] [-json|-sarif|-diff] [-baseline f [-update-baseline]]
+//	             [-workers N] [-nocache] [-cpuprofile f] [packages]
 //
 // With no arguments or "./..." it checks every package in the module.
 // Individual package directories (relative or absolute) narrow the run,
@@ -20,7 +21,8 @@
 // Output modes:
 //
 //	(default)  one "file:line:col: analyzer: message" line per finding
-//	-json      a JSON array of {file,line,col,analyzer,message} objects
+//	-json      a JSON array of {file,line,col,analyzer,message,symbol}
+//	           objects
 //	-sarif     a SARIF 2.1.0 log for CI annotation tooling; every
 //	           analyzer is listed as a rule, findings as "error"-level
 //	           results
@@ -30,11 +32,19 @@
 //	           `patch -p1`, then replace each TODO with a real
 //	           justification or fix the code and drop the comment
 //
+// The lint ratchet: -baseline f suppresses findings recorded in f —
+// counted per {analyzer, package, symbol}, line-number-free — and fails
+// only on findings beyond the recorded counts. -update-baseline
+// rewrites f from the current run but refuses to grow any count, so
+// accepted debt can only shrink. The baseline content and the linter's
+// own sources are both part of the result-cache key.
+//
 // Exit codes (all output modes, -sarif included):
 //
 //	0  no findings
 //	1  at least one finding
-//	2  internal error (load failure, bad arguments)
+//	2  internal error (load failure, bad arguments, refused baseline
+//	   growth)
 package main
 
 import (
@@ -59,32 +69,41 @@ type finding struct {
 	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	Symbol   string `json:"symbol,omitempty"`
 }
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
-	asSARIF := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
-	asDiff := flag.Bool("diff", false, "emit a unified diff adding lint:checked TODO suppressions")
-	workers := flag.Int("workers", 0, "package-level analyzer goroutines (0 = GOMAXPROCS)")
-	noCache := flag.Bool("nocache", false, "ignore and do not update the result cache")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the lint run to this file")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: graphnerlint [-list] [-json|-sarif|-diff] [-workers N] [-nocache] [-cpuprofile file] [packages]\n\n"+
+// run is the whole command, parameterized over argv and the output
+// streams so tests can invoke it in-process and compare bytes.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("graphnerlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	asSARIF := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	asDiff := fs.Bool("diff", false, "emit a unified diff adding lint:checked TODO suppressions")
+	workers := fs.Int("workers", 0, "package-level analyzer goroutines (0 = GOMAXPROCS)")
+	noCache := fs.Bool("nocache", false, "ignore and do not update the result cache")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the lint run to this file")
+	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline file; fail only on new ones")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline file from this run (refuses to grow any count)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr,
+			"usage: graphnerlint [-list] [-json|-sarif|-diff] [-baseline file [-update-baseline]] [-workers N] [-nocache] [-cpuprofile file] [packages]\n\n"+
 				"exit codes: 0 no findings, 1 findings, 2 internal error\n\nAnalyzers:\n")
 		for _, a := range analysis.All() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -95,39 +114,55 @@ func run() int {
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "graphnerlint: -json, -sarif and -diff are mutually exclusive")
+		fmt.Fprintln(stderr, "graphnerlint: -json, -sarif and -diff are mutually exclusive")
+		return 2
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "graphnerlint: -update-baseline requires -baseline")
 		return 2
 	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		defer pprof.StopCPUProfile()
 	}
 
 	root, err := moduleRoot()
 	if err != nil {
-		return fail(err)
+		return fail(stderr, err)
+	}
+
+	// The baseline participates in the cache key (via the salt below):
+	// editing it invalidates cached results, so a ratcheted run can never
+	// be answered from a cache recorded against a different baseline. The
+	// default path is hashed even when -baseline is off, so plain and
+	// ratcheted runs share cache entries.
+	bpath := filepath.Join(root, "lint-baseline.json")
+	if *baselinePath != "" {
+		if bpath, err = filepath.Abs(*baselinePath); err != nil {
+			return fail(stderr, err)
+		}
 	}
 
 	// "./..." (or nothing) means the whole module; otherwise the named
 	// directories. The analysis is module-wide either way, so selection
 	// only filters which packages' diagnostics are kept.
 	var only map[string]bool
-	for _, arg := range flag.Args() {
+	for _, arg := range fs.Args() {
 		if arg == "./..." || arg == "..." || arg == "all" {
 			only = nil
 			break
 		}
 		abs, err := filepath.Abs(strings.TrimSuffix(arg, "/..."))
 		if err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		if only == nil {
 			only = make(map[string]bool)
@@ -137,21 +172,23 @@ func run() int {
 
 	// The cache answers when every package directory's transitive hash is
 	// fresh; otherwise run the full module-wide analysis and store the
-	// results. Findings are module-root-relative throughout.
+	// results. The cache stores RAW findings — the baseline filter is
+	// applied after, so cached and fresh runs ratchet identically.
+	// Findings are module-root-relative throughout.
 	var findings []finding
 	var hashes map[string]string
 	var salt string
 	cached := false
 	if !*noCache {
 		if hashes, err = scanModule(root); err == nil {
-			salt = cacheSalt(hashes)
+			salt = cacheSalt(hashes, hashFileContent(bpath))
 			findings, cached = loadCache(root, hashes, salt)
 		}
 	}
 	if !cached {
 		pkgs, err := analysis.Load(root, nil)
 		if err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		n := *workers
 		if n < 1 {
@@ -159,7 +196,7 @@ func run() int {
 		}
 		diags, err := analysis.RunN(pkgs, analysis.All(), n)
 		if err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		for _, d := range diags {
 			file := d.Pos.Filename
@@ -172,12 +209,30 @@ func run() int {
 				Col:      d.Pos.Column,
 				Analyzer: d.Analyzer,
 				Message:  d.Message,
+				Symbol:   d.Symbol,
 			})
 		}
 		if !*noCache && hashes != nil {
 			if err := saveCache(root, hashes, salt, findings); err != nil {
-				fmt.Fprintln(os.Stderr, "graphnerlint: cache write:", err)
+				fmt.Fprintln(stderr, "graphnerlint: cache write:", err)
 			}
+		}
+	}
+
+	// Baseline modes operate on the full root-relative finding set,
+	// before any package selection narrows it.
+	if *updateBaseline {
+		return runUpdateBaseline(stderr, bpath, findings)
+	}
+	if *baselinePath != "" {
+		budget, _, err := loadBaseline(bpath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		var suppressed int
+		findings, suppressed = applyBaseline(findings, budget)
+		if suppressed > 0 {
+			fmt.Fprintf(stderr, "graphnerlint: %d baselined finding(s) suppressed\n", suppressed)
 		}
 	}
 
@@ -203,29 +258,29 @@ func run() int {
 
 	switch {
 	case *asJSON:
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
 			findings = []finding{}
 		}
 		if err := enc.Encode(findings); err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 	case *asSARIF:
-		if err := writeSARIF(os.Stdout, findings); err != nil {
-			return fail(err)
+		if err := writeSARIF(stdout, findings); err != nil {
+			return fail(stderr, err)
 		}
 	case *asDiff:
-		if err := writeDiff(os.Stdout, findings); err != nil {
-			return fail(err)
+		if err := writeDiff(stdout, findings); err != nil {
+			return fail(stderr, err)
 		}
 	default:
 		for _, f := range findings {
-			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "graphnerlint: %d finding(s)\n", len(findings))
+		fmt.Fprintf(stderr, "graphnerlint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
@@ -308,7 +363,7 @@ func moduleRoot() (string, error) {
 	}
 }
 
-func fail(err error) int {
-	fmt.Fprintln(os.Stderr, err)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, err)
 	return 2
 }

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tempModule writes a small module with known findings spread over
+// several packages, chdirs into it for the test's duration, and returns
+// its root. The findings mix plain analyzers (floatcmp) with contract
+// violations (noalloc) so baseline keys cover symbols too.
+func tempModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/lintme\n\ngo 1.22\n")
+	write("a/a.go", `package a
+
+func Eq(x, y float64) bool {
+	return x+1 == y
+}
+`)
+	write("b/b.go", `package b
+
+//graphner:noalloc
+func Grow(dst []int, v int) []int {
+	return append(dst, v)
+}
+
+func Close(x, y float64) bool {
+	return x*2 == y
+}
+`)
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+	return root
+}
+
+// TestOutputDeterministicAcrossWorkers: -json and -sarif must be
+// byte-identical whatever the worker count — CI diffs and the ratchet
+// both depend on stable output.
+func TestOutputDeterministicAcrossWorkers(t *testing.T) {
+	tempModule(t)
+	for _, mode := range []string{"-json", "-sarif"} {
+		var ref bytes.Buffer
+		if rc := run([]string{mode, "-nocache", "-workers", "1"}, &ref, io.Discard); rc != 1 {
+			t.Fatalf("%s -workers 1: exit %d, want 1 (module has findings)", mode, rc)
+		}
+		for _, n := range []string{"2", "8"} {
+			var out bytes.Buffer
+			if rc := run([]string{mode, "-nocache", "-workers", n}, &out, io.Discard); rc != 1 {
+				t.Fatalf("%s -workers %s: exit %d, want 1", mode, n, rc)
+			}
+			if !bytes.Equal(ref.Bytes(), out.Bytes()) {
+				t.Errorf("%s output differs between -workers 1 and -workers %s:\n%s\n---\n%s",
+					mode, n, ref.String(), out.String())
+			}
+		}
+	}
+}
+
+// lintJSON runs the linter with -json plus extra args and decodes the
+// findings.
+func lintJSON(t *testing.T, extra ...string) (int, []finding) {
+	t.Helper()
+	var out bytes.Buffer
+	rc := run(append([]string{"-json", "-nocache"}, extra...), &out, io.Discard)
+	var fs []finding
+	if err := json.Unmarshal(out.Bytes(), &fs); err != nil {
+		t.Fatalf("bad -json output (%v): %s", err, out.String())
+	}
+	return rc, fs
+}
+
+// TestBaselineRoundTrip walks the ratchet's whole contract: record,
+// re-lint clean, fail on exactly the one new finding, refuse to grow.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := tempModule(t)
+	bl := filepath.Join(root, "lint-baseline.json")
+
+	// -update-baseline requires -baseline.
+	if rc := run([]string{"-nocache", "-update-baseline"}, io.Discard, io.Discard); rc != 2 {
+		t.Fatalf("-update-baseline without -baseline: exit %d, want 2", rc)
+	}
+
+	// Sanity: the module has findings before any baseline.
+	rc, raw := lintJSON(t)
+	if rc != 1 || len(raw) == 0 {
+		t.Fatalf("pre-baseline lint: exit %d with %d findings, want failures", rc, len(raw))
+	}
+
+	// Bootstrap: a missing baseline file is recorded, not an error.
+	if rc := run([]string{"-nocache", "-baseline", bl, "-update-baseline"}, io.Discard, io.Discard); rc != 0 {
+		t.Fatalf("bootstrap -update-baseline: exit %d, want 0", rc)
+	}
+	if _, err := os.Stat(bl); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+
+	// Re-lint against the fresh baseline: everything suppressed.
+	rc, fs := lintJSON(t, "-baseline", bl)
+	if rc != 0 || len(fs) != 0 {
+		t.Fatalf("baselined lint: exit %d with %d findings, want clean", rc, len(fs))
+	}
+
+	// A new violation in a new file fails, naming only itself.
+	src := `package b
+
+func Near(x, y float64) bool {
+	return x/2 == y
+}
+`
+	if err := os.WriteFile(filepath.Join(root, "b", "new.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rc, fs = lintJSON(t, "-baseline", bl)
+	if rc != 1 || len(fs) != 1 {
+		t.Fatalf("lint with new violation: exit %d with %d findings, want exactly the new one: %+v", rc, len(fs), fs)
+	}
+	if filepath.Base(fs[0].File) != "new.go" || fs[0].Symbol != "Near" {
+		t.Fatalf("surviving finding should be the new one, got %+v", fs[0])
+	}
+
+	// The ratchet refuses to absorb the growth.
+	var stderr bytes.Buffer
+	if rc := run([]string{"-nocache", "-baseline", bl, "-update-baseline"}, io.Discard, &stderr); rc != 2 {
+		t.Fatalf("-update-baseline on grown count: exit %d, want 2 (refused)", rc)
+	}
+	if !strings.Contains(stderr.String(), "refusing to grow") {
+		t.Fatalf("refusal should say so: %s", stderr.String())
+	}
+
+	// Fixing the violation lets the ratchet tighten.
+	if err := os.Remove(filepath.Join(root, "b", "new.go")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "a", "a.go"), []byte("package a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if rc := run([]string{"-nocache", "-baseline", bl, "-update-baseline"}, io.Discard, io.Discard); rc != 0 {
+		t.Fatalf("-update-baseline after fixes: exit %d, want 0", rc)
+	}
+	budget, exists, err := loadBaseline(bl)
+	if err != nil || !exists {
+		t.Fatalf("reloading tightened baseline: %v", err)
+	}
+	for k, n := range budget {
+		if strings.Contains(k, "\x00a\x00") && n != 0 {
+			t.Fatalf("fixed package a still carries debt: %s=%d", k, n)
+		}
+	}
+}

@@ -91,6 +91,11 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Symbol names the top-level declaration enclosing the finding
+	// (Type.Method for methods), or "" outside any declaration. The
+	// driver's baseline keys on {analyzer, package, symbol} — no line
+	// numbers — so recorded findings survive unrelated edits.
+	Symbol string
 }
 
 func (d Diagnostic) String() string {
@@ -106,7 +111,64 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 			return
 		}
 	}
-	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Symbol:   symbolAt(p.Files, pos),
+	})
+}
+
+// symbolAt names the top-level declaration enclosing pos (doc comments
+// included), or "" when pos lies between declarations.
+func symbolAt(files []*ast.File, pos token.Pos) string {
+	for _, f := range files {
+		if pos < f.FileStart || pos >= f.FileEnd {
+			continue
+		}
+		for _, d := range f.Decls {
+			start := d.Pos()
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Doc != nil {
+					start = d.Doc.Pos()
+				}
+				if pos < start || pos >= d.End() {
+					continue
+				}
+				name := d.Name.Name
+				if d.Recv != nil && len(d.Recv.List) > 0 {
+					if t := recvTypeName(d.Recv.List[0].Type); t != "" {
+						name = t + "." + name
+					}
+				}
+				return name
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					start = d.Doc.Pos()
+				}
+				if pos < start || pos >= d.End() {
+					continue
+				}
+				for _, sp := range d.Specs {
+					if pos < sp.Pos() || pos >= sp.End() {
+						continue
+					}
+					switch sp := sp.(type) {
+					case *ast.ValueSpec:
+						if len(sp.Names) > 0 {
+							return sp.Names[0].Name
+						}
+					case *ast.TypeSpec:
+						return sp.Name.Name
+					}
+				}
+				return ""
+			}
+		}
+		return ""
+	}
+	return ""
 }
 
 // buildSuppressions scans the comments of every file for lint:checked
@@ -243,12 +305,14 @@ func sortDiagnostics(diags []Diagnostic) {
 }
 
 // All returns the full analyzer suite in stable order: the syntactic
-// checks first, then the flow-sensitive concurrency suite.
+// checks first, then the flow-sensitive concurrency suite, the
+// interprocedural checks, and the performance-contract checkers.
 func All() []*Analyzer {
 	return []*Analyzer{
 		PoolEscape, MapOrder, FloatCmp, NanInf, CtxLoop,
 		LockBalance, SharedWrite, AtomicMix, WaitGroupBalance,
 		PoolLife, LockAtCall, Determinism, ErrDrop,
+		NoAlloc, NonBlocking, BadDirective,
 	}
 }
 

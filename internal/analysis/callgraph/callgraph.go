@@ -92,6 +92,11 @@ type Node struct {
 	// Unresolved counts call sites whose callee could not be resolved
 	// (interface calls, untracked function values, calls of parameters).
 	Unresolved int
+	// UnresolvedSites holds the positions of those call sites, in source
+	// order, for analyses that must report blind spots rather than stay
+	// silent on them (the contract checkers treat an unresolved call as a
+	// violation, the opposite polarity from the rest of the suite).
+	UnresolvedSites []token.Pos
 }
 
 // Body returns the node's function body.
@@ -414,11 +419,13 @@ func (g *Graph) addEdge(caller *Node, call *ast.CallExpr, fv *funcValues, kind K
 		}
 	}
 	caller.Unresolved++
+	caller.UnresolvedSites = append(caller.UnresolvedSites, call.Pos())
 }
 
 func (g *Graph) link(caller, callee *Node, site *ast.CallExpr, kind Kind) {
 	if callee == nil {
 		caller.Unresolved++
+		caller.UnresolvedSites = append(caller.UnresolvedSites, site.Pos())
 		return
 	}
 	e := &Edge{Caller: caller, Callee: callee, Site: site, Kind: kind}

@@ -1,0 +1,282 @@
+package analysis
+
+// Performance contracts: a function declaration whose doc comment
+// carries the directive `graphner:noalloc` (written as a comment line,
+// no space after the slashes) must not allocate, and one carrying
+// `graphner:nonblocking` must not block — transitively, through every
+// call the call graph resolves. The noalloc and nonblocking analyzers
+// enforce the contracts against the MayAlloc/MayBlock summary domains
+// (internal/analysis/summary/contracts.go) and render a witness chain
+// from the annotated function down to the offending site; baddirective
+// rejects malformed, misplaced, duplicated, or uncheckable directives
+// instead of ignoring them.
+//
+// Polarity: these analyzers report what they cannot verify. An
+// unresolved call (interface method, untracked function value) or an
+// unmodeled extra-module callee inside an annotated function's resolved
+// closure is a finding, not a blind spot — the opposite default from
+// the rest of the suite. A resolved callee that carries the same
+// directive is trusted and not descended into: it is checked (and its
+// own justified suppressions honored) where it is declared.
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/summary"
+)
+
+const (
+	directiveMarker      = "//graphner:"
+	directiveNoalloc     = "noalloc"
+	directiveNonblocking = "nonblocking"
+)
+
+var validDirectives = map[string]bool{
+	directiveNoalloc:     true,
+	directiveNonblocking: true,
+}
+
+// directive is one graphner: comment found in a file.
+type directive struct {
+	comment *ast.Comment
+	name    string        // first whitespace-delimited token after the colon
+	decl    *ast.FuncDecl // declaration whose doc carries it; nil when floating
+}
+
+// fileDirectives collects every graphner: directive in f, attached to
+// its function declaration when the comment is part of one's doc
+// group. Text after the first whitespace is free commentary, matching
+// the go: directive convention.
+func fileDirectives(f *ast.File) []directive {
+	docOf := make(map[*ast.Comment]*ast.FuncDecl)
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+			for _, c := range fd.Doc.List {
+				docOf[c] = fd
+			}
+		}
+	}
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directiveMarker)
+			if !ok {
+				continue
+			}
+			name := rest
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				name = rest[:i]
+			}
+			out = append(out, directive{comment: c, name: name, decl: docOf[c]})
+		}
+	}
+	return out
+}
+
+// nodeHasDirective reports whether the node's declaration carries the
+// named directive — the trust rule: annotated callees are verified at
+// their own declaration, not re-litigated in every caller.
+func nodeHasDirective(n *callgraph.Node, dir string) bool {
+	if n == nil || n.Decl == nil || n.Decl.Doc == nil {
+		return false
+	}
+	for _, c := range n.Decl.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, directiveMarker)
+		if !ok {
+			continue
+		}
+		name := rest
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			name = rest[:i]
+		}
+		if name == dir {
+			return true
+		}
+	}
+	return false
+}
+
+// NoAlloc enforces graphner:noalloc contracts.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "a function marked graphner:noalloc must not allocate, transitively through resolved calls",
+	Run:  func(pass *Pass) error { return runContract(pass, directiveNoalloc) },
+}
+
+// NonBlocking enforces graphner:nonblocking contracts.
+var NonBlocking = &Analyzer{
+	Name: "nonblocking",
+	Doc:  "a function marked graphner:nonblocking must not block, transitively through resolved calls",
+	Run:  func(pass *Pass) error { return runContract(pass, directiveNonblocking) },
+}
+
+func runContract(pass *Pass, dir string) error {
+	if pass.CallGraph == nil || pass.Summaries == nil {
+		return nil // reduced harness: contracts need the interprocedural layer
+	}
+	checked := make(map[*ast.FuncDecl]bool)
+	for _, f := range pass.Files {
+		for _, d := range fileDirectives(f) {
+			if d.name != dir || d.decl == nil || d.decl.Body == nil || checked[d.decl] {
+				continue // malformed/misplaced directives are baddirective's
+			}
+			checked[d.decl] = true
+			if node := pass.CallGraph.ByBody(d.decl.Body); node != nil {
+				checkContract(pass, node, dir)
+			}
+		}
+	}
+	return nil
+}
+
+// checkContract reports every effect site of the annotated function:
+// direct sites verbatim, transitive sites with the witness chain down
+// to the first concrete site. Reports anchor at the site inside the
+// annotated body (the entry of the chain), so a justification
+// suppresses exactly one entry point.
+func checkContract(pass *Pass, root *callgraph.Node, dir string) {
+	verb := "allocate"
+	if dir == directiveNonblocking {
+		verb = "block"
+	}
+	for _, site := range contractSites(pass.Summaries.Of(root), dir) {
+		if site.Callee == nil {
+			pass.Report(site.Pos, "%s is marked graphner:%s but %s", contractName(root), dir, site.What)
+			continue
+		}
+		if nodeHasDirective(site.Callee, dir) {
+			continue // trusted: the callee's own contract check covers it
+		}
+		chain, leaf, ok := witness(pass.Summaries, root, site, dir)
+		if !ok {
+			continue // every concrete site lies behind separately-checked functions
+		}
+		p := pass.Fset.Position(leaf.Pos)
+		pass.Report(site.Pos, "%s is marked graphner:%s but may %s: %s → %s (%s:%d)",
+			contractName(root), dir, verb, strings.Join(chain, " → "), leaf.What, filepath.Base(p.Filename), p.Line)
+	}
+}
+
+func contractSites(s *summary.Summary, dir string) []summary.EffectSite {
+	if dir == directiveNonblocking {
+		return s.BlockSites
+	}
+	return s.AllocSites
+}
+
+// witness descends from a transitive site's callee to the first
+// concrete effect site, skipping callees that carry the directive
+// themselves and backtracking out of cycles. The chain starts at the
+// annotated root; ok is false when every concrete site is behind a
+// trusted (annotated) function, in which case there is nothing to
+// report here.
+func witness(sums *summary.Set, root *callgraph.Node, start summary.EffectSite, dir string) ([]string, summary.EffectSite, bool) {
+	chain := []string{contractName(root)}
+	visited := make(map[*callgraph.Node]bool)
+	var dfs func(n *callgraph.Node) (summary.EffectSite, bool)
+	dfs = func(n *callgraph.Node) (summary.EffectSite, bool) {
+		if visited[n] {
+			return summary.EffectSite{}, false
+		}
+		visited[n] = true
+		chain = append(chain, contractName(n))
+		sites := contractSites(sums.Of(n), dir)
+		for _, s := range sites {
+			if s.Callee == nil {
+				return s, true
+			}
+		}
+		for _, s := range sites {
+			if !nodeHasDirective(s.Callee, dir) {
+				if leaf, ok := dfs(s.Callee); ok {
+					return leaf, true
+				}
+			}
+		}
+		chain = chain[:len(chain)-1]
+		return summary.EffectSite{}, false
+	}
+	leaf, ok := dfs(start.Callee)
+	return chain, leaf, ok
+}
+
+// contractName renders a node for witness chains: Type.Method for
+// methods, the bare name for functions, lit@file:line for literals.
+func contractName(n *callgraph.Node) string {
+	if n.Decl == nil {
+		return n.Name()
+	}
+	name := n.Decl.Name.Name
+	if n.Decl.Recv != nil && len(n.Decl.Recv.List) > 0 {
+		if t := recvTypeName(n.Decl.Recv.List[0].Type); t != "" {
+			name = t + "." + name
+		}
+	}
+	return name
+}
+
+// recvTypeName extracts the receiver's base type name.
+func recvTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(e.X)
+	}
+	return ""
+}
+
+// BadDirective rejects directives the contract checkers would
+// otherwise silently ignore.
+var BadDirective = &Analyzer{
+	Name: "baddirective",
+	Doc:  "graphner: directives must be well-formed, on a function declaration with a body, and not duplicated",
+	Run:  runBadDirective,
+}
+
+// nearMissRe matches comments that look like a directive with a space
+// after the slashes — "// graphner:noalloc" is a plain comment to the
+// parser but almost certainly a typo of a directive.
+var nearMissRe = regexp.MustCompile(`^//[ \t]+graphner:`)
+
+func runBadDirective(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if nearMissRe.MatchString(c.Text) {
+					pass.Report(c.Pos(), "graphner: directive with a space after the slashes is ignored; write the comment as one word")
+				}
+			}
+		}
+		seen := make(map[*ast.FuncDecl]map[string]bool)
+		for _, d := range fileDirectives(f) {
+			switch {
+			case d.decl == nil:
+				pass.Report(d.comment.Pos(), "graphner:%s must be the doc comment of a function declaration", d.name)
+			case !validDirectives[d.name]:
+				pass.Report(d.decl.Name.Pos(), "unknown graphner: directive %q (valid: noalloc, nonblocking)", d.name)
+			case d.decl.Body == nil:
+				pass.Report(d.decl.Name.Pos(), "graphner:%s on a declaration without a body cannot be checked", d.name)
+			default:
+				m := seen[d.decl]
+				if m == nil {
+					m = make(map[string]bool)
+					seen[d.decl] = m
+				}
+				if m[d.name] {
+					pass.Report(d.decl.Name.Pos(), "duplicate graphner:%s directive", d.name)
+				}
+				m[d.name] = true
+			}
+		}
+	}
+	return nil
+}

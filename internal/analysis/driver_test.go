@@ -97,6 +97,10 @@ func TestLockAtCall(t *testing.T)  { runOnTestdata(t, LockAtCall) }
 func TestDeterminism(t *testing.T) { runOnTestdata(t, Determinism) }
 func TestErrDrop(t *testing.T)     { runOnTestdata(t, ErrDrop) }
 
+func TestNoAlloc(t *testing.T)      { runOnTestdata(t, NoAlloc) }
+func TestNonBlocking(t *testing.T)  { runOnTestdata(t, NonBlocking) }
+func TestBadDirective(t *testing.T) { runOnTestdata(t, BadDirective) }
+
 func TestLockBalance(t *testing.T)      { runOnTestdata(t, LockBalance) }
 func TestSharedWrite(t *testing.T)      { runOnTestdata(t, SharedWrite) }
 func TestAtomicMix(t *testing.T)        { runOnTestdata(t, AtomicMix) }

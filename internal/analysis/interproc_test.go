@@ -87,3 +87,77 @@ func TestErrDropOldSuiteBlind(t *testing.T) {
 		t.Errorf("pre-interprocedural suite should be blind here: %s", d)
 	}
 }
+
+// pr8Suite is the full analyzer set as it stood before the contract
+// checkers: everything in All() except noalloc, nonblocking and
+// baddirective. Unlike oldSuite it runs WITH the call graph and
+// summaries, so silence on a corpus file proves a blind spot of the
+// entire pre-contract suite, not just the intraprocedural one.
+func pr8Suite() []*Analyzer {
+	var out []*Analyzer
+	for _, a := range All() {
+		switch a.Name {
+		case "noalloc", "nonblocking", "baddirective":
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// pr8SuiteFindings runs the pre-contract suite, summaries and all, over
+// a corpus package and returns the diagnostics landing in the named
+// file.
+func pr8SuiteFindings(t *testing.T, corpus, file string) []Diagnostic {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", corpus)
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	facts := NewFacts()
+	facts.AddPackage(pkg)
+	graph, sums := BuildInterprocedural([]*Package{pkg})
+	var out []Diagnostic
+	for _, a := range pr8Suite() {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			Info:      pkg.Info,
+			Facts:     facts,
+			CallGraph: graph,
+			Summaries: sums,
+			suppress:  buildSuppressions(pkg.Fset, pkg.Files),
+			report: func(d Diagnostic) {
+				if filepath.Base(d.Pos.Filename) == file {
+					out = append(out, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s.Run: %v", a.Name, err)
+		}
+	}
+	return out
+}
+
+// TestNoAllocOldSuiteBlind: no earlier analyzer has any notion of
+// allocation, so the deepEntry → mid → grow chain in the noalloc
+// interproc corpus is invisible to the whole pre-contract suite.
+func TestNoAllocOldSuiteBlind(t *testing.T) {
+	for _, d := range pr8SuiteFindings(t, "noalloc", "interproc.go") {
+		t.Errorf("pre-contract suite should be blind here: %s", d)
+	}
+}
+
+// TestNonBlockingOldSuiteBlind: every body in the nonblocking interproc
+// corpus is individually lock-balanced and deadlock-free, so the
+// blocking acquire under store.deepRead is invisible to the whole
+// pre-contract suite — lockbalance and lockatcall both pass it.
+func TestNonBlockingOldSuiteBlind(t *testing.T) {
+	for _, d := range pr8SuiteFindings(t, "nonblocking", "interproc.go") {
+		t.Errorf("pre-contract suite should be blind here: %s", d)
+	}
+}

@@ -1,0 +1,448 @@
+package summary
+
+// The MayAlloc / MayBlock effect domains behind the performance
+// contracts (//graphner:noalloc and //graphner:nonblocking, see the
+// noalloc and nonblocking analyzers). Each function body contributes
+// direct effect sites — allocation: make/new, growing append, map and
+// slice literals, string concatenation and conversions, interface
+// boxing at call/assignment/return sites, closure creation, variadic
+// packing, fmt-family calls, goroutine spawns; blocking: channel
+// operations outside a select with default, selects without default,
+// mutex Lock/RLock, WaitGroup.Wait, time.Sleep, io/net calls — and one
+// transitive site per resolved call whose callee carries the effect, so
+// the analyzers can render the full witness chain from an annotated
+// function down to the offending expression.
+//
+// Polarity note: unlike every other summary domain, these are upper
+// bounds. A call that cannot be resolved (interface method, untracked
+// function value) or a named extra-module callee with no model below is
+// recorded as an effect site — the contract checkers report what they
+// cannot verify instead of staying silent. sync.Pool.Get/Put are
+// exempt from MayAlloc by design: pooled scratch is exactly how the
+// kernels stay allocation-free, and pool misuse has its own analyzers
+// (poolescape, poollife). Goroutine spawns count toward MayAlloc (the
+// runtime allocates the goroutine, and testing.AllocsPerRun counts its
+// allocations too) but not MayBlock (the spawned body runs
+// asynchronously); an entire `go f(...)` subtree is treated as
+// asynchronous for blocking, like the lock walk. panic arguments and
+// deferred-call records are not counted (crash paths and open-coded
+// defers).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/callgraph"
+)
+
+// EffectSite is one reason a function carries an effect (allocation or
+// blocking): a direct site in its own body (Callee nil, What says why),
+// or a call site whose resolved callee carries the effect (Callee set;
+// the detail lives in the callee's own sites).
+type EffectSite struct {
+	Pos    token.Pos
+	What   string
+	Callee *callgraph.Node
+}
+
+// Extra-module callees the alloc domain trusts not to allocate. The
+// sync.Pool methods are the contract system's principled exemption.
+var allocSafePkgs = map[string]bool{"math": true, "math/bits": true, "sync/atomic": true}
+
+var allocSafeFuncs = map[string]bool{
+	"(*sync.Mutex).Lock": true, "(*sync.Mutex).Unlock": true, "(*sync.Mutex).TryLock": true,
+	"(*sync.RWMutex).Lock": true, "(*sync.RWMutex).Unlock": true,
+	"(*sync.RWMutex).RLock": true, "(*sync.RWMutex).RUnlock": true,
+	"(*sync.RWMutex).TryLock": true, "(*sync.RWMutex).TryRLock": true,
+	"(*sync.WaitGroup).Add": true, "(*sync.WaitGroup).Done": true, "(*sync.WaitGroup).Wait": true,
+	"(*sync.Pool).Get": true, "(*sync.Pool).Put": true,
+	"(*sync.Once).Do":    true,
+	"runtime.GOMAXPROCS": true, "runtime.NumCPU": true,
+}
+
+// Extra-module callees the block domain trusts not to block.
+var blockSafePkgs = map[string]bool{"math": true, "math/bits": true, "sync/atomic": true}
+
+var blockSafeFuncs = map[string]bool{
+	"(*sync.Mutex).Unlock": true, "(*sync.Mutex).TryLock": true,
+	"(*sync.RWMutex).Unlock": true, "(*sync.RWMutex).RUnlock": true,
+	"(*sync.RWMutex).TryLock": true, "(*sync.RWMutex).TryRLock": true,
+	"(*sync.WaitGroup).Add": true, "(*sync.WaitGroup).Done": true,
+	"(*sync.Pool).Get": true, "(*sync.Pool).Put": true,
+	"runtime.GOMAXPROCS": true, "runtime.NumCPU": true,
+}
+
+// Extra-module callees known to block, with the message to report.
+var blockingFuncs = map[string]string{
+	"(*sync.Mutex).Lock":     "(*sync.Mutex).Lock may block",
+	"(*sync.RWMutex).Lock":   "(*sync.RWMutex).Lock may block",
+	"(*sync.RWMutex).RLock":  "(*sync.RWMutex).RLock may block",
+	"(*sync.WaitGroup).Wait": "(*sync.WaitGroup).Wait may block",
+	"(*sync.Cond).Wait":      "(*sync.Cond).Wait blocks",
+	"(*sync.Once).Do":        "(*sync.Once).Do may block waiting for the first call",
+	"time.Sleep":             "time.Sleep blocks",
+}
+
+// Packages whose calls the block domain treats as I/O.
+var blockingPkgs = map[string]bool{"io": true, "net": true, "net/http": true, "os": true, "bufio": true}
+
+// computeContracts fills sum.AllocSites and sum.BlockSites: direct
+// sites in source order, then the unresolved call sites, then one
+// transitive site per resolved outgoing call whose callee's list is
+// non-empty (Go edges excluded from blocking). Lists only ever grow
+// during the fixpoint, and each is bounded by the body's syntax plus
+// its out-degree, so the iteration terminates.
+func (s *Set) computeContracts(n *callgraph.Node, sum *Summary) {
+	info := n.Unit.Info
+	body := n.Body()
+
+	alloc := func(pos token.Pos, what string) {
+		sum.AllocSites = append(sum.AllocSites, EffectSite{Pos: pos, What: what})
+	}
+	block := func(pos token.Pos, what string) {
+		sum.BlockSites = append(sum.BlockSites, EffectSite{Pos: pos, What: what})
+	}
+
+	// A send/receive that is the communication clause of a select does
+	// not block by itself — the select does, and only without a default.
+	selectComm := make(map[ast.Node]bool)
+	ast.Inspect(body, func(m ast.Node) bool {
+		sel, ok := m.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			selectComm[cc.Comm] = true
+			switch st := cc.Comm.(type) {
+			case *ast.AssignStmt:
+				for _, r := range st.Rhs {
+					selectComm[ast.Unparen(r)] = true
+				}
+			case *ast.ExprStmt:
+				selectComm[ast.Unparen(st.X)] = true
+			}
+		}
+		return true
+	})
+
+	sig := ownSignature(n)
+	var walk func(root ast.Node, inGo bool)
+	walk = func(root ast.Node, inGo bool) {
+		ast.Inspect(root, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if ast.Node(m.Body) == root {
+					return true // walking the literal's own body (deferred literal)
+				}
+				alloc(m.Pos(), "creating a func literal (closure) allocates")
+				return false // its own node; effects flow through edges
+			case *ast.GoStmt:
+				alloc(m.Pos(), "the go statement allocates a goroutine")
+				walk(m.Call, true)
+				return false
+			case *ast.DeferStmt:
+				// Deferred calls run within this activation before return;
+				// both domains count them at their site.
+				walk(m.Call, inGo)
+				return false
+			case *ast.CallExpr:
+				s.classifyCall(n, m, inGo, alloc, block)
+			case *ast.CompositeLit:
+				switch info.TypeOf(m).Underlying().(type) {
+				case *types.Map:
+					alloc(m.Pos(), "a map literal allocates")
+				case *types.Slice:
+					alloc(m.Pos(), "a slice literal allocates")
+				}
+			case *ast.UnaryExpr:
+				switch m.Op {
+				case token.AND:
+					if _, ok := ast.Unparen(m.X).(*ast.CompositeLit); ok {
+						alloc(m.Pos(), "taking the address of a composite literal allocates")
+					}
+				case token.ARROW:
+					if !inGo && !selectComm[m] {
+						block(m.Pos(), "a channel receive may block")
+					}
+				}
+			case *ast.BinaryExpr:
+				if m.Op == token.ADD {
+					if tv, ok := info.Types[m]; ok && tv.Value == nil && isStringType(tv.Type) {
+						alloc(m.Pos(), "string concatenation allocates")
+					}
+				}
+			case *ast.AssignStmt:
+				if m.Tok == token.ADD_ASSIGN && isStringType(info.TypeOf(m.Lhs[0])) {
+					alloc(m.Pos(), "string concatenation allocates")
+				}
+				if (m.Tok == token.ASSIGN || m.Tok == token.DEFINE) && len(m.Lhs) == len(m.Rhs) {
+					for i := range m.Lhs {
+						if boxes(info, m.Rhs[i], info.TypeOf(m.Lhs[i])) {
+							alloc(m.Rhs[i].Pos(), "assigning a non-pointer value to an interface boxes (allocates)")
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range m.Names {
+					if i < len(m.Values) && boxes(info, m.Values[i], info.TypeOf(name)) {
+						alloc(m.Values[i].Pos(), "assigning a non-pointer value to an interface boxes (allocates)")
+					}
+				}
+			case *ast.ReturnStmt:
+				if sig != nil && len(m.Results) == sig.Results().Len() {
+					for i, r := range m.Results {
+						if boxes(info, r, sig.Results().At(i).Type()) {
+							alloc(r.Pos(), "returning a non-pointer value as an interface boxes (allocates)")
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if !inGo && !selectComm[m] {
+					block(m.Pos(), "a channel send may block")
+				}
+			case *ast.RangeStmt:
+				if _, ok := info.TypeOf(m.X).Underlying().(*types.Chan); ok && !inGo {
+					block(m.Pos(), "ranging over a channel may block")
+				}
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, c := range m.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault && !inGo {
+					block(m.Pos(), "select without a default case may block")
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	// Unresolved calls: the checkers report what they cannot verify.
+	for _, pos := range n.UnresolvedSites {
+		const what = "calls an unresolved callee (interface method, untracked function value) that cannot be verified"
+		alloc(pos, what)
+		block(pos, what)
+	}
+
+	// Transitive sites: one per resolved call whose callee carries the
+	// effect. Goroutine bodies still allocate on this process's heap, so
+	// Go edges count for MayAlloc, but they never block the caller.
+	for _, e := range n.Out {
+		cs := s.byNode[e.Callee]
+		if len(cs.AllocSites) > 0 {
+			sum.AllocSites = append(sum.AllocSites, EffectSite{Pos: e.Site.Pos(), Callee: e.Callee})
+		}
+		if e.Kind != callgraph.Go && len(cs.BlockSites) > 0 {
+			sum.BlockSites = append(sum.BlockSites, EffectSite{Pos: e.Site.Pos(), Callee: e.Callee})
+		}
+	}
+}
+
+// classifyCall records the direct effects of one call expression:
+// allocating builtins and conversions, extra-module callees by the
+// tables above, interface boxing of arguments, and variadic packing.
+func (s *Set) classifyCall(n *callgraph.Node, call *ast.CallExpr, inGo bool, alloc, block func(token.Pos, string)) {
+	info := n.Unit.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if what, bad := convAlloc(info, call); bad {
+			alloc(call.Pos(), what)
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				alloc(call.Pos(), "make allocates")
+			case "new":
+				alloc(call.Pos(), "new allocates")
+			case "append":
+				alloc(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	}
+
+	flagged := false
+	if fn := s.graph.CalleeFuncAt(call); fn != nil && s.graph.NodeOf(fn) == nil {
+		allocWhat, blockWhat := s.classifyExtern(fn)
+		if allocWhat != "" {
+			alloc(call.Pos(), allocWhat)
+			flagged = true
+		}
+		if blockWhat != "" && !inGo {
+			block(call.Pos(), blockWhat)
+		}
+	}
+
+	// Boxing and variadic packing at the call boundary. A call already
+	// flagged above (fmt.Errorf and friends) is one site, not three.
+	if flagged {
+		return
+	}
+	sig, _ := typeOfFun(info, call).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis != token.NoPos {
+				pt = sig.Params().At(np - 1).Type()
+			} else {
+				pt = sig.Params().At(np - 1).Type().Underlying().(*types.Slice).Elem()
+			}
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		}
+		if boxes(info, arg, pt) {
+			alloc(arg.Pos(), "passing a non-pointer value as an interface argument boxes (allocates)")
+		}
+	}
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= np {
+		alloc(call.Pos(), "a variadic call packs its arguments into a new slice")
+	}
+}
+
+// classifyExtern classifies a named callee with no node in the graph:
+// stdlib by the tables, module-internal bodyless declarations and
+// interface methods as unverifiable. Empty strings mean "safe" for the
+// respective domain.
+func (s *Set) classifyExtern(fn *types.Func) (allocWhat, blockWhat string) {
+	full := fn.FullName()
+	var pkgPath string
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	if pkgPath == "" || s.modulePaths[pkgPath] {
+		w := "calls " + full + ", which has no body the checker can analyze"
+		return w, w
+	}
+	switch {
+	case allocSafePkgs[pkgPath] || allocSafeFuncs[full]:
+	case pkgPath == "fmt":
+		allocWhat = full + " allocates"
+	default:
+		allocWhat = "calls " + full + " (extra-module, not modeled), assumed to allocate"
+	}
+	switch {
+	case blockSafePkgs[pkgPath] || blockSafeFuncs[full]:
+	case blockingFuncs[full] != "":
+		blockWhat = blockingFuncs[full]
+	case blockingPkgs[pkgPath]:
+		blockWhat = "calls into " + pkgPath + " (" + full + "), which may block"
+	case pkgPath == "fmt":
+		if name := fn.Name(); strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+			strings.HasPrefix(name, "Scan") || strings.HasPrefix(name, "Fscan") {
+			blockWhat = full + " performs I/O and may block"
+		}
+	default:
+		blockWhat = "calls " + full + " (extra-module, not modeled), assumed to block"
+	}
+	return allocWhat, blockWhat
+}
+
+// convAlloc reports whether a type conversion copies to the heap:
+// string <-> []byte/[]rune, and integer -> string. Constant operands
+// fold at compile time and are free.
+func convAlloc(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	if tv, ok := info.Types[call.Args[0]]; ok && tv.Value != nil {
+		return "", false
+	}
+	to := info.TypeOf(call.Fun)
+	from := info.TypeOf(call.Args[0])
+	if to == nil || from == nil {
+		return "", false
+	}
+	tb, _ := to.Underlying().(*types.Basic)
+	fb, _ := from.Underlying().(*types.Basic)
+	isStr := func(b *types.Basic) bool { return b != nil && b.Info()&types.IsString != 0 }
+	byteOrRune := func(t types.Type) bool {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		eb, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (eb.Kind() == types.Uint8 || eb.Kind() == types.Int32)
+	}
+	switch {
+	case isStr(tb) && byteOrRune(from):
+		return "converting a byte/rune slice to a string copies (allocates)", true
+	case byteOrRune(to) && isStr(fb):
+		return "converting a string to a byte/rune slice copies (allocates)", true
+	case isStr(tb) && fb != nil && fb.Info()&types.IsInteger != 0:
+		return "converting an integer to a string allocates", true
+	}
+	return "", false
+}
+
+// boxes reports whether assigning/passing e to a value of type `to`
+// stores a non-pointer value in an interface, which heap-allocates the
+// data word. Constants box to static data; pointer-shaped values (
+// pointers, channels, maps, funcs, unsafe.Pointer) fit the word.
+func boxes(info *types.Info, e ast.Expr, to types.Type) bool {
+	if to == nil {
+		return false
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil || tv.IsNil() {
+		return false
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+// ownSignature returns the node's own signature (for return-site boxing).
+func ownSignature(n *callgraph.Node) *types.Signature {
+	if n.Func != nil {
+		sig, _ := n.Func.Type().(*types.Signature)
+		return sig
+	}
+	if tv, ok := n.Unit.Info.Types[n.Lit]; ok {
+		sig, _ := tv.Type.Underlying().(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+// typeOfFun resolves the callee expression's type to its underlying
+// signature-bearing type.
+func typeOfFun(info *types.Info, call *ast.CallExpr) types.Type {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -102,6 +102,14 @@ type Summary struct {
 	// TaintedResults maps result indices to the nondeterminism of their
 	// values.
 	TaintedResults map[int]ResultTaint
+	// AllocSites lists why the function may allocate and BlockSites why
+	// it may block: direct sites in source order, then unresolved calls,
+	// then one transitive entry per resolved call whose callee carries
+	// the effect (Go edges excluded from BlockSites). Unlike the other
+	// domains these are upper bounds — unverifiable calls are included,
+	// not dropped (see contracts.go).
+	AllocSites []EffectSite
+	BlockSites []EffectSite
 }
 
 func (s *Summary) equal(o *Summary) bool {
@@ -109,13 +117,16 @@ func (s *Summary) equal(o *Summary) bool {
 		slices.Equal(s.NetHeld, o.NetHeld) &&
 		maps.Equal(s.PutsParams, o.PutsParams) &&
 		s.ReturnsPooled == o.ReturnsPooled &&
-		maps.Equal(s.TaintedResults, o.TaintedResults)
+		maps.Equal(s.TaintedResults, o.TaintedResults) &&
+		slices.Equal(s.AllocSites, o.AllocSites) &&
+		slices.Equal(s.BlockSites, o.BlockSites)
 }
 
 // Set holds the fixpoint summaries of one call graph.
 type Set struct {
-	graph  *callgraph.Graph
-	byNode map[*callgraph.Node]*Summary
+	graph       *callgraph.Graph
+	byNode      map[*callgraph.Node]*Summary
+	modulePaths map[string]bool // package paths with bodies in the graph
 }
 
 // Graph returns the call graph the summaries were computed over.
@@ -135,9 +146,14 @@ func (s *Set) OfFunc(fn *types.Func) *Summary {
 
 // Compute runs the interprocedural fixpoint and returns the summaries.
 func Compute(g *callgraph.Graph) *Set {
-	s := &Set{graph: g, byNode: make(map[*callgraph.Node]*Summary, len(g.Nodes()))}
+	s := &Set{
+		graph:       g,
+		byNode:      make(map[*callgraph.Node]*Summary, len(g.Nodes())),
+		modulePaths: make(map[string]bool),
+	}
 	for _, n := range g.Nodes() {
 		s.byNode[n] = &Summary{}
+		s.modulePaths[n.Unit.Path] = true
 	}
 	dataflow.Fixpoint(g.Nodes(), func(n *callgraph.Node) bool {
 		fresh := s.compute(n)
@@ -168,5 +184,6 @@ func (s *Set) compute(n *callgraph.Node) *Summary {
 	s.computeLocks(n, own, sum)
 	s.computePool(n, own, sum)
 	s.computeTaint(n, sum)
+	s.computeContracts(n, sum)
 	return sum
 }

@@ -141,3 +141,45 @@ func TestTaintSummaries(t *testing.T) {
 		t.Errorf("gather result taint = %+v, want GoOrder", gather.TaintedResults)
 	}
 }
+
+func TestContractSummaries(t *testing.T) {
+	pkg, s := computeCorpus(t)
+
+	// A direct mutex acquire is one block site with no callee.
+	lock := of(t, pkg, s, "server).lock")
+	if len(lock.BlockSites) != 1 || lock.BlockSites[0].Callee != nil ||
+		!strings.Contains(lock.BlockSites[0].What, "RWMutex).Lock") {
+		t.Errorf("lock BlockSites = %+v, want one direct RWMutex.Lock site", lock.BlockSites)
+	}
+	if len(lock.AllocSites) != 0 {
+		t.Errorf("lock AllocSites = %+v, want none (Lock is alloc-safe)", lock.AllocSites)
+	}
+
+	// A transitive acquire through lock() carries the callee for the
+	// witness chain; the deferred Unlock is block-safe.
+	via := of(t, pkg, s, "server).viaHelper")
+	if len(via.BlockSites) != 1 || via.BlockSites[0].Callee == nil {
+		t.Errorf("viaHelper BlockSites = %+v, want one transitive entry with Callee set", via.BlockSites)
+	}
+
+	// A lock taken only inside a spawned goroutine does not block the
+	// caller, but the go statement and its closure do allocate.
+	spawned := of(t, pkg, s, "server).spawned")
+	if len(spawned.BlockSites) != 0 {
+		t.Errorf("spawned BlockSites = %+v, want none (goroutine body is asynchronous)", spawned.BlockSites)
+	}
+	if len(spawned.AllocSites) != 2 {
+		t.Errorf("spawned AllocSites = %+v, want closure + go statement", spawned.AllocSites)
+	}
+
+	// sync.Pool.Get is the principled exemption: recycling is how code
+	// avoids allocating, so it must not count as an allocation.
+	acquire := of(t, pkg, s, "summaryt.acquire")
+	if len(acquire.AllocSites) != 0 || len(acquire.BlockSites) != 0 {
+		t.Errorf("acquire sites = %+v / %+v, want none (Pool.Get is exempt)",
+			acquire.AllocSites, acquire.BlockSites)
+	}
+	if acquireVia := of(t, pkg, s, "summaryt.acquireVia"); len(acquireVia.AllocSites) != 0 {
+		t.Errorf("acquireVia AllocSites = %+v, want none (clean callee contributes nothing)", acquireVia.AllocSites)
+	}
+}

@@ -1,0 +1,37 @@
+// Corpus for the directive validator: misspelled, empty, duplicated,
+// misplaced, space-mangled and uncheckable directives must each get a
+// distinct diagnostic instead of being silently ignored.
+package baddirective
+
+//graphner:noaloc
+func typo() {} // want "unknown graphner: directive"
+
+//graphner:
+func empty() {} // want "unknown graphner: directive"
+
+//graphner:noalloc
+//graphner:noalloc
+func doubled() {} // want "duplicate graphner:noalloc directive"
+
+//graphner:noalloc
+func external() // want "without a body cannot be checked"
+
+//graphner:nonblocking misplaced on a type declaration // want "must be the doc comment of a function declaration"
+type widget struct{}
+
+// graphner:noalloc mangled by a space // want "space after the slashes"
+func spaced() {}
+
+// ok: valid directives — methods, generics, trailing commentary, and
+// both directives on one declaration — produce no findings.
+type gadget struct{}
+
+//graphner:noalloc
+func (g gadget) ok() {}
+
+//graphner:nonblocking trailing commentary after the name is allowed
+func okGeneric[T any](v T) T { return v }
+
+//graphner:noalloc
+//graphner:nonblocking
+func okBoth() {}

@@ -1,0 +1,21 @@
+// Transitive contract violations: the allocation sits two resolved
+// calls below the annotated entry point, so the finding must carry the
+// full witness chain. The pre-contract suite has no notion of
+// allocation and stays provably silent on this file
+// (TestNoAllocOldSuiteBlind).
+package noalloc
+
+// grow is the concrete allocation, two frames below the contract.
+func grow(dst []float64, v float64) []float64 {
+	return append(dst, v)
+}
+
+// mid forwards: it carries MayAlloc only transitively.
+func mid(dst []float64, v float64) []float64 {
+	return grow(dst, v)
+}
+
+//graphner:noalloc
+func deepEntry(dst []float64, v float64) []float64 {
+	return mid(dst, v) // want "deepEntry → mid → grow → append"
+}

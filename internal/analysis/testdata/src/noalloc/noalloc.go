@@ -1,0 +1,143 @@
+// Corpus for the noalloc contract checker: every direct allocation
+// class, the sync.Pool exemption, directives on methods and generic
+// functions, the trusted-callee rule, and an annotated false positive.
+package noalloc
+
+import (
+	"fmt"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+//graphner:noalloc
+func makes(n int) {
+	buf := make([]float64, n) // want "make allocates"
+	_ = buf
+	p := new(int) // want "new allocates"
+	_ = p
+}
+
+//graphner:noalloc
+func appends(dst []int, v int) []int {
+	return append(dst, v) // want "append may grow its backing array"
+}
+
+//graphner:noalloc
+func literals() {
+	m := map[int]int{} // want "a map literal allocates"
+	_ = m
+	s := []int{1, 2} // want "a slice literal allocates"
+	_ = s
+}
+
+//graphner:noalloc
+func strcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//graphner:noalloc
+func conv(b []byte) string {
+	return string(b) // want "converting a byte/rune slice to a string"
+}
+
+//graphner:noalloc
+func boxing(v float64) any {
+	return v // want "boxes"
+}
+
+//graphner:noalloc
+func closures(x int) func() int {
+	return func() int { return x } // want "func literal"
+}
+
+func sum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+//graphner:noalloc
+func packs() int {
+	return sum(1, 2, 3) // want "variadic call packs"
+}
+
+//graphner:noalloc
+func fmts(err error) error {
+	return fmt.Errorf("wrap: %v", err) // want "fmt.Errorf allocates"
+}
+
+//graphner:noalloc
+func spawns(done chan struct{}) {
+	go func() { // want "allocates"
+		<-done
+	}()
+}
+
+func sink(v any) { _ = v }
+
+//graphner:noalloc
+func boxArg(x int) {
+	sink(x) // want "interface argument boxes"
+}
+
+//graphner:noalloc
+func viaFunc(f func() int) int {
+	return f() // want "unresolved callee"
+}
+
+// pooled is clean: sync.Pool.Get/Put are the principled exemption —
+// pooled scratch is how the kernels stay allocation-free, and pool
+// misuse has its own analyzers.
+//
+//graphner:noalloc
+func pooled() *[]byte {
+	buf := pool.Get().(*[]byte)
+	pool.Put(buf)
+	return buf
+}
+
+type counter struct{ n int }
+
+// Directives attach to methods like any other declaration.
+//
+//graphner:noalloc
+func (c *counter) bump() {
+	c.n++
+	_ = make([]int, 1) // want "make allocates"
+}
+
+// And to generic functions.
+//
+//graphner:noalloc
+func pair[T any](a T) []T {
+	return []T{a} // want "a slice literal allocates"
+}
+
+// trusted is annotated and justifies its own allocation where it
+// happens; callers trust the directive instead of re-reporting it.
+//
+//graphner:noalloc
+func trusted() []int {
+	return make([]int, 4) // lint:checked noalloc: corpus case — setup allocation justified here, not in callers
+}
+
+//graphner:noalloc
+func callsTrusted() []int {
+	return trusted()
+}
+
+// False positive, annotated: the append cannot grow — cap(dst) >=
+// len(src) is the caller's contract — but the checker cannot prove
+// capacity bounds.
+//
+//graphner:noalloc
+func fill(dst, src []int) []int {
+	out := dst[:0]
+	for _, v := range src {
+		out = append(out, v) // lint:checked noalloc: cap(dst) >= len(src) is the caller's contract; this append never grows
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+// Transitive contract violations: each body below is individually
+// lock-balanced, so the pre-contract suite is provably silent on this
+// file (TestNonBlockingOldSuiteBlind); the blocking acquire is visible
+// only through the call chain.
+package nonblocking
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+// lockedGet is lock-balanced but may block on the mutex.
+func (s *store) lockedGet(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[k]
+}
+
+// relay forwards: it carries MayBlock only transitively.
+func (s *store) relay(k string) int {
+	return s.lockedGet(k)
+}
+
+//graphner:nonblocking
+func (s *store) deepRead(k string) int {
+	return s.relay(k) // want "store.deepRead → store.relay → store.lockedGet"
+}

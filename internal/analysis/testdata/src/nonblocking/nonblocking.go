@@ -1,0 +1,90 @@
+// Corpus for the nonblocking contract checker: channel operations,
+// selects with and without default, blocking stdlib calls, goroutine
+// exclusion, and an annotated false positive.
+package nonblocking
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+//graphner:nonblocking
+func sends(ch chan int) {
+	ch <- 1 // want "a channel send may block"
+}
+
+//graphner:nonblocking
+func recvs(ch chan int) int {
+	return <-ch // want "a channel receive may block"
+}
+
+// tryRecv is clean: every channel operation is a clause of a select
+// with a default case.
+//
+//graphner:nonblocking
+func tryRecv(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+//graphner:nonblocking
+func waits(ch chan int) int {
+	select { // want "select without a default case may block"
+	case v := <-ch:
+		return v
+	}
+}
+
+//graphner:nonblocking
+func locks(mu *sync.Mutex) {
+	mu.Lock() // want "may block"
+	mu.Unlock()
+}
+
+//graphner:nonblocking
+func joins(wg *sync.WaitGroup) {
+	wg.Wait() // want "WaitGroup"
+}
+
+//graphner:nonblocking
+func sleeps() {
+	time.Sleep(time.Millisecond) // want "time.Sleep blocks"
+}
+
+//graphner:nonblocking
+func reads(r io.Reader, buf []byte) (int, error) {
+	return io.ReadFull(r, buf) // want "io.ReadFull"
+}
+
+//graphner:nonblocking
+func viaFunc(f func()) {
+	f() // want "unresolved callee"
+}
+
+func push(ch chan int) { ch <- 1 }
+
+// spawns is clean: the spawned send runs asynchronously and does not
+// block the caller.
+//
+//graphner:nonblocking
+func spawns(ch chan int) {
+	go push(ch)
+}
+
+// False positive, annotated: ch has capacity len(items) by
+// construction, so the sends cannot block — but the checker does not
+// track channel capacity.
+//
+//graphner:nonblocking
+func fanOut(items []int) chan int {
+	ch := make(chan int, len(items))
+	for _, v := range items {
+		ch <- v // lint:checked nonblocking: ch is buffered with capacity len(items); these sends never block
+	}
+	return ch
+}

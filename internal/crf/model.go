@@ -145,15 +145,18 @@ type latticeScratch struct {
 var latticePool = sync.Pool{New: func() any { return new(latticeScratch) }}
 
 // acquireScratch returns a scratch resized for n positions × S states.
+//
+//graphner:noalloc warm calls recycle pooled backing; growth is justified below
+//graphner:nonblocking
 func acquireScratch(n, S int) *latticeScratch {
 	sc := latticePool.Get().(*latticeScratch)
 	need := 3*n*S + 2*S
 	if cap(sc.flat) < need {
-		sc.flat = make([]float64, need)
+		sc.flat = make([]float64, need) // lint:checked noalloc: capacity-guarded growth on first sight of a longer sentence; TestPosteriorsAllocGuard pins warm calls at zero
 	}
 	sc.flat = sc.flat[:need]
 	if cap(sc.rows) < 3*n {
-		sc.rows = make([][]float64, 3*n)
+		sc.rows = make([][]float64, 3*n) // lint:checked noalloc: same capacity-guarded growth as flat above
 	}
 	sc.rows = sc.rows[:3*n]
 	return sc
@@ -179,16 +182,19 @@ func (sc *latticeScratch) bufs(n, S int) ([]float64, []float64) {
 }
 
 // intMat returns a zeroed n×S int32 matrix (Viterbi backpointers).
+//
+//graphner:noalloc warm calls reuse the pooled backing; growth is justified below
+//graphner:nonblocking
 func (sc *latticeScratch) intMat(n, S int) [][]int32 {
 	need := n * S
 	if cap(sc.ints) < need {
-		sc.ints = make([]int32, need)
+		sc.ints = make([]int32, need) // lint:checked noalloc: capacity-guarded growth, amortized across pooled reuse; TestDecodeAllocGuard pins warm decodes at zero
 	} else {
 		sc.ints = sc.ints[:need]
 		clear(sc.ints)
 	}
 	if cap(sc.irows) < n {
-		sc.irows = make([][]int32, n)
+		sc.irows = make([][]int32, n) // lint:checked noalloc: same capacity-guarded growth as ints above
 	}
 	rows := sc.irows[:n]
 	for i := range rows {

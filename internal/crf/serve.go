@@ -33,11 +33,14 @@ func logPotential(p float64) float64 {
 // (position i's distribution occupies out[i*corpus.NumTags:(i+1)*corpus.NumTags]),
 // which must hold at least Len()*corpus.NumTags entries. The DP lattices
 // come from the pool, so a warm call allocates nothing.
+//
+//graphner:noalloc checked by the contract linter; TestPosteriorsAllocGuard measures it
+//graphner:nonblocking
 func (m *Model) PosteriorsInto(in *Instance, out []float64) error {
 	const Y = corpus.NumTags
 	n := in.Len()
 	if len(out) < n*Y {
-		return fmt.Errorf("crf: posteriors buffer holds %d entries, need %d", len(out), n*Y)
+		return fmt.Errorf("crf: posteriors buffer holds %d entries, need %d", len(out), n*Y) // lint:checked noalloc: cold validation failure path, never taken on a well-sized warm call
 	}
 	if n == 0 {
 		return nil
@@ -107,16 +110,19 @@ func NewPotentialDecoder(trans [][]float64, bio bool, power float64) (*Potential
 // writes the optimal tags into tags[:n]. It produces exactly the sequence
 // DecodeWithPotentialsT would for the same potentials, transitions, bio
 // flag, and power. A warm call allocates nothing.
+//
+//graphner:noalloc checked by the contract linter; TestDecodeAllocGuard measures it
+//graphner:nonblocking
 func (d *PotentialDecoder) DecodeFlat(potentials []float64, n int, tags []corpus.Tag) error {
 	const S = corpus.NumTags
 	if n == 0 {
 		return nil
 	}
 	if len(potentials) < n*S {
-		return fmt.Errorf("crf: potentials hold %d entries, need %d", len(potentials), n*S)
+		return fmt.Errorf("crf: potentials hold %d entries, need %d", len(potentials), n*S) // lint:checked noalloc: cold validation failure path
 	}
 	if len(tags) < n {
-		return fmt.Errorf("crf: tag buffer holds %d entries, need %d", len(tags), n)
+		return fmt.Errorf("crf: tag buffer holds %d entries, need %d", len(tags), n) // lint:checked noalloc: cold validation failure path
 	}
 	sc := acquireScratch(n, S)
 	delta := sc.mat(0, n, S)

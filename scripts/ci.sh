@@ -20,10 +20,12 @@ elapsed_ms() {
     echo "$(( (end - $1) / 1000000 ))"
 }
 # Exit 1 just means findings — defer to the JSON check below so the
-# failure shows them; exit 2 (internal error) aborts immediately.
+# failure shows them; exit 2 (internal error) aborts immediately. Runs
+# go through the lint ratchet (-baseline): the committed baseline is
+# empty, so this is also the proof that the tree carries no waived debt.
 lint_to() {
     rc=0
-    /tmp/graphnerlint-ci -json ./... > "$1" || rc=$?
+    /tmp/graphnerlint-ci -json -baseline lint-baseline.json ./... > "$1" || rc=$?
     [ "$rc" -le 1 ] || exit "$rc"
 }
 rm -rf .graphnerlint-cache
@@ -40,6 +42,14 @@ for f in /tmp/lint-cold.json /tmp/lint-warm.json; do
         exit 1
     fi
 done
+# The ratchet must be at zero: -update-baseline on a clean tree rewrites
+# the baseline as empty, so a non-empty committed file means someone
+# waived findings instead of fixing them.
+if [ "$(cat lint-baseline.json)" != "$(printf '{\n  "version": 1,\n  "findings": []\n}')" ]; then
+    echo "ci: lint-baseline.json is not empty — pay down the waived findings" >&2
+    cat lint-baseline.json >&2
+    exit 1
+fi
 rm -f /tmp/graphnerlint-ci /tmp/lint-cold.json /tmp/lint-warm.json
 
 echo "==> fuzz smoke"
