@@ -5,7 +5,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/propagate ./internal/graph ./internal/crf ./internal/graphner ./internal/features ./internal/serving
 
-.PHONY: all build lint lint-json lint-sarif lint-baseline test race fuzz-smoke bench-smoke bench-lint-smoke bench-shard-smoke bench-serving-smoke debug-test ci tier1
+.PHONY: all build lint lint-json lint-sarif lint-baseline test race fuzz-smoke bench-smoke bench-lint-smoke bench-shard-smoke bench-lsh-smoke bench-serving-smoke debug-test ci tier1
 
 all: tier1
 
@@ -82,6 +82,14 @@ bench-lint-smoke:
 bench-shard-smoke:
 	$(GO) test -run 'TestShardedBuildMatchesBuild$$|TestShardGraphRoundTrip' -count=1 ./internal/graph
 	$(GO) test -run 'TestRunShardedFlatMatchesRunFlat|TestRunShardedMatchesRun|TestShardedSweepAllocGuard' -count=1 ./internal/propagate
+
+# LSH smoke (<2 s of test time): the recall floor gate for the banded-LSH
+# builder across feature modes and K (recall@K >= 0.9 against the exact
+# graph on a small corpus), the worker-count bit-identity check, and the
+# zero-allocation guard on the steady-state candidate scan
+# (testing.AllocsPerRun bound compiled into the test).
+bench-lsh-smoke:
+	$(GO) test -run 'TestLSHRecallRegression|TestLSHDeterministicAcrossWorkers|TestLSHCandidateAllocGuard' -count=1 ./internal/graph
 
 # Serving smoke (<2 s of test time): in-process requests through the real
 # batching server — the golden identity check (served tags == System.Test

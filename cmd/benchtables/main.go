@@ -43,6 +43,8 @@ func main() {
 	hotpathsOut := flag.String("hotpaths-out", "BENCH_hotpaths.json", "output path for -hotpaths (\"-\" for stdout)")
 	incremental := flag.Bool("incremental", false, "benchmark incremental graph maintenance vs full rebuild (batch 10/50/250 on a 1000-sentence base) and write a JSON report")
 	incrementalOut := flag.String("incremental-out", "BENCH_incremental.json", "output path for -incremental (\"-\" for stdout)")
+	lsh := flag.Bool("lsh", false, "benchmark banded-LSH graph construction vs the exact builder across corpus sizes (recall and worker bit-identity verified inline, end-to-end F1 accuracy gate) and write a JSON report")
+	lshOut := flag.String("lsh-out", "BENCH_lsh.json", "output path for -lsh (\"-\" for stdout)")
 	shard := flag.Bool("shard", false, "benchmark sharded graph construction and SPMD propagation across shard x worker counts (bit-identity verified inline) and write a JSON report")
 	shardOut := flag.String("shard-out", "BENCH_shard.json", "output path for -shard (\"-\" for stdout)")
 	servingFlag := flag.Bool("serving", false, "benchmark the graphnerd batching server over a frozen artifact (golden identity and warm-allocation checks inline, latency sweep across worker counts) and write a JSON report")
@@ -72,7 +74,7 @@ func main() {
 		figs = intList{2, 3, 4, 5}
 		*statsFlag = true
 	}
-	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly && !*hotpaths && !*incremental && !*shard && !*servingFlag && !*lintFlag {
+	if len(tables) == 0 && len(figs) == 0 && !*statsFlag && !*statsOnly && !*hotpaths && !*incremental && !*shard && !*lsh && !*servingFlag && !*lintFlag {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -100,6 +102,11 @@ func main() {
 	if *shard {
 		if err := runShard(*shardOut, log); err != nil {
 			fail("shard", err)
+		}
+	}
+	if *lsh {
+		if err := runLSH(*lshOut, log); err != nil {
+			fail("lsh", err)
 		}
 	}
 	if *servingFlag {

@@ -99,14 +99,15 @@ type BuilderConfig struct {
 	// graph an Updater seeded on the base corpus converges to after
 	// streaming in the remainder.
 	Stats *Stats
-	// UseLSH switches the nearest-neighbour search from the exact
-	// inverted-index algorithm to random-hyperplane locality-sensitive
-	// hashing with exact re-ranking — the remedy for the construction
+	// GraphMode selects the nearest-neighbour search algorithm:
+	// ModeExact (the default) runs the exact inverted-index merge;
+	// ModeLSH runs banded random-hyperplane locality-sensitive hashing
+	// with exact cosine re-ranking — the remedy for the construction
 	// scalability the paper's conclusion flags as an open problem.
-	// Recall is high but not perfect; see Recall and the graph package
-	// tests.
-	UseLSH bool
-	// LSH tunes the approximate search when UseLSH is set.
+	// Recall is high but not perfect; see Recall, BENCH_lsh.json, and
+	// the graph package tests.
+	GraphMode GraphMode
+	// LSH tunes the approximate search when GraphMode is ModeLSH.
 	LSH LSHConfig
 }
 

@@ -106,8 +106,8 @@ func NewUpdater(base *corpus.Corpus, cfg BuilderConfig) (*Updater, error) {
 	if len(base.Sentences) == 0 {
 		return nil, fmt.Errorf("graph: empty base corpus")
 	}
-	if cfg.UseLSH {
-		return nil, fmt.Errorf("graph: incremental maintenance requires the exact search (UseLSH unsupported)")
+	if cfg.GraphMode == ModeLSH {
+		return nil, fmt.Errorf("graph: incremental maintenance requires the exact search (GraphMode lsh unsupported)")
 	}
 	if cfg.K <= 0 {
 		cfg.K = 10

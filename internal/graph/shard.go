@@ -294,11 +294,23 @@ func buildWithShards(corp *corpus.Corpus, cfg BuilderConfig) (*Graph, *ShardMap,
 		}
 	}
 
+	if cfg.GraphMode == ModeLSH {
+		// Fill and validate the LSH knobs before the expensive counting
+		// pass: a bad Bits value must fail loudly, not truncate silently.
+		if cfg.LSH.Workers <= 0 {
+			cfg.LSH.Workers = cfg.Workers
+		}
+		cfg.LSH.defaults()
+		if err := cfg.LSH.validate(); err != nil {
+			return nil, nil, err
+		}
+	}
+
 	vecs, verts, _, _, _ := vertexVectors(corp, cfg)
 	sm := NewShardMap(verts, cfg.Shards)
 	var neighbors [][]Edge
 	switch {
-	case cfg.UseLSH:
+	case cfg.GraphMode == ModeLSH:
 		// The LSH candidate generator has its own banding layout; the
 		// shard partition still applies to the resulting graph.
 		neighbors = knnLSH(vecs, cfg, cfg.LSH)

@@ -45,7 +45,9 @@ type Artifact struct {
 // 8-byte aligned: magic, version+reserved, payload length, checksum.
 const (
 	artifactMagic   = "GNERARTF"
-	artifactVersion = 1
+	// Version history: 1 — initial layout; 2 — graph-mode and LSH
+	// configuration appended to the config section.
+	artifactVersion = 2
 )
 
 // artifactHeaderSize is the fixed byte length of the header:
@@ -330,6 +332,18 @@ func (a *Artifact) encodePayload(w io.Writer) error {
 	b.i64(int64(cfg.MaxDF))
 	b.i64(int64(cfg.Shards))
 	b.i64(int64(cfg.LossEvery))
+	b.i64(int64(cfg.GraphMode))
+	b.i64(int64(cfg.LSH.Bits))
+	b.i64(int64(cfg.LSH.Tables))
+	b.i64(int64(cfg.LSH.MaxBucket))
+	b.i64(int64(cfg.LSH.Rerank))
+	b.i64(int64(cfg.LSH.Refine))
+	b.i64(cfg.LSH.Seed)
+	if cfg.LSH.MultiProbe {
+		b.u8(1)
+	} else {
+		b.u8(0)
+	}
 	// Model.
 	m := a.model
 	b.i64(int64(m.Order))
@@ -517,6 +531,14 @@ func (a *Artifact) decodePayload(payload []byte) error {
 	cfg.MaxDF = int(b.i64())
 	cfg.Shards = int(b.i64())
 	cfg.LossEvery = int(b.i64())
+	cfg.GraphMode = graph.GraphMode(b.i64())
+	cfg.LSH.Bits = int(b.i64())
+	cfg.LSH.Tables = int(b.i64())
+	cfg.LSH.MaxBucket = int(b.i64())
+	cfg.LSH.Rerank = int(b.i64())
+	cfg.LSH.Refine = int(b.i64())
+	cfg.LSH.Seed = b.i64()
+	cfg.LSH.MultiProbe = b.u8() == 1
 	a.cfg = cfg
 	// Model.
 	m := &crf.Model{}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/corpus/synth"
+	"repro/internal/graph"
 	"repro/internal/tokenize"
 )
 
@@ -107,6 +108,34 @@ func TestArtifactRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(out.Tags, out2.Tags) {
 		t.Error("reconstructed system labels the frozen corpus differently")
+	}
+}
+
+// TestArtifactLSHConfigRoundTrip pins the version-2 config section: a
+// frozen system carrying an LSH graph mode keeps every LSH knob through
+// WriteTo/ReadArtifact.
+func TestArtifactLSHConfigRoundTrip(t *testing.T) {
+	sys, test, out := frozenSystem(t)
+	cp := *sys
+	cp.cfg.GraphMode = graph.ModeLSH
+	cp.cfg.LSH = graph.LSHConfig{Bits: 7, Tables: 13, MaxBucket: 800, Rerank: 50, Refine: 2, MultiProbe: true, Seed: 77}
+	art, err := cp.Freeze(test, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := art.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config().GraphMode != graph.ModeLSH {
+		t.Errorf("GraphMode = %v after artifact round trip, want lsh", got.Config().GraphMode)
+	}
+	if want := cp.cfg.LSH; got.Config().LSH != want {
+		t.Errorf("LSH config after artifact round trip:\n got %+v\nwant %+v", got.Config().LSH, want)
 	}
 }
 

@@ -71,6 +71,16 @@ type Config struct {
 	// keeps the single-shard pipeline; results are bit-identical for
 	// every value.
 	Shards int
+	// GraphMode selects the k-NN algorithm graph construction runs:
+	// graph.ModeExact (the default) or graph.ModeLSH, the banded
+	// locality-sensitive builder with exact re-ranking and
+	// neighbour-of-neighbour refinement (see graph.LSHConfig and
+	// BENCH_lsh.json for the speed/recall trade).
+	GraphMode graph.GraphMode
+	// LSH tunes the approximate builder when GraphMode is graph.ModeLSH;
+	// the zero value means the recommended defaults. LSH.Workers is
+	// machine-local and follows Workers.
+	LSH graph.LSHConfig
 	// LossEvery forwards propagate.Config.LossEvery: how often the
 	// diagnostic Equation-1 objective is evaluated during propagation.
 	// The loss never influences the labels — it costs a full edge pass,
@@ -340,6 +350,8 @@ func (s *System) builderConfig(union *corpus.Corpus, ins []*crf.Instance) graph.
 		MaxDF:       s.cfg.MaxDF,
 		Workers:     s.cfg.Workers,
 		Shards:      s.cfg.Shards,
+		GraphMode:   s.cfg.GraphMode,
+		LSH:         s.cfg.LSH,
 	}
 	if s.cfg.Mode == graph.MIFeatures {
 		tags := make([][]corpus.Tag, len(union.Sentences))

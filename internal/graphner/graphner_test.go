@@ -349,3 +349,54 @@ func TestFigure1Walkthrough(t *testing.T) {
 		}
 	}
 }
+
+// TestLSHModeEndToEnd runs the full TRAIN+TEST procedure with the
+// approximate graph builder and checks the pipeline stays healthy: the
+// graph mode survives into construction, every test sentence gets a tag
+// sequence, and accuracy stays in the same band as the exact mode on the
+// same split. The LSH knobs here are turned up (more tables, deeper
+// rerank and refinement) so the approximate graph recovers nearly all
+// exact edges and the F1 gate is stable at this corpus size; the
+// accuracy of the *default* setting is gated at proper scale by
+// `benchtables -lsh` (BENCH_lsh.json), where test-set noise is small.
+func TestLSHModeEndToEnd(t *testing.T) {
+	cfg := synth.DefaultConfig(synth.AML, 13)
+	cfg.Sentences = 200
+	train, test := synth.GenerateSplit(cfg)
+	gcfg := fastConfig()
+	gcfg.CRFIterations = 20
+	sys, err := Train(train, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := sys.Test(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsys := *sys
+	lsys.cfg.GraphMode = graph.ModeLSH
+	lsys.cfg.LSH = graph.LSHConfig{Seed: 5, Tables: 32, Rerank: 160, Refine: 8}
+	lout, err := lsys.Test(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lout.Tags) != len(test.Sentences) {
+		t.Fatalf("LSH mode tagged %d of %d sentences", len(lout.Tags), len(test.Sentences))
+	}
+	f1 := func(tags [][]corpus.Tag) float64 {
+		preds, err := eval.PredictionsFromTags(test, tags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eval.Evaluate(test, preds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics().F1
+	}
+	fExact, fLSH := f1(exact.Tags), f1(lout.Tags)
+	t.Logf("exact F1 = %.4f, lsh F1 = %.4f", fExact, fLSH)
+	if fLSH < fExact-0.02 {
+		t.Errorf("LSH-mode F1 = %.4f, exact-mode F1 = %.4f: delta beyond the 0.02 gate", fLSH, fExact)
+	}
+}

@@ -37,6 +37,14 @@ type snapshot struct {
 	Shards          int
 	LossEvery       int
 	TransitionPower float64
+	GraphMode       int
+	LSHBits         int
+	LSHTables       int
+	LSHMaxBucket    int
+	LSHRerank       int
+	LSHRefine       int
+	LSHMultiProbe   bool
+	LSHSeed         int64
 
 	Model         *crf.Model
 	AlphabetNames []string
@@ -116,6 +124,11 @@ func (s *System) snapshotFields() snapshot {
 		CRFIterations: s.cfg.CRFIterations, MaxDF: s.cfg.MaxDF,
 		Shards: s.cfg.Shards, LossEvery: s.cfg.LossEvery,
 		TransitionPower: s.cfg.TransitionPower,
+		GraphMode:       int(s.cfg.GraphMode),
+		LSHBits:         s.cfg.LSH.Bits, LSHTables: s.cfg.LSH.Tables,
+		LSHMaxBucket: s.cfg.LSH.MaxBucket, LSHRerank: s.cfg.LSH.Rerank,
+		LSHRefine: s.cfg.LSH.Refine, LSHMultiProbe: s.cfg.LSH.MultiProbe,
+		LSHSeed: s.cfg.LSH.Seed,
 	}
 }
 
@@ -129,7 +142,14 @@ func (snap *snapshot) config(extractor *features.Extractor) Config {
 		CRFIterations: snap.CRFIterations, MaxDF: snap.MaxDF,
 		Shards: snap.Shards, LossEvery: snap.LossEvery,
 		TransitionPower: snap.TransitionPower,
-		Extractor:       extractor,
+		GraphMode:       graph.GraphMode(snap.GraphMode),
+		LSH: graph.LSHConfig{
+			Bits: snap.LSHBits, Tables: snap.LSHTables,
+			MaxBucket: snap.LSHMaxBucket, Rerank: snap.LSHRerank,
+			Refine: snap.LSHRefine, MultiProbe: snap.LSHMultiProbe,
+			Seed: snap.LSHSeed,
+		},
+		Extractor: extractor,
 	}
 	cfg.defaults()
 	return cfg

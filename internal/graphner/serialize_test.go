@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/corpus/synth"
+	"repro/internal/graph"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -110,6 +111,8 @@ func TestSaveLoadFullConfigRoundTrip(t *testing.T) {
 	gcfg.Shards = 3
 	gcfg.LossEvery = 4
 	gcfg.TransitionPower = 0.11
+	gcfg.GraphMode = graph.ModeLSH
+	gcfg.LSH = graph.LSHConfig{Bits: 9, Tables: 11, MaxBucket: 500, Rerank: 70, Refine: 3, MultiProbe: true, Seed: 42}
 	sys, err := Train(train, gcfg)
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +146,13 @@ func TestSaveLoadFullConfigRoundTrip(t *testing.T) {
 	}
 	if got.LossEvery != 4 {
 		t.Errorf("LossEvery = %d after round trip, want 4", got.LossEvery)
+	}
+	if got.GraphMode != graph.ModeLSH {
+		t.Errorf("GraphMode = %v after round trip, want lsh", got.GraphMode)
+	}
+	wantLSH := graph.LSHConfig{Bits: 9, Tables: 11, MaxBucket: 500, Rerank: 70, Refine: 3, MultiProbe: true, Seed: 42}
+	if got.LSH != wantLSH {
+		t.Errorf("LSH config round trip:\n got %+v\nwant %+v", got.LSH, wantLSH)
 	}
 }
 

@@ -61,6 +61,9 @@ make bench-smoke
 echo "==> bench shard smoke"
 make bench-shard-smoke
 
+echo "==> bench lsh smoke"
+make bench-lsh-smoke
+
 echo "==> bench serving smoke"
 make bench-serving-smoke
 
